@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! # cascade-baselines
+//!
+//! The batching baselines the Cascade paper compares against (§5.1, §5.6):
+//!
+//! * **TGL** — fixed-size batching (re-exported from `cascade-core`'s
+//!   [`FixedBatching`]); [`tgl`] builds the canonically labeled instance.
+//! * **TGLite** — fixed-size batching paired with the redundancy-
+//!   eliminating model execution mode
+//!   ([`ModelConfig::with_lite`](cascade_models::ModelConfig::with_lite));
+//!   [`tglite`] builds the labeled strategy.
+//! * [`NeutronStream`] — dependency-graph batching that only admits
+//!   events independent of the current batch.
+//! * [`Etc`] — information-loss-bounded batch growth with an auto-
+//!   detected global threshold.
+//!
+//! # Examples
+//!
+//! ```
+//! use cascade_baselines::{tgl, Etc, NeutronStream};
+//! use cascade_core::BatchingStrategy;
+//!
+//! assert_eq!(tgl(900).name(), "TGL");
+//! assert_eq!(NeutronStream::new(900).name(), "NeutronStream");
+//! assert_eq!(Etc::new(900).name(), "ETC");
+//! ```
+
+mod etc;
+mod neutron;
+
+pub use etc::Etc;
+pub use neutron::NeutronStream;
+
+pub use cascade_core::FixedBatching;
+
+/// The TGL baseline: fixed-size batching at `batch_size`.
+pub fn tgl(batch_size: usize) -> FixedBatching {
+    FixedBatching::new(batch_size).with_label("TGL")
+}
+
+/// The TGL-LB comparison point (Figure 12(b)): fixed batching at the
+/// enlarged batch size Cascade achieved.
+pub fn tgl_lb(batch_size: usize) -> FixedBatching {
+    FixedBatching::new(batch_size).with_label("TGL-LB")
+}
+
+/// The TGLite baseline's batching half; pair it with a model built from
+/// [`ModelConfig::with_lite`](cascade_models::ModelConfig::with_lite).
+pub fn tglite(batch_size: usize) -> FixedBatching {
+    FixedBatching::new(batch_size).with_label("TGLite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_core::BatchingStrategy;
+
+    #[test]
+    fn labels() {
+        assert_eq!(tgl(10).name(), "TGL");
+        assert_eq!(tgl_lb(10).name(), "TGL-LB");
+        assert_eq!(tglite(10).name(), "TGLite");
+    }
+
+    #[test]
+    fn tgl_batch_size_is_exact() {
+        let mut s = tgl(10);
+        assert_eq!(s.next_batch_end(0, 100), 10);
+    }
+}

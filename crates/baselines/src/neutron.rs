@@ -1,0 +1,204 @@
+//! NeutronStream-style dependency-graph batching (§5.6).
+//!
+//! NeutronStream builds a dependency graph over the input events and only
+//! parallelizes events with no dependence: starting from the base batch,
+//! the batch is extended with subsequent events only while they are
+//! independent of (share no endpoint with) every event already admitted.
+//! The first dependent event closes the batch.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use cascade_core::{BatchingStrategy, StrategySpace, StrategyTimers};
+use cascade_tgraph::{Event, EventId};
+
+/// The NeutronStream batching scheme.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_baselines::NeutronStream;
+/// use cascade_core::BatchingStrategy;
+/// use cascade_tgraph::Event;
+///
+/// let events = vec![
+///     Event::new(0u32, 1u32, 0.0),
+///     Event::new(2u32, 3u32, 1.0), // independent of the base batch
+///     Event::new(0u32, 4u32, 2.0), // depends on node 0 -> closes batch
+/// ];
+/// let mut s = NeutronStream::new(1);
+/// s.prepare(&events, 5);
+/// assert_eq!(s.next_batch_end(0, 3), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NeutronStream {
+    base_batch: usize,
+    /// For each event, the id of the closest earlier event sharing a node
+    /// (the dependency edge NeutronStream materializes).
+    dependency_edges: Vec<Option<EventId>>,
+    events: Vec<Event>,
+    timers: StrategyTimers,
+}
+
+impl NeutronStream {
+    /// Creates the strategy with the given base batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_batch == 0`.
+    pub fn new(base_batch: usize) -> Self {
+        assert!(base_batch > 0, "base batch must be positive");
+        NeutronStream {
+            base_batch,
+            dependency_edges: Vec::new(),
+            events: Vec::new(),
+            timers: StrategyTimers::default(),
+        }
+    }
+
+    /// The materialized per-event dependency edges (`None` for events
+    /// with no earlier neighbor-sharing event).
+    pub fn dependency_edges(&self) -> &[Option<EventId>] {
+        &self.dependency_edges
+    }
+}
+
+impl BatchingStrategy for NeutronStream {
+    fn name(&self) -> String {
+        "NeutronStream".to_string()
+    }
+
+    fn prepare(&mut self, events: &[Event], num_nodes: usize) {
+        // Dependency-graph construction: the preprocessing cost §5.6
+        // observes ("they spend a lot of time constructing dependency
+        // graphs").
+        let t0 = Instant::now();
+        let mut last_touch: Vec<Option<EventId>> = vec![None; num_nodes];
+        self.dependency_edges = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let dep = match (last_touch[e.src.index()], last_touch[e.dst.index()]) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (Some(a), None) => Some(a),
+                    (None, Some(b)) => Some(b),
+                    (None, None) => None,
+                };
+                last_touch[e.src.index()] = Some(i);
+                last_touch[e.dst.index()] = Some(i);
+                dep
+            })
+            .collect();
+        self.events = events.to_vec();
+        self.timers.build_table += t0.elapsed();
+    }
+
+    fn next_batch_end(&mut self, start: EventId, limit: EventId) -> EventId {
+        assert!(start < limit, "next_batch_end on empty range");
+        let t0 = Instant::now();
+        let mut end = (start + self.base_batch).min(limit);
+
+        // Collect the base batch's node set, then admit subsequent events
+        // while they are independent of everything already batched.
+        let mut touched: HashSet<u32> = HashSet::new();
+        for e in &self.events[start..end] {
+            touched.insert(e.src.0);
+            touched.insert(e.dst.0);
+        }
+        while end < limit {
+            let e = &self.events[end];
+            if touched.contains(&e.src.0) || touched.contains(&e.dst.0) {
+                break;
+            }
+            touched.insert(e.src.0);
+            touched.insert(e.dst.0);
+            end += 1;
+        }
+        self.timers.lookup += t0.elapsed();
+        end
+    }
+
+    fn space(&self) -> StrategySpace {
+        StrategySpace {
+            dependency_bytes: self.dependency_edges.len()
+                * std::mem::size_of::<Option<EventId>>(),
+            flag_bytes: 0,
+        }
+    }
+
+    fn timers(&self) -> StrategyTimers {
+        self.timers
+    }
+
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(s: u32, d: u32, t: f64) -> Event {
+        Event::new(s, d, t)
+    }
+
+    #[test]
+    fn dependency_edges_point_backwards() {
+        let events = vec![ev(0, 1, 0.0), ev(2, 3, 1.0), ev(1, 2, 2.0)];
+        let mut n = NeutronStream::new(1);
+        n.prepare(&events, 4);
+        assert_eq!(n.dependency_edges(), &[None, None, Some(1)]);
+    }
+
+    #[test]
+    fn extends_over_independent_suffix() {
+        let events = vec![
+            ev(0, 1, 0.0),
+            ev(2, 3, 1.0),
+            ev(4, 5, 2.0),
+            ev(0, 2, 3.0), // shares node 0 with the base batch
+        ];
+        let mut n = NeutronStream::new(1);
+        n.prepare(&events, 6);
+        assert_eq!(n.next_batch_end(0, 4), 3);
+    }
+
+    #[test]
+    fn stops_immediately_on_dependence() {
+        let events = vec![ev(0, 1, 0.0), ev(1, 2, 1.0), ev(3, 4, 2.0)];
+        let mut n = NeutronStream::new(1);
+        n.prepare(&events, 5);
+        // Event 1 shares node 1 with the base batch: no extension.
+        assert_eq!(n.next_batch_end(0, 3), 1);
+    }
+
+    #[test]
+    fn base_batch_is_floor() {
+        let events: Vec<Event> = (0..10).map(|i| ev(0, 1, i as f64)).collect();
+        let mut n = NeutronStream::new(4);
+        n.prepare(&events, 2);
+        // All events hit the same nodes, so no extension past the base.
+        assert_eq!(n.next_batch_end(0, 10), 4);
+    }
+
+    #[test]
+    fn partitions_stream() {
+        let events: Vec<Event> =
+            (0..20).map(|i| ev(i % 4, 4 + (i % 3), i as f64)).collect();
+        let mut n = NeutronStream::new(3);
+        n.prepare(&events, 8);
+        let mut start = 0;
+        while start < 20 {
+            let end = n.next_batch_end(start, 20);
+            assert!(end > start && end <= 20);
+            start = end;
+        }
+    }
+
+    #[test]
+    fn space_reflects_dependency_graph() {
+        let events = vec![ev(0, 1, 0.0)];
+        let mut n = NeutronStream::new(1);
+        n.prepare(&events, 2);
+        assert!(n.space().dependency_bytes > 0);
+    }
+}

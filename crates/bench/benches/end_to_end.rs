@@ -1,0 +1,121 @@
+//! End-to-end training benchmarks: the Figure 2 batch-size sweep and the
+//! Figure 10 Cascade-vs-TGL comparison as Criterion targets (compute-only;
+//! the `repro` binary reports the accelerator-modeled latencies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cascade_core::{train, CascadeConfig, CascadeScheduler, FixedBatching, TrainConfig};
+use cascade_models::{MemoryTgnn, ModelConfig};
+use cascade_tgraph::{Dataset, SynthConfig};
+
+fn bench_data() -> Dataset {
+    SynthConfig::wiki()
+        .with_scale(0.008)
+        .with_node_scale(0.027)
+        .with_feature_dim(8)
+        .generate(42)
+}
+
+fn one_epoch_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 1,
+        lr: 1e-3,
+        eval_batch_size: 64,
+        clip_norm: Some(5.0),
+        ..TrainConfig::default()
+    }
+}
+
+fn bench_batch_size_sweep(c: &mut Criterion) {
+    let data = bench_data();
+    let mut g = c.benchmark_group("batch_size_sweep_tgn");
+    g.sample_size(10);
+    for bs in [32usize, 64, 128, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            b.iter(|| {
+                let mut model = MemoryTgnn::new(
+                    ModelConfig::tgn().with_dims(16, 8).with_neighbors(4),
+                    data.num_nodes(),
+                    data.features().dim(),
+                    1,
+                );
+                let mut s = FixedBatching::new(bs);
+                black_box(train(&mut model, &data, &mut s, &one_epoch_cfg()))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cascade_vs_tgl(c: &mut Criterion) {
+    let data = bench_data();
+    let mut g = c.benchmark_group("cascade_vs_tgl_tgn");
+    g.sample_size(10);
+    g.bench_function("tgl", |b| {
+        b.iter(|| {
+            let mut model = MemoryTgnn::new(
+                ModelConfig::tgn().with_dims(16, 8).with_neighbors(4),
+                data.num_nodes(),
+                data.features().dim(),
+                1,
+            );
+            let mut s = FixedBatching::new(64);
+            black_box(train(&mut model, &data, &mut s, &one_epoch_cfg()))
+        });
+    });
+    g.bench_function("cascade", |b| {
+        b.iter(|| {
+            let mut model = MemoryTgnn::new(
+                ModelConfig::tgn().with_dims(16, 8).with_neighbors(4),
+                data.num_nodes(),
+                data.features().dim(),
+                1,
+            );
+            let mut s = CascadeScheduler::new(CascadeConfig {
+                preset_batch_size: 64,
+                ..CascadeConfig::default()
+            });
+            black_box(train(&mut model, &data, &mut s, &one_epoch_cfg()))
+        });
+    });
+    g.finish();
+}
+
+fn bench_chunked_preprocessing(c: &mut Criterion) {
+    let data = SynthConfig::gdelt()
+        .with_scale(4e-5)
+        .with_feature_dim(8)
+        .generate(9);
+    let mut g = c.benchmark_group("chunked_preprocessing_jodie");
+    g.sample_size(10);
+    for (label, chunk) in [("dense", None), ("chunked", Some(1000usize))] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut model = MemoryTgnn::new(
+                    ModelConfig::jodie().with_dims(16, 8),
+                    data.num_nodes(),
+                    data.features().dim(),
+                    1,
+                );
+                let mut cfg = CascadeConfig {
+                    preset_batch_size: 64,
+                    ..CascadeConfig::default()
+                };
+                if let Some(ch) = chunk {
+                    cfg = cfg.with_chunk_size(ch);
+                }
+                let mut s = CascadeScheduler::new(cfg);
+                black_box(train(&mut model, &data, &mut s, &one_epoch_cfg()))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = end_to_end;
+    config = Criterion::default();
+    targets = bench_batch_size_sweep, bench_cascade_vs_tgl, bench_chunked_preprocessing
+);
+criterion_main!(end_to_end);

@@ -1,0 +1,68 @@
+//! Regenerates the Cascade paper's tables and figures.
+//!
+//! ```text
+//! repro all            # every artifact, writing bench_results/<id>.txt
+//! repro fig10 fig11    # a subset
+//! repro --list         # show ids
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use cascade_bench::experiments::{self, Session};
+use cascade_bench::Harness;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--list] <experiment-id>... | all");
+        eprintln!("experiments: {}", experiments::ALL.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        println!("{}", experiments::ALL.join("\n"));
+        return;
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let harness = Harness::from_env();
+    eprintln!(
+        "[repro] harness: events={} (large {}), dim={}, preset={}, epochs={}",
+        harness.moderate_events,
+        harness.large_events,
+        harness.memory_dim,
+        harness.preset_batch,
+        harness.epochs
+    );
+    let session = Session::new(harness);
+
+    let out_dir = PathBuf::from("bench_results");
+    let _ = std::fs::create_dir_all(&out_dir);
+
+    let mut failed = false;
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        match experiments::run(&session, id) {
+            Ok(text) => {
+                println!("================ {} ================", id);
+                println!("{}", text);
+                eprintln!("[repro] {} finished in {:.1}s", id, t0.elapsed().as_secs_f64());
+                if let Ok(mut f) = std::fs::File::create(out_dir.join(format!("{}.txt", id))) {
+                    let _ = f.write_all(text.as_bytes());
+                }
+            }
+            Err(e) => {
+                eprintln!("[repro] error: {}", e);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

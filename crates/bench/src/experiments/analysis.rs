@@ -1,0 +1,134 @@
+//! Optimization and overhead analysis: Figure 13.
+
+use cascade_models::ModelConfig;
+
+use crate::harness::StrategyKind;
+use crate::table::{f2, pct, TextTable};
+
+use super::session::Session;
+
+/// Figure 13(a): latency and validation loss under different SG-Filter
+/// similarity thresholds.
+pub fn fig13a(session: &Session) -> String {
+    let thetas = [0.80f32, 0.85, 0.90, 0.95];
+    let mut t = TextTable::new(&["Dataset", "Model", "theta", "NormLatency", "NormValLoss"]);
+    for name in ["WIKI", "REDDIT"] {
+        for model in [ModelConfig::jodie(), ModelConfig::tgn()] {
+            let tgl = session.run(name, model.clone(), &StrategyKind::Tgl);
+            for &theta in &thetas {
+                let out = if (theta - 0.9).abs() < 1e-6 {
+                    session.run(name, model.clone(), &StrategyKind::Cascade)
+                } else {
+                    session.run(name, model.clone(), &StrategyKind::CascadeTheta(theta))
+                };
+                t.row(&[
+                    name.to_string(),
+                    model.name.to_string(),
+                    format!("{:.2}", theta),
+                    f2(out.report.modeled_time.as_secs_f64() / tgl.report.modeled_time.as_secs_f64()),
+                    f2(out.report.val_loss as f64 / tgl.report.val_loss as f64),
+                ]);
+            }
+        }
+    }
+    format!(
+        "Figure 13(a): θ_sim sweep (normalized to TGL)\n\
+         Paper: lower θ -> faster but lossier (θ=0.85: 2.7x, +8% loss);\n\
+         higher θ -> safer but slower (θ=0.95: 2.0x, no loss increase).\n{}",
+        t
+    )
+}
+
+/// Figure 13(b): latency breakdown of Cascade — table building, batch
+/// lookup & pointer updates, and model training.
+pub fn fig13b(session: &Session) -> String {
+    let mut t = TextTable::new(&["Dataset", "Model", "BuildTable", "Lookup&Update", "ModelTraining"]);
+    for name in ["WIKI", "REDDIT", "WIKI-TALK"] {
+        for model in [ModelConfig::apan(), ModelConfig::jodie(), ModelConfig::tgn()] {
+            let cas = session.run(name, model.clone(), &StrategyKind::Cascade);
+            let r = &cas.report;
+            let total = r.modeled_time.as_secs_f64().max(1e-12);
+            t.row(&[
+                name.to_string(),
+                model.name.to_string(),
+                pct(r.build_time.as_secs_f64() / total),
+                pct(r.lookup_time.as_secs_f64() / total),
+                pct(
+                    (total - r.build_time.as_secs_f64() - r.lookup_time.as_secs_f64())
+                        .max(0.0)
+                        / total,
+                ),
+            ]);
+        }
+    }
+    format!(
+        "Figure 13(b): Cascade latency breakdown\n\
+         Paper: ~17% total overhead on moderate graphs; table building ~0.1%,\n\
+         event lookup ~16%, the rest is model training.\n{}",
+        t
+    )
+}
+
+/// Figure 13(c): space breakdown — dependency table (DT), stable flags
+/// (SF), graph, edge features, model, mailbox.
+pub fn fig13c(session: &Session) -> String {
+    let mut t = TextTable::new(&[
+        "Dataset", "Model", "DT", "SF", "Graph", "EdgeFeat", "Model", "Mailbox", "Memory",
+    ]);
+    for name in ["WIKI", "REDDIT", "WIKI-TALK"] {
+        for model in [ModelConfig::apan(), ModelConfig::jodie(), ModelConfig::tgn()] {
+            let cas = session.run(name, model.clone(), &StrategyKind::Cascade);
+            let s = cas.report.space;
+            let fr = s.fractions();
+            t.row(&[
+                name.to_string(),
+                model.name.to_string(),
+                pct(fr[0].1),
+                pct(fr[1].1),
+                pct(fr[2].1),
+                pct(fr[3].1),
+                pct(fr[4].1),
+                pct(fr[5].1),
+                pct(fr[6].1),
+            ]);
+        }
+    }
+    // The scaled harness trains with narrow edge features; the paper's
+    // datasets carry up to 172-wide features that dominate memory.
+    // Restate the same measurements with features at each profile's true
+    // width so the relative shape is comparable.
+    let mut tp = TextTable::new(&[
+        "Dataset", "Model", "DT", "SF", "Graph", "EdgeFeat(paper width)", "Model", "Mailbox",
+        "Memory",
+    ]);
+    for name in ["WIKI", "REDDIT", "WIKI-TALK"] {
+        let paper_dim = super::session::profile_by_name(name)
+            .expect("known profile")
+            .feature_dim;
+        let events = session.dataset(name).num_events();
+        for model in [ModelConfig::apan(), ModelConfig::jodie(), ModelConfig::tgn()] {
+            let cas = session.run(name, model.clone(), &StrategyKind::Cascade);
+            let mut sp = cas.report.space;
+            sp.edge_features = events * paper_dim * 4;
+            let fr = sp.fractions();
+            tp.row(&[
+                name.to_string(),
+                model.name.to_string(),
+                pct(fr[0].1),
+                pct(fr[1].1),
+                pct(fr[2].1),
+                pct(fr[3].1),
+                pct(fr[4].1),
+                pct(fr[5].1),
+                pct(fr[6].1),
+            ]);
+        }
+    }
+    format!(
+        "Figure 13(c): space breakdown\n\
+         Paper: DT + SF below 3% combined; edge features dominate.\n\n\
+         (as measured, runtime feature width {})\n{}\n\
+         (same run, edge features restated at the paper's per-dataset width)\n{}",
+        session.harness().feature_dim, t, tp
+    )
+}

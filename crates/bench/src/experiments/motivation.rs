@@ -1,0 +1,148 @@
+//! The motivation measurements: Figure 2 (batch-size trade-off),
+//! Figure 3 (intra-batch degree distribution), Figure 5 (stable-node
+//! ratio), and the §3.1 utilization proxy.
+
+use cascade_core::{train_with_observer, FixedBatching, SgFilter, UtilizationProxy};
+use cascade_models::ModelConfig;
+use cascade_tgraph::{batch_degree_histogram, max_batch_degree, SynthConfig};
+
+use crate::harness::StrategyKind;
+use crate::table::{f2, f3, pct, TextTable};
+
+use super::session::{Session, MODERATE};
+
+/// The scaled analogues of the paper's 900..6000 batch-size sweep,
+/// relative to the harness preset.
+fn batch_sweep(preset: usize) -> Vec<usize> {
+    // 900 -> 2000, 3000, 4000, 5000, 6000 in the paper: ratios 1..6.67.
+    [1.0, 2.2, 3.3, 4.4, 5.6, 6.7]
+        .iter()
+        .map(|r| ((preset as f64) * r) as usize)
+        .collect()
+}
+
+/// Figure 2: normalized training latency and validation loss across batch
+/// sizes for TGN and JODIE on all five datasets.
+pub fn fig2(session: &Session) -> String {
+    let preset = session.harness().preset_batch;
+    let mut t = TextTable::new(&["Dataset", "Model", "BS", "NormLatency", "NormValLoss"]);
+    for name in MODERATE {
+        for model in [ModelConfig::tgn(), ModelConfig::jodie()] {
+            let mut base: Option<(f64, f64)> = None;
+            for bs in batch_sweep(preset) {
+                let out = if bs == preset {
+                    session.run(name, model.clone(), &StrategyKind::Tgl)
+                } else {
+                    session.run(name, model.clone(), &StrategyKind::TglLb(bs))
+                };
+                let lat = out.report.modeled_time.as_secs_f64();
+                let loss = out.report.val_loss as f64;
+                let (bl, bv) = *base.get_or_insert((lat, loss));
+                t.row(&[
+                    name.to_string(),
+                    model.name.to_string(),
+                    bs.to_string(),
+                    f2(lat / bl),
+                    f2(loss / bv),
+                ]);
+            }
+        }
+    }
+    format!(
+        "Figure 2: batch-size trade-off (normalized to BS={})\n\
+         Paper shape: larger batches cut latency but inflate validation loss.\n{}",
+        preset, t
+    )
+}
+
+/// Figure 3: distribution of per-node event counts inside 900-event
+/// batches. This is a pure dataset statistic, so it runs on much larger
+/// scaled instances than the training experiments.
+pub fn fig3(_session: &Session) -> String {
+    let buckets = [25, 50, 75, 100, 125];
+    let mut t = TextTable::new(&[
+        "Dataset", "0-25", "25-50", "50-75", "75-100", "100-125", ">125", "MaxDeg",
+    ]);
+    for profile in SynthConfig::moderate_profiles() {
+        // Large-enough instance for a faithful histogram at batch 900.
+        let target = 60_000.0_f64.min(profile.num_events as f64);
+        let data = profile
+            .clone()
+            .with_scale(target / profile.num_events as f64)
+            .with_feature_dim(0)
+            .generate(7);
+        let h = batch_degree_histogram(data.stream(), 900, &buckets);
+        let maxd = max_batch_degree(data.stream(), 900);
+        let mut row = vec![profile.name.clone()];
+        row.extend(h.iter().map(|&f| pct(f)));
+        row.push(maxd.to_string());
+        t.row(&row);
+    }
+    format!(
+        "Figure 3: per-node event counts inside batches of 900\n\
+         Paper shape: the overwhelming majority of nodes see 0-25 events; \
+         hubs peak at 140-175.\n{}",
+        t
+    )
+}
+
+/// Figure 5: ratio of stable node updates (cosine ≥ 0.9) per epoch while
+/// training TGN and JODIE conventionally.
+pub fn fig5(session: &Session) -> String {
+    let h = session.harness();
+    let epoch_marks = [0usize, h.epochs.max(4) / 2, h.epochs.max(4) - 1];
+    let epochs = h.epochs.max(4);
+    let mut t = TextTable::new(&["Dataset", "Model", "Epoch", "StableRatio"]);
+    for name in MODERATE {
+        let data = session.dataset(name);
+        for model in [ModelConfig::tgn(), ModelConfig::jodie()] {
+            let mut m = h.build_model(&data, model.clone(), false);
+            let mut strat = FixedBatching::new(h.preset_batch);
+            let mut filter = SgFilter::new(data.num_nodes(), 0.9);
+            let mut ratios = vec![0.0f64; epochs];
+            let mut last_epoch = 0usize;
+            let cfg = cascade_core::TrainConfig {
+                epochs,
+                ..h.train_cfg()
+            };
+            let _ = train_with_observer(&mut m, &data, &mut strat, &cfg, &mut |epoch, deltas| {
+                if epoch != last_epoch {
+                    ratios[last_epoch] = filter.epoch_stable_ratio();
+                    filter.reset();
+                    last_epoch = epoch;
+                }
+                filter.observe(deltas);
+            });
+            ratios[last_epoch] = filter.epoch_stable_ratio();
+            for &e in &epoch_marks {
+                t.row(&[
+                    name.to_string(),
+                    model.name.to_string(),
+                    e.to_string(),
+                    pct(ratios[e.min(epochs - 1)]),
+                ]);
+            }
+        }
+    }
+    format!(
+        "Figure 5: stable node-update ratio (θ_sim = 0.9) across epochs\n\
+         Paper shape: ratios grow with training; >84% average once converged.\n{}",
+        t
+    )
+}
+
+/// §3.1 hardware-utilization proxy at the preset and enlarged batch
+/// sizes.
+pub fn utilization(session: &Session) -> String {
+    let u = UtilizationProxy::default();
+    let preset = session.harness().preset_batch as f64;
+    let mut t = TextTable::new(&["Batch (paper-equivalent)", "SM util", "Mem util"]);
+    for (label, b) in [("900", 900.0), ("6000", 6000.0), ("preset", preset)] {
+        t.row(&[label.to_string(), f3(u.sm_utilization(b)), f3(u.mem_utilization(b))]);
+    }
+    format!(
+        "§3.1 utilization proxy (calibrated to the paper's measurements:\n\
+         BS=900 -> 17.2%/15.2%, BS=6000 -> 39.8%/34.2%)\n{}",
+        t
+    )
+}

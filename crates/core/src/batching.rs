@@ -1,0 +1,168 @@
+//! The [`BatchingStrategy`] abstraction every scheduler (Cascade and the
+//! baselines) implements, plus the fixed-size strategy used as the
+//! universal fallback.
+
+use std::time::Duration;
+
+use cascade_models::MemoryDelta;
+use cascade_tgraph::{Event, EventId};
+
+/// Wall-clock spent inside a strategy, split the way Figures 13(b) and
+/// 14(c) report it. Strategies with no auxiliary structures report zeros
+/// and the trainer falls back to its own coarse measurements.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StrategyTimers {
+    /// Dependency-structure construction (including pipeline stalls
+    /// waiting for a chunk table).
+    pub build_table: Duration,
+    /// Batch-boundary lookup and pointer updates.
+    pub lookup: Duration,
+    /// Build work performed by a pipelined background builder while
+    /// training proceeded (off the critical path in the paper's
+    /// CPU-builds-while-GPU-trains deployment; on a single test core it
+    /// contends with training, so the trainer credits it back in the
+    /// modeled latency).
+    pub background_build: Duration,
+}
+
+/// Space consumed by a strategy's auxiliary structures (the "DT" and "SF"
+/// bars of Figure 13(c)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StrategySpace {
+    /// Dependency-table (or dependency-graph) bytes.
+    pub dependency_bytes: usize,
+    /// Stable-flag bytes.
+    pub flag_bytes: usize,
+}
+
+/// Decides where each training batch ends.
+///
+/// The [`train`](crate::train) loop drives one strategy per run: it calls
+/// [`prepare`](BatchingStrategy::prepare) once before training,
+/// [`reset_epoch`](BatchingStrategy::reset_epoch) at each epoch start,
+/// [`next_batch_end`](BatchingStrategy::next_batch_end) to segment the
+/// stream, and feeds back losses and memory transitions.
+pub trait BatchingStrategy {
+    /// Human-readable strategy name (used in reports).
+    fn name(&self) -> String;
+
+    /// One-time preprocessing over the training stream (dependency-table
+    /// construction, endurance profiling, …). Called before epoch 0.
+    fn prepare(&mut self, _events: &[Event], _num_nodes: usize) {}
+
+    /// Resets per-epoch state (event pointers, stable flags, convergence
+    /// monitors).
+    fn reset_epoch(&mut self) {}
+
+    /// Returns the exclusive end of the batch starting at `start`; must
+    /// satisfy `start < end <= limit`.
+    fn next_batch_end(&mut self, start: EventId, limit: EventId) -> EventId;
+
+    /// Observes the training loss of the batch just processed.
+    fn after_batch(&mut self, _batch_idx: usize, _train_loss: f32) {}
+
+    /// Observes the node-memory transitions the batch applied.
+    fn observe_updates(&mut self, _deltas: &[MemoryDelta]) {}
+
+    /// Auxiliary-structure space accounting.
+    fn space(&self) -> StrategySpace {
+        StrategySpace::default()
+    }
+
+    /// Fine-grained phase timing, when the strategy tracks it.
+    fn timers(&self) -> StrategyTimers {
+        StrategyTimers::default()
+    }
+}
+
+/// Fixed-size batching: the discipline of TGL and every conventional
+/// TGNN trainer (§2.3). Also reused with a larger size as the paper's
+/// "TGL-LB" comparison point (Figure 12(b)).
+///
+/// # Examples
+///
+/// ```
+/// use cascade_core::{BatchingStrategy, FixedBatching};
+///
+/// let mut s = FixedBatching::new(900);
+/// assert_eq!(s.next_batch_end(0, 10_000), 900);
+/// assert_eq!(s.next_batch_end(9_500, 10_000), 10_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FixedBatching {
+    batch_size: usize,
+    label: String,
+}
+
+impl FixedBatching {
+    /// Creates a fixed-size strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        FixedBatching {
+            batch_size,
+            label: format!("TGL(bs={})", batch_size),
+        }
+    }
+
+    /// Overrides the report label (e.g. `TGL-LB`).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+impl BatchingStrategy for FixedBatching {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn next_batch_end(&mut self, start: EventId, limit: EventId) -> EventId {
+        assert!(start < limit, "next_batch_end on empty range");
+        (start + self.batch_size).min(limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_partitions_stream() {
+        let mut s = FixedBatching::new(3);
+        let mut start = 0;
+        let mut sizes = Vec::new();
+        while start < 10 {
+            let end = s.next_batch_end(start, 10);
+            sizes.push(end - start);
+            start = end;
+        }
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn label_override() {
+        let s = FixedBatching::new(4200).with_label("TGL-LB");
+        assert_eq!(s.name(), "TGL-LB");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero() {
+        let _ = FixedBatching::new(0);
+    }
+
+    #[test]
+    fn default_space_is_zero() {
+        let s = FixedBatching::new(10);
+        assert_eq!(s.space(), StrategySpace::default());
+    }
+}

@@ -1,0 +1,410 @@
+//! The Topology-Aware Graph Diffuser (§4.2, Algorithm 3): per-node event
+//! pointers over the dependency table and the last-tolerable-event lookup
+//! that decides batch boundaries.
+
+use std::sync::Arc;
+
+use cascade_tgraph::EventId;
+
+use crate::dependency::DependencyTable;
+
+/// Looks up the last tolerable event for each batch.
+///
+/// Each node tolerates at most `max_r` relevant events (entries of its
+/// dependency-table list) per batch — the *Maximum Revisit Endurance* of
+/// §4.2. The batch boundary is the minimum first-intolerable event over
+/// all non-stable nodes; stable nodes (flagged by the SG-Filter) are
+/// skipped, which is exactly how temporal independence relaxes the
+/// boundary in Figure 8(b).
+///
+/// # Examples
+///
+/// Reproducing the Figure 7(b) walk-through (`Max_r = 4`):
+///
+/// ```
+/// use cascade_core::{DependencyTable, TgDiffuser};
+/// use cascade_tgraph::Event;
+///
+/// let pairs = [(1, 2), (1, 7), (1, 8), (1, 9), (10, 11), (10, 12),
+///              (10, 13), (10, 4), (1, 3), (1, 5), (1, 6), (3, 4)];
+/// let events: Vec<Event> = pairs.iter().enumerate()
+///     .map(|(i, &(s, d))| Event::new(s as u32, d as u32, i as f64))
+///     .collect();
+/// let table = DependencyTable::build(&events, 14);
+/// let mut diffuser = TgDiffuser::new(table, 4);
+/// let no_stable = vec![false; 14];
+/// // Node 1's fifth relevant event is e(8): the batch ends there.
+/// assert_eq!(diffuser.next_boundary(0, 12, &no_stable), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TgDiffuser {
+    table: Arc<DependencyTable>,
+    pointers: Vec<usize>,
+    max_r: usize,
+    threads: usize,
+}
+
+impl TgDiffuser {
+    /// Creates a diffuser over a dependency table with the given initial
+    /// `Max_r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_r == 0` (every batch would be empty).
+    pub fn new(table: impl Into<Arc<DependencyTable>>, max_r: usize) -> Self {
+        assert!(max_r > 0, "Max_r must be at least 1");
+        let table = table.into();
+        let pointers = vec![0; table.num_nodes()];
+        TgDiffuser {
+            table,
+            pointers,
+            max_r,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count for the loop-parallel scans of
+    /// Algorithm 3 (the paper runs the TG-Diffuser on 32 CPU threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Current `Max_r`.
+    pub fn max_r(&self) -> usize {
+        self.max_r
+    }
+
+    /// Updates `Max_r` (driven by the Adaptive Batch Sensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_r == 0`.
+    pub fn set_max_r(&mut self, max_r: usize) {
+        assert!(max_r > 0, "Max_r must be at least 1");
+        self.max_r = max_r;
+    }
+
+    /// The dependency table driving this diffuser.
+    pub fn table(&self) -> &DependencyTable {
+        &self.table
+    }
+
+    /// Replaces the table (chunk transition) and rewinds all pointers.
+    pub fn swap_table(&mut self, table: impl Into<Arc<DependencyTable>>) {
+        let table = table.into();
+        self.pointers.fill(0);
+        if self.pointers.len() < table.num_nodes() {
+            self.pointers.resize(table.num_nodes(), 0);
+        }
+        self.table = table;
+    }
+
+    /// Rewinds all event pointers (epoch start).
+    pub fn reset(&mut self) {
+        self.pointers.fill(0);
+    }
+
+    /// Computes the exclusive end of the batch starting at `start`
+    /// (Algorithm 3), bounded by `limit`, and advances the node pointers
+    /// past the consumed events.
+    ///
+    /// `stable[n]` marks nodes whose temporal dependencies the SG-Filter
+    /// has broken; they impose no boundary but their pointers still move.
+    ///
+    /// The returned end is always at least `start + 1` so training makes
+    /// progress even when `Max_r` would forbid any event (the guard the
+    /// paper leaves implicit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= limit` or `stable.len()` differs from the node
+    /// count.
+    pub fn next_boundary(&mut self, start: EventId, limit: EventId, stable: &[bool]) -> EventId {
+        assert!(start < limit, "next_boundary on empty range");
+        assert_eq!(
+            stable.len(),
+            self.table.num_nodes(),
+            "stable flag width mismatch"
+        );
+
+        // The loop-parallel scans of Algorithm 3: partitioned over worker
+        // threads when configured, a single pass otherwise.
+        let n_nodes = self.table.num_nodes();
+        let k = if self.threads > 1 && n_nodes > 256 {
+            let table = &self.table;
+            let pointers = &self.pointers;
+            let max_r = self.max_r;
+            let chunk = n_nodes.div_ceil(self.threads);
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..self.threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n_nodes);
+                    if lo >= hi {
+                        break;
+                    }
+                    handles.push(scope.spawn(move |_| {
+                        scan_min(table, pointers, stable, max_r, lo, hi)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("diffuser scan worker panicked"))
+                    .min()
+                    .unwrap_or(EventId::MAX)
+            })
+            .expect("diffuser scan scope failed")
+        } else {
+            scan_min(&self.table, &self.pointers, stable, self.max_r, 0, n_nodes)
+        };
+
+        let end = k.min(limit).max(start + 1);
+
+        // Advance pointers past every event consumed by this batch.
+        let table = Arc::clone(&self.table);
+        if self.threads > 1 && n_nodes > 256 {
+            let chunk = n_nodes.div_ceil(self.threads);
+            crossbeam::thread::scope(|scope| {
+                for (t, slot) in self.pointers.chunks_mut(chunk).enumerate() {
+                    let lo = t * chunk;
+                    let table = &table;
+                    scope.spawn(move |_| {
+                        for (off, p) in slot.iter_mut().enumerate() {
+                            let n = lo + off;
+                            if *p < table.entry_len(n) {
+                                *p = (*p).max(table.entry_lower_bound(n, end));
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("diffuser advance scope failed");
+        } else {
+            for n in 0..n_nodes {
+                let p = &mut self.pointers[n];
+                if *p < table.entry_len(n) {
+                    *p = (*p).max(table.entry_lower_bound(n, end));
+                }
+            }
+        }
+        end
+    }
+}
+
+/// One worker's share of Algorithm 3's min-reduction.
+fn scan_min(
+    table: &DependencyTable,
+    pointers: &[usize],
+    stable: &[bool],
+    max_r: usize,
+    lo: usize,
+    hi: usize,
+) -> EventId {
+    let mut k = EventId::MAX;
+    for n in lo..hi {
+        if stable[n] {
+            continue;
+        }
+        let cur = pointers[n];
+        if cur >= table.entry_len(n) {
+            // All of this node's events are consumed: no constraint.
+            continue;
+        }
+        // The first intolerable event is the (Max_r + 1)-th unprocessed
+        // relevant event; if fewer remain, the node never objects.
+        if let Some(en) = table.entry_at(n, cur + max_r) {
+            k = k.min(en);
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_tgraph::Event;
+
+    fn figure7_events() -> Vec<Event> {
+        let pairs = [
+            (1, 2),
+            (1, 7),
+            (1, 8),
+            (1, 9),
+            (10, 11),
+            (10, 12),
+            (10, 13),
+            (10, 4),
+            (1, 3),
+            (1, 5),
+            (1, 6),
+            (3, 4),
+        ];
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d))| Event::new(s as u32, d as u32, i as f64))
+            .collect()
+    }
+
+    fn diffuser(max_r: usize) -> TgDiffuser {
+        let events = figure7_events();
+        TgDiffuser::new(DependencyTable::build(&events, 14), max_r)
+    }
+
+    #[test]
+    fn figure7b_boundary_is_8() {
+        let mut d = diffuser(4);
+        assert_eq!(d.next_boundary(0, 12, &vec![false; 14]), 8);
+    }
+
+    #[test]
+    fn figure8b_stable_nodes_extend_to_10() {
+        // Figure 8(b): with nodes 1, 2, 7 stable, the barrier at e(8)
+        // disappears and the batch extends to e(10).
+        let mut d = diffuser(4);
+        let mut stable = vec![false; 14];
+        stable[1] = true;
+        stable[2] = true;
+        stable[7] = true;
+        // Nodes 8 and 9 still constrain: their entries are
+        // [2,3,8,9,10] and [3,8,9,10]; with Max_r = 4 the first
+        // intolerable events are 10 and none respectively.
+        assert_eq!(d.next_boundary(0, 12, &stable), 10);
+    }
+
+    #[test]
+    fn all_stable_runs_to_limit() {
+        let mut d = diffuser(1);
+        assert_eq!(d.next_boundary(0, 12, &vec![true; 14]), 12);
+    }
+
+    #[test]
+    fn boundaries_partition_stream() {
+        let mut d = diffuser(2);
+        let stable = vec![false; 14];
+        let mut start = 0;
+        let mut boundaries = Vec::new();
+        while start < 12 {
+            let end = d.next_boundary(start, 12, &stable);
+            assert!(end > start && end <= 12);
+            boundaries.push(end);
+            start = end;
+        }
+        assert_eq!(*boundaries.last().unwrap(), 12);
+    }
+
+    #[test]
+    fn larger_max_r_never_shrinks_batches() {
+        for r in 1..6 {
+            let mut small = diffuser(r);
+            let mut large = diffuser(r + 1);
+            let stable = vec![false; 14];
+            let b_small = small.next_boundary(0, 12, &stable);
+            let b_large = large.next_boundary(0, 12, &stable);
+            assert!(b_large >= b_small, "Max_r {} -> {}: {} < {}", r, r + 1, b_large, b_small);
+        }
+    }
+
+    #[test]
+    fn progress_guaranteed_with_tiny_max_r() {
+        let mut d = diffuser(1);
+        let stable = vec![false; 14];
+        let mut start = 0;
+        let mut iterations = 0;
+        while start < 12 {
+            start = d.next_boundary(start, 12, &stable);
+            iterations += 1;
+            assert!(iterations <= 12, "no progress");
+        }
+    }
+
+    #[test]
+    fn pointers_reset_between_epochs() {
+        let mut d = diffuser(4);
+        let stable = vec![false; 14];
+        let first = d.next_boundary(0, 12, &stable);
+        d.reset();
+        assert_eq!(d.next_boundary(0, 12, &stable), first);
+    }
+
+    #[test]
+    fn swap_table_rewinds() {
+        let events = figure7_events();
+        let mut d = diffuser(4);
+        let stable = vec![false; 14];
+        let _ = d.next_boundary(0, 12, &stable);
+        d.swap_table(DependencyTable::build(&events, 14));
+        assert_eq!(d.next_boundary(0, 12, &stable), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_max_r() {
+        let _ = diffuser(0);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use cascade_tgraph::{DetRng, Event};
+
+    fn random_events(n_nodes: usize, n_events: usize, seed: u64) -> Vec<Event> {
+        let mut rng = DetRng::new(seed);
+        (0..n_events)
+            .map(|i| {
+                Event::new(
+                    rng.index(n_nodes) as u32,
+                    rng.index(n_nodes) as u32,
+                    i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_boundaries_match_sequential() {
+        // Node count above the parallel threshold so workers actually run.
+        let events = random_events(400, 2000, 3);
+        let table = DependencyTable::build(&events, 400);
+        let mut seq = TgDiffuser::new(table.clone(), 5);
+        let mut par = TgDiffuser::new(table, 5).with_threads(4);
+        let stable = vec![false; 400];
+        let mut start = 0;
+        while start < events.len() {
+            let a = seq.next_boundary(start, events.len(), &stable);
+            let b = par.next_boundary(start, events.len(), &stable);
+            assert_eq!(a, b, "divergence at start {}", start);
+            start = a;
+        }
+    }
+
+    #[test]
+    fn parallel_respects_stable_flags() {
+        let events = random_events(300, 1200, 9);
+        let table = DependencyTable::build(&events, 300);
+        let mut seq = TgDiffuser::new(table.clone(), 3);
+        let mut par = TgDiffuser::new(table, 3).with_threads(3);
+        let mut stable = vec![false; 300];
+        for i in (0..300).step_by(7) {
+            stable[i] = true;
+        }
+        assert_eq!(
+            seq.next_boundary(0, events.len(), &stable),
+            par.next_boundary(0, events.len(), &stable)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_rejected() {
+        let table = DependencyTable::build(&[], 1);
+        let _ = TgDiffuser::new(table, 1).with_threads(0);
+    }
+}

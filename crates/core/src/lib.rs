@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! # cascade-core
+//!
+//! The Cascade dependency-aware TGNN training framework (ASPLOS'25) —
+//! the primary contribution of the paper this workspace reproduces.
+//!
+//! Cascade adaptively grows training batches without staling node
+//! memories, through three cooperating mechanisms (§4):
+//!
+//! * [`DependencyTable`] + [`TgDiffuser`] — the Topology-Aware Graph
+//!   Diffuser packs spatially independent events into one batch by giving
+//!   every node a per-batch relevant-event budget (`Max_r`) and ending the
+//!   batch at the first intolerable event (Algorithms 2–3).
+//! * [`SgFilter`] — the Similarity-Aware Graph Filter breaks temporal
+//!   dependencies on nodes whose memories have stabilized (cosine
+//!   similarity of pre/post-update memories above θ_sim).
+//! * [`Abs`] — the Adaptive Batch Sensor profiles Maximum Revisit
+//!   Endurance statistics at the preset batch size and decays `Max_r`
+//!   logarithmically when convergence stalls (Equations 5–7).
+//!
+//! [`CascadeScheduler`] composes all three behind the
+//! [`BatchingStrategy`] trait; [`train`] runs any strategy against any
+//! [`MemoryTgnn`](cascade_models::MemoryTgnn) model and measures
+//! everything the paper's figures report.
+//!
+//! # Examples
+//!
+//! ```
+//! use cascade_core::{train, CascadeConfig, CascadeScheduler, TrainConfig};
+//! use cascade_models::{MemoryTgnn, ModelConfig};
+//! use cascade_tgraph::SynthConfig;
+//!
+//! let data = SynthConfig::wiki().with_scale(0.004).generate(1);
+//! let mut model = MemoryTgnn::new(
+//!     ModelConfig::tgn().with_dims(8, 4).with_neighbors(3),
+//!     data.num_nodes(),
+//!     data.features().dim(),
+//!     7,
+//! );
+//! let mut cascade = CascadeScheduler::new(CascadeConfig {
+//!     preset_batch_size: 64,
+//!     ..CascadeConfig::default()
+//! });
+//! let report = train(
+//!     &mut model,
+//!     &data,
+//!     &mut cascade,
+//!     &TrainConfig { epochs: 1, eval_batch_size: 64, ..TrainConfig::default() },
+//! );
+//! assert!(report.num_batches >= 1);
+//! assert!(report.val_loss.is_finite());
+//! ```
+
+mod abs;
+mod batching;
+mod dependency;
+mod diffuser;
+mod instrument;
+mod scheduler;
+mod sgfilter;
+mod trainer;
+
+pub use abs::{max_endurance_profiling, Abs, EnduranceStats};
+pub use batching::{BatchingStrategy, FixedBatching, StrategySpace, StrategyTimers};
+pub use dependency::DependencyTable;
+pub use diffuser::TgDiffuser;
+pub use instrument::{SpaceBreakdown, UtilizationProxy};
+pub use scheduler::{CascadeConfig, CascadeScheduler};
+pub use sgfilter::SgFilter;
+pub use trainer::{evaluate, evaluate_range, train, train_with_observer, EvalReport, TrainConfig, TrainReport};

@@ -1,0 +1,493 @@
+//! The Cascade scheduler: TG-Diffuser + SG-Filter + ABS composed into a
+//! [`BatchingStrategy`], with optional chunk-based pipelined preprocessing
+//! (Cascade_EX, §4.2 / §5.5).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver};
+
+use cascade_models::MemoryDelta;
+use cascade_tgraph::{Event, EventId};
+
+use crate::abs::Abs;
+use crate::batching::{BatchingStrategy, StrategySpace, StrategyTimers};
+use crate::dependency::DependencyTable;
+use crate::diffuser::TgDiffuser;
+use crate::sgfilter::SgFilter;
+
+/// Configuration of the [`CascadeScheduler`].
+#[derive(Clone, Debug)]
+pub struct CascadeConfig {
+    /// The preset small batch size used for endurance profiling and as the
+    /// quality reference (the paper uses 900).
+    pub preset_batch_size: usize,
+    /// SG-Filter similarity threshold θ_sim (paper default 0.9).
+    pub theta: f32,
+    /// Whether the SG-Filter runs; disabling it yields the paper's
+    /// Cascade-TB ablation (§5.3).
+    pub sg_filter: bool,
+    /// Chunk size for divide-and-conquer preprocessing; `None` builds one
+    /// table for the whole stream, `Some(c)` enables Cascade_EX with
+    /// pipelined per-chunk building (the paper uses one million events).
+    pub chunk_size: Option<usize>,
+    /// Ablation: drop Algorithm 2's neighbor-future step, keeping only
+    /// incident events in the dependency table.
+    pub incident_only_table: bool,
+    /// Ablation: freeze `Max_r` at its initial value (no Equation 5
+    /// decay).
+    pub freeze_max_r: bool,
+    /// Worker threads for the loop-parallel diffuser scans (the paper
+    /// uses 32 CPU threads for TG-Diffuser and ABS).
+    pub lookup_threads: usize,
+    /// Profiling seed.
+    pub seed: u64,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig {
+            preset_batch_size: 900,
+            theta: 0.9,
+            sg_filter: true,
+            chunk_size: None,
+            incident_only_table: false,
+            freeze_max_r: false,
+            lookup_threads: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl CascadeConfig {
+    /// The Cascade-TB ablation: TG-Diffuser + ABS only (§5.3).
+    pub fn without_sg_filter(mut self) -> Self {
+        self.sg_filter = false;
+        self
+    }
+
+    /// Enables chunk-based preprocessing (Cascade_EX).
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        self.chunk_size = Some(chunk);
+        self
+    }
+
+    /// Overrides θ_sim.
+    pub fn with_theta(mut self, theta: f32) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Overrides the preset (profiling) batch size.
+    pub fn with_preset_batch_size(mut self, bs: usize) -> Self {
+        assert!(bs > 0, "preset batch size must be positive");
+        self.preset_batch_size = bs;
+        self
+    }
+
+    /// Ablation: incident-only dependency tables (no neighbor-future
+    /// events).
+    pub fn with_incident_only_table(mut self) -> Self {
+        self.incident_only_table = true;
+        self
+    }
+
+    /// Ablation: freeze `Max_r` at its initial value.
+    pub fn with_frozen_max_r(mut self) -> Self {
+        self.freeze_max_r = true;
+        self
+    }
+
+    /// Sets the diffuser's worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_lookup_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.lookup_threads = threads;
+        self
+    }
+}
+
+/// The full Cascade batching scheduler (§4.1, Algorithm 1).
+///
+/// # Examples
+///
+/// ```
+/// use cascade_core::{BatchingStrategy, CascadeConfig, CascadeScheduler};
+/// use cascade_tgraph::SynthConfig;
+///
+/// let data = SynthConfig::wiki().with_scale(0.01).generate(3);
+/// let mut s = CascadeScheduler::new(CascadeConfig {
+///     preset_batch_size: 64,
+///     ..CascadeConfig::default()
+/// });
+/// s.prepare(data.stream().events(), data.num_nodes());
+/// let end = s.next_batch_end(0, data.num_events());
+/// assert!(end > 0);
+/// ```
+pub struct CascadeScheduler {
+    cfg: CascadeConfig,
+    diffuser: Option<TgDiffuser>,
+    sg: Option<SgFilter>,
+    abs: Option<Abs>,
+    no_stable: Vec<bool>,
+    num_nodes: usize,
+    chunk_bounds: Vec<(EventId, EventId)>,
+    current_chunk: usize,
+    tables: Vec<Option<Arc<DependencyTable>>>,
+    pending: Option<Receiver<(usize, DependencyTable, Duration)>>,
+    timers: StrategyTimers,
+    global_batch_idx: usize,
+}
+
+impl CascadeScheduler {
+    /// Creates an unprepared scheduler; call
+    /// [`prepare`](BatchingStrategy::prepare) before batching.
+    pub fn new(cfg: CascadeConfig) -> Self {
+        CascadeScheduler {
+            cfg,
+            diffuser: None,
+            sg: None,
+            abs: None,
+            no_stable: Vec::new(),
+            num_nodes: 0,
+            chunk_bounds: Vec::new(),
+            current_chunk: 0,
+            tables: Vec::new(),
+            pending: None,
+            timers: StrategyTimers::default(),
+            global_batch_idx: 0,
+        }
+    }
+
+    /// The current `Max_r`, if prepared.
+    pub fn max_r(&self) -> Option<usize> {
+        self.diffuser.as_ref().map(TgDiffuser::max_r)
+    }
+
+    /// The SG-Filter (present unless disabled).
+    pub fn sg_filter(&self) -> Option<&SgFilter> {
+        self.sg.as_ref()
+    }
+
+    /// The profiled endurance statistics, if prepared.
+    pub fn endurance_stats(&self) -> Option<crate::abs::EnduranceStats> {
+        self.abs.as_ref().map(Abs::stats)
+    }
+
+    /// Fetches (or waits for) the table of `chunk`, caching it.
+    fn table_for_chunk(&mut self, chunk: usize) -> Arc<DependencyTable> {
+        if let Some(Some(t)) = self.tables.get(chunk) {
+            return Arc::clone(t);
+        }
+        let rx = self
+            .pending
+            .as_ref()
+            .expect("chunk table requested before prepare");
+        let start = Instant::now();
+        loop {
+            let (idx, table, work) = rx
+                .recv()
+                .expect("dependency-table builder thread terminated early");
+            self.tables[idx] = Some(Arc::new(table));
+            self.timers.background_build += work;
+            if idx == chunk {
+                break;
+            }
+        }
+        // Pipeline stall counts as table-building latency.
+        self.timers.build_table += start.elapsed();
+        Arc::clone(self.tables[chunk].as_ref().unwrap())
+    }
+}
+
+impl BatchingStrategy for CascadeScheduler {
+    fn name(&self) -> String {
+        let mut n = if self.cfg.sg_filter {
+            "Cascade".to_string()
+        } else {
+            "Cascade-TB".to_string()
+        };
+        if self.cfg.chunk_size.is_some() {
+            n.push_str("_EX");
+        }
+        n
+    }
+
+    fn prepare(&mut self, events: &[Event], num_nodes: usize) {
+        assert!(!events.is_empty(), "cannot prepare on an empty stream");
+        self.num_nodes = num_nodes;
+        self.no_stable = vec![false; num_nodes];
+        self.sg = if self.cfg.sg_filter {
+            Some(SgFilter::new(num_nodes, self.cfg.theta))
+        } else {
+            None
+        };
+
+        let chunk = self.cfg.chunk_size.unwrap_or(events.len()).max(1);
+        self.chunk_bounds = (0..events.len())
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(events.len())))
+            .collect();
+        self.tables = vec![None; self.chunk_bounds.len()];
+        self.current_chunk = 0;
+
+        let first_table = if self.chunk_bounds.len() == 1 {
+            // Single table over the whole stream, built synchronously.
+            let t0 = Instant::now();
+            let table = Arc::new(if self.cfg.incident_only_table {
+                DependencyTable::build_incident_only(events, num_nodes)
+            } else {
+                DependencyTable::build(events, num_nodes)
+            });
+            self.timers.build_table += t0.elapsed();
+            self.tables[0] = Some(Arc::clone(&table));
+            table
+        } else {
+            // Chunked mode: a builder thread streams tables through a
+            // bounded channel, overlapping construction with training.
+            let bounds = self.chunk_bounds.clone();
+            let events: Arc<[Event]> = events.into();
+            let (tx, rx) = bounded(2);
+            std::thread::spawn(move || {
+                for (idx, &(s, e)) in bounds.iter().enumerate() {
+                    let t0 = Instant::now();
+                    let table = DependencyTable::build_range(&events[s..e], num_nodes, s);
+                    if tx.send((idx, table, t0.elapsed())).is_err() {
+                        return; // receiver dropped: training finished early
+                    }
+                }
+            });
+            self.pending = Some(rx);
+            self.table_for_chunk(0)
+        };
+
+        // Maximum Endurance Profiling (over the first chunk's coverage —
+        // the whole stream when unchunked). The batch count `B` entering
+        // the decay schedule (Equation 6) always reflects the full
+        // training stream, not just the profiled chunk.
+        let covered = first_table.end() - first_table.base();
+        let abs = Abs::profile(
+            &first_table,
+            covered,
+            self.cfg.preset_batch_size,
+            self.cfg.seed,
+        );
+        let mut stats = abs.stats();
+        stats.batch_count = events.len().div_ceil(self.cfg.preset_batch_size);
+        let abs = Abs::from_stats(stats);
+        let max_r = abs.initial_max_r();
+        self.diffuser = Some(
+            TgDiffuser::new(first_table, max_r).with_threads(self.cfg.lookup_threads),
+        );
+        self.abs = Some(abs);
+    }
+
+    fn reset_epoch(&mut self) {
+        if self.current_chunk != 0 {
+            let t = self.table_for_chunk(0);
+            self.diffuser
+                .as_mut()
+                .expect("reset_epoch before prepare")
+                .swap_table(t);
+            self.current_chunk = 0;
+        } else if let Some(d) = self.diffuser.as_mut() {
+            d.reset();
+        }
+        if let Some(sg) = self.sg.as_mut() {
+            sg.reset();
+        }
+        if let Some(abs) = self.abs.as_mut() {
+            abs.reset_epoch();
+        }
+    }
+
+    fn next_batch_end(&mut self, start: EventId, limit: EventId) -> EventId {
+        assert!(start < limit, "next_batch_end on empty range");
+        // Advance to the chunk containing `start`.
+        while start >= self.chunk_bounds[self.current_chunk].1 {
+            self.current_chunk += 1;
+            let t = self.table_for_chunk(self.current_chunk);
+            self.diffuser
+                .as_mut()
+                .expect("scheduler not prepared")
+                .swap_table(t);
+        }
+        let chunk_end = self.chunk_bounds[self.current_chunk].1;
+        let bound = limit.min(chunk_end);
+
+        let t0 = Instant::now();
+        let stable: &[bool] = match &self.sg {
+            Some(sg) => sg.flags(),
+            None => &self.no_stable,
+        };
+        let end = self
+            .diffuser
+            .as_mut()
+            .expect("scheduler not prepared")
+            .next_boundary(start, bound, stable);
+        self.timers.lookup += t0.elapsed();
+        end
+    }
+
+    fn after_batch(&mut self, _batch_idx: usize, train_loss: f32) {
+        self.global_batch_idx += 1;
+        if self.cfg.freeze_max_r {
+            return;
+        }
+        let (Some(abs), Some(diffuser)) = (self.abs.as_mut(), self.diffuser.as_mut()) else {
+            return;
+        };
+        if let Some(new_r) = abs.on_batch(self.global_batch_idx, train_loss) {
+            diffuser.set_max_r(new_r);
+        }
+    }
+
+    fn observe_updates(&mut self, deltas: &[MemoryDelta]) {
+        if let Some(sg) = self.sg.as_mut() {
+            sg.observe(deltas);
+        }
+    }
+
+    fn timers(&self) -> StrategyTimers {
+        self.timers
+    }
+
+    fn space(&self) -> StrategySpace {
+        StrategySpace {
+            dependency_bytes: self
+                .tables
+                .iter()
+                .flatten()
+                .map(|t| t.size_bytes())
+                .sum(),
+            flag_bytes: self.sg.as_ref().map_or(0, SgFilter::size_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_tgraph::SynthConfig;
+
+    fn small_data() -> cascade_tgraph::Dataset {
+        SynthConfig::wiki().with_scale(0.01).generate(5)
+    }
+
+    fn prepared(cfg: CascadeConfig) -> (CascadeScheduler, usize) {
+        let data = small_data();
+        let mut s = CascadeScheduler::new(cfg);
+        s.prepare(data.stream().events(), data.num_nodes());
+        (s, data.num_events())
+    }
+
+    fn base_cfg() -> CascadeConfig {
+        CascadeConfig {
+            preset_batch_size: 50,
+            ..CascadeConfig::default()
+        }
+    }
+
+    #[test]
+    fn batches_partition_the_stream() {
+        let (mut s, n) = prepared(base_cfg());
+        let mut start = 0;
+        while start < n {
+            let end = s.next_batch_end(start, n);
+            assert!(end > start && end <= n);
+            start = end;
+        }
+        assert_eq!(start, n);
+    }
+
+    #[test]
+    fn cascade_batches_exceed_preset_on_average() {
+        let (mut s, n) = prepared(base_cfg());
+        let mut start = 0;
+        let mut batches = 0usize;
+        while start < n {
+            start = s.next_batch_end(start, n);
+            batches += 1;
+        }
+        let avg = n as f64 / batches as f64;
+        assert!(
+            avg > 50.0,
+            "average cascade batch {} not larger than preset 50",
+            avg
+        );
+    }
+
+    #[test]
+    fn chunked_equals_unchunked_partition_when_chunks_align() {
+        // With chunking, boundaries additionally snap to chunk ends, but
+        // the stream is still fully partitioned.
+        let (mut s, n) = prepared(base_cfg().with_chunk_size(97));
+        let mut start = 0;
+        while start < n {
+            let end = s.next_batch_end(start, n);
+            assert!(end > start && end <= n);
+            start = end;
+        }
+        assert_eq!(s.name(), "Cascade_EX");
+    }
+
+    #[test]
+    fn ablation_name_reflects_sg_filter() {
+        assert_eq!(CascadeScheduler::new(base_cfg()).name(), "Cascade");
+        assert_eq!(
+            CascadeScheduler::new(base_cfg().without_sg_filter()).name(),
+            "Cascade-TB"
+        );
+    }
+
+    #[test]
+    fn reset_epoch_reproduces_boundaries() {
+        let (mut s, n) = prepared(base_cfg().without_sg_filter());
+        let first = s.next_batch_end(0, n);
+        s.reset_epoch();
+        assert_eq!(s.next_batch_end(0, n), first);
+    }
+
+    #[test]
+    fn space_accounts_tables_and_flags() {
+        let (s, _) = prepared(base_cfg());
+        let space = s.space();
+        assert!(space.dependency_bytes > 0);
+        assert!(space.flag_bytes > 0);
+
+        let (s2, _) = prepared(base_cfg().without_sg_filter());
+        assert_eq!(s2.space().flag_bytes, 0);
+    }
+
+    #[test]
+    fn decay_reduces_max_r_under_stalled_loss() {
+        let (mut s, _) = prepared(base_cfg());
+        let initial = s.max_r().unwrap();
+        for i in 0..200 {
+            s.after_batch(i, 1.0); // never-improving loss
+        }
+        assert!(
+            s.max_r().unwrap() <= initial,
+            "Max_r grew under stalled loss"
+        );
+    }
+
+    #[test]
+    fn timers_accumulate() {
+        let (mut s, n) = prepared(base_cfg());
+        let _ = s.next_batch_end(0, n);
+        let t = s.timers();
+        assert!(t.build_table.as_nanos() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn prepare_rejects_empty() {
+        let mut s = CascadeScheduler::new(base_cfg());
+        s.prepare(&[], 0);
+    }
+}

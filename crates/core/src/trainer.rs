@@ -1,0 +1,469 @@
+//! The strategy-agnostic training loop (Algorithm 1's outer structure)
+//! and its measurement report.
+
+use std::time::{Duration, Instant};
+
+use cascade_models::{MemoryDelta, MemoryTgnn};
+use cascade_nn::{average_precision, binary_accuracy, clip_grad_norm, Adam, Module};
+use cascade_tgraph::Dataset;
+
+use crate::batching::BatchingStrategy;
+use crate::instrument::SpaceBreakdown;
+
+/// Training-run configuration.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Number of epochs over the training range.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Batch size used for validation (the paper evaluates everything at
+    /// 900 regardless of the training strategy).
+    pub eval_batch_size: usize,
+    /// Optional global gradient-norm clip.
+    pub clip_norm: Option<f32>,
+    /// Simulated-accelerator per-batch overhead, in event-equivalents of
+    /// model compute. The paper's speedups arise from GPU underutilization
+    /// at small batches (17.2% SM utilization at BS = 900, §3.1; a 71%
+    /// latency cut going to BS = 6000, Figure 2). On one CPU core that
+    /// effect does not exist, so it is modeled: each batch is charged this
+    /// many events' worth of measured per-event compute, which reproduces
+    /// the paper's own utilization curve exactly (see
+    /// [`UtilizationProxy`](crate::UtilizationProxy)). The calibrated
+    /// value at the paper's scale is 4877 event-equivalents per 900-event
+    /// batch; scale it by `preset/900`. Zero disables the model, making
+    /// [`TrainReport::modeled_time`] equal measured wall time.
+    pub sim_batch_overhead_events: f64,
+    /// Square-root learning-rate scaling with batch size, relative to
+    /// `eval_batch_size`: `lr_eff = lr · √(B / eval_batch_size)`. The
+    /// standard compensation for larger batches taking fewer optimizer
+    /// steps; applied uniformly to every strategy.
+    pub scale_lr_with_batch: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 3,
+            lr: 1e-3,
+            eval_batch_size: 900,
+            clip_norm: Some(5.0),
+            sim_batch_overhead_events: 0.0,
+            scale_lr_with_batch: false,
+        }
+    }
+}
+
+/// Everything a training run measured — the raw material of every figure
+/// in the evaluation.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Model name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Epochs trained.
+    pub epochs: usize,
+    /// End-to-end wall-clock (preprocessing + training, excluding
+    /// validation).
+    pub total_time: Duration,
+    /// `total_time` plus the simulated accelerator per-batch overhead
+    /// (equals `total_time` when the overhead model is disabled). The
+    /// latency figures report this.
+    pub modeled_time: Duration,
+    /// Dependency-structure construction time.
+    pub build_time: Duration,
+    /// Batch-boundary lookup time.
+    pub lookup_time: Duration,
+    /// Model compute time (forward, backward, optimizer).
+    pub model_time: Duration,
+    /// Total batches processed across all epochs.
+    pub num_batches: usize,
+    /// Mean training batch size.
+    pub avg_batch_size: f64,
+    /// Largest training batch.
+    pub max_batch_size: usize,
+    /// Mean training loss of the final epoch.
+    pub final_train_loss: f32,
+    /// Validation loss at `eval_batch_size` after training.
+    pub val_loss: f32,
+    /// Validation link-prediction average precision.
+    pub val_ap: f32,
+    /// Validation binary accuracy (logit sign vs label).
+    pub val_accuracy: f32,
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Every training batch's size, in processing order across epochs
+    /// (the raw series behind Figure 12(a)).
+    pub batch_sizes: Vec<u32>,
+    /// Every training batch's loss, matching `batch_sizes`.
+    pub batch_losses: Vec<f32>,
+    /// Space accounting at end of run.
+    pub space: SpaceBreakdown,
+}
+
+impl TrainReport {
+    /// Events processed per second of total time.
+    pub fn throughput(&self, events_per_epoch: usize) -> f64 {
+        let total = (events_per_epoch * self.epochs) as f64;
+        total / self.total_time.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Trains `model` on `data`'s training range with the given batching
+/// strategy, then evaluates on the validation range.
+///
+/// See [`train_with_observer`] for a variant that surfaces per-batch
+/// memory transitions (used by the Figure 5 stable-ratio experiment).
+pub fn train(
+    model: &mut MemoryTgnn,
+    data: &Dataset,
+    strategy: &mut dyn BatchingStrategy,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    train_with_observer(model, data, strategy, cfg, &mut |_, _| {})
+}
+
+/// [`train`] with a per-batch observer receiving `(epoch, deltas)` for
+/// every processed batch.
+///
+/// # Panics
+///
+/// Panics if the dataset's training range is empty or `cfg.epochs == 0`.
+pub fn train_with_observer(
+    model: &mut MemoryTgnn,
+    data: &Dataset,
+    strategy: &mut dyn BatchingStrategy,
+    cfg: &TrainConfig,
+    observer: &mut dyn FnMut(usize, &[MemoryDelta]),
+) -> TrainReport {
+    assert!(cfg.epochs > 0, "need at least one epoch");
+    let train_range = data.train_range();
+    assert!(!train_range.is_empty(), "empty training range");
+    let events = data.stream().events();
+    let n_train = train_range.end;
+
+    let t_total = Instant::now();
+
+    // Preprocessing (dependency tables, profiling).
+    let t_prep = Instant::now();
+    strategy.prepare(&events[train_range.clone()], data.num_nodes());
+    let measured_prepare = t_prep.elapsed();
+
+    let params = model.parameters();
+    let mut opt = Adam::new(params.clone(), cfg.lr);
+
+    let mut model_time = Duration::ZERO;
+    let mut measured_lookup = Duration::ZERO;
+    let mut num_batches = 0usize;
+    let mut max_batch = 0usize;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut batch_sizes: Vec<u32> = Vec::new();
+    let mut batch_losses: Vec<f32> = Vec::new();
+
+    for epoch in 0..cfg.epochs {
+        model.reset_state();
+        strategy.reset_epoch();
+
+        let mut start = 0usize;
+        let mut batch_idx = 0usize;
+        let mut loss_sum = 0.0f64;
+        let mut event_sum = 0usize;
+        while start < n_train {
+            let t0 = Instant::now();
+            let end = strategy.next_batch_end(start, n_train);
+            measured_lookup += t0.elapsed();
+            debug_assert!(end > start && end <= n_train);
+
+            let t1 = Instant::now();
+            if cfg.scale_lr_with_batch {
+                let scale = ((end - start) as f32 / cfg.eval_batch_size as f32).sqrt();
+                opt.set_lr(cfg.lr * scale);
+            }
+            let out = model.process_batch(&events[start..end], start, data.features());
+            let loss = out.loss.item();
+            out.loss.backward();
+            if let Some(c) = cfg.clip_norm {
+                clip_grad_norm(&params, c);
+            }
+            opt.step();
+            model_time += t1.elapsed();
+
+            strategy.after_batch(batch_idx, loss);
+            strategy.observe_updates(&out.deltas);
+            observer(epoch, &out.deltas);
+
+            let size = end - start;
+            batch_sizes.push(size as u32);
+            batch_losses.push(loss);
+            loss_sum += loss as f64 * size as f64;
+            event_sum += size;
+            max_batch = max_batch.max(size);
+            num_batches += 1;
+            batch_idx += 1;
+            start = end;
+        }
+        epoch_losses.push((loss_sum / event_sum.max(1) as f64) as f32);
+    }
+
+    let total_time = t_total.elapsed();
+
+    // Simulated accelerator: charge each batch the configured number of
+    // event-equivalents of measured per-event model compute.
+    let events_processed = (n_train * cfg.epochs) as f64;
+    let per_event = model_time.as_secs_f64() / events_processed.max(1.0);
+    let overhead = Duration::from_secs_f64(
+        per_event * cfg.sim_batch_overhead_events * num_batches as f64,
+    );
+    // Pipelined background table building shares this test machine's one
+    // core with training (inflating measured time), but runs on otherwise
+    // idle CPU in the modeled CPU-preprocess/GPU-train deployment: credit
+    // it back, bounded by the non-stall portion of the run.
+    let background = strategy.timers().background_build;
+    let stall = strategy.timers().build_table;
+    let overlap_credit = background.saturating_sub(stall).min(total_time / 2);
+    let modeled_time = (total_time + overhead).saturating_sub(overlap_credit);
+
+    // Validation at the fixed evaluation batch size, memory carried over
+    // from the final training epoch, no weight updates.
+    let val = evaluate(model, data, cfg.eval_batch_size);
+
+    // Prefer the strategy's fine-grained timers when available.
+    let timers = strategy.timers();
+    let build_time = if timers.build_table > Duration::ZERO {
+        timers.build_table
+    } else {
+        measured_prepare
+    };
+    let lookup_time = if timers.lookup > Duration::ZERO {
+        timers.lookup
+    } else {
+        measured_lookup
+    };
+
+    let strat_space = strategy.space();
+    let space = SpaceBreakdown {
+        dependency_table: strat_space.dependency_bytes,
+        stable_flags: strat_space.flag_bytes,
+        graph: events.len() * std::mem::size_of::<cascade_tgraph::Event>(),
+        edge_features: data.features().size_bytes(),
+        model: model.parameter_count() * std::mem::size_of::<f32>(),
+        mailbox: model.mailbox_size_bytes(),
+        memory: model.memory_size_bytes(),
+    };
+
+    TrainReport {
+        strategy: strategy.name(),
+        model: model.name().to_string(),
+        dataset: data.name().to_string(),
+        epochs: cfg.epochs,
+        total_time,
+        modeled_time,
+        build_time,
+        lookup_time,
+        model_time,
+        num_batches,
+        avg_batch_size: (n_train * cfg.epochs) as f64 / num_batches.max(1) as f64,
+        max_batch_size: max_batch,
+        final_train_loss: *epoch_losses.last().unwrap_or(&f32::NAN),
+        val_loss: val.loss,
+        val_ap: val.average_precision,
+        val_accuracy: val.accuracy,
+        epoch_losses,
+        batch_sizes,
+        batch_losses,
+        space,
+    }
+}
+
+/// Link-prediction evaluation metrics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvalReport {
+    /// Mean BCE loss.
+    pub loss: f32,
+    /// Average precision of true edges vs negative samples.
+    pub average_precision: f32,
+    /// Fraction of logits on the correct side of zero.
+    pub accuracy: f32,
+}
+
+/// Evaluates over the dataset's validation range at the given batch size;
+/// memories advance but weights do not.
+///
+/// Returns `NaN` metrics for an empty validation range.
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`.
+pub fn evaluate(model: &mut MemoryTgnn, data: &Dataset, batch_size: usize) -> EvalReport {
+    evaluate_range(model, data, data.val_range(), batch_size)
+}
+
+/// Evaluates over an explicit event range (e.g. the test split).
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0` or the range exceeds the stream.
+pub fn evaluate_range(
+    model: &mut MemoryTgnn,
+    data: &Dataset,
+    range: std::ops::Range<usize>,
+    batch_size: usize,
+) -> EvalReport {
+    assert!(batch_size > 0, "eval batch size must be positive");
+    if range.is_empty() {
+        return EvalReport {
+            loss: f32::NAN,
+            average_precision: f32::NAN,
+            accuracy: f32::NAN,
+        };
+    }
+    let events = data.stream().events();
+    let mut start = range.start;
+    let mut loss_sum = 0.0f64;
+    let mut n = 0usize;
+    let mut logits = Vec::new();
+    let mut labels = Vec::new();
+    while start < range.end {
+        let end = (start + batch_size).min(range.end);
+        let out = model.process_batch(&events[start..end], start, data.features());
+        loss_sum += out.loss.item() as f64 * (end - start) as f64;
+        n += end - start;
+        labels.extend(std::iter::repeat(1.0).take(out.pos_logits.len()));
+        logits.extend(out.pos_logits);
+        labels.extend(std::iter::repeat(0.0).take(out.neg_logits.len()));
+        logits.extend(out.neg_logits);
+        start = end;
+    }
+    EvalReport {
+        loss: (loss_sum / n as f64) as f32,
+        average_precision: average_precision(&logits, &labels),
+        accuracy: binary_accuracy(&logits, &labels),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batching::FixedBatching;
+    use crate::scheduler::{CascadeConfig, CascadeScheduler};
+    use cascade_models::ModelConfig;
+    use cascade_tgraph::SynthConfig;
+
+    fn tiny_dataset() -> Dataset {
+        SynthConfig::wiki().with_scale(0.005).generate(9)
+    }
+
+    fn tiny_model(data: &Dataset) -> MemoryTgnn {
+        MemoryTgnn::new(
+            ModelConfig::tgn().with_dims(8, 4).with_neighbors(3),
+            data.num_nodes(),
+            data.features().dim(),
+            3,
+        )
+    }
+
+    fn tiny_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 2,
+            lr: 1e-3,
+            eval_batch_size: 64,
+            clip_norm: Some(5.0),
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn fixed_batching_report_is_consistent() {
+        let data = tiny_dataset();
+        let mut model = tiny_model(&data);
+        let mut strat = FixedBatching::new(64);
+        let r = train(&mut model, &data, &mut strat, &tiny_cfg());
+        assert_eq!(r.epochs, 2);
+        assert!(r.val_loss.is_finite());
+        assert!(r.avg_batch_size <= 64.0 + 1e-9);
+        assert!(r.max_batch_size <= 64);
+        assert_eq!(r.epoch_losses.len(), 2);
+        assert!(r.space.graph > 0);
+        assert!(r.space.model > 0);
+    }
+
+    #[test]
+    fn cascade_report_has_bigger_batches() {
+        let data = tiny_dataset();
+        let cfg = tiny_cfg();
+
+        let mut m1 = tiny_model(&data);
+        let mut fixed = FixedBatching::new(64);
+        let fixed_r = train(&mut m1, &data, &mut fixed, &cfg);
+
+        let mut m2 = tiny_model(&data);
+        let mut cascade = CascadeScheduler::new(CascadeConfig {
+            preset_batch_size: 64,
+            ..CascadeConfig::default()
+        });
+        let cascade_r = train(&mut m2, &data, &mut cascade, &cfg);
+
+        assert!(
+            cascade_r.avg_batch_size > fixed_r.avg_batch_size,
+            "cascade {} <= fixed {}",
+            cascade_r.avg_batch_size,
+            fixed_r.avg_batch_size
+        );
+        assert!(cascade_r.num_batches < fixed_r.num_batches);
+        assert!(cascade_r.space.dependency_table > 0);
+    }
+
+    #[test]
+    fn training_loss_decreases_over_epochs() {
+        let data = tiny_dataset();
+        let mut model = tiny_model(&data);
+        let mut strat = FixedBatching::new(64);
+        let cfg = TrainConfig {
+            epochs: 4,
+            ..tiny_cfg()
+        };
+        let r = train(&mut model, &data, &mut strat, &cfg);
+        assert!(
+            r.epoch_losses.last().unwrap() < r.epoch_losses.first().unwrap(),
+            "losses: {:?}",
+            r.epoch_losses
+        );
+    }
+
+    #[test]
+    fn observer_sees_updates() {
+        let data = tiny_dataset();
+        let mut model = tiny_model(&data);
+        let mut strat = FixedBatching::new(64);
+        let mut seen = 0usize;
+        let _ = train_with_observer(&mut model, &data, &mut strat, &tiny_cfg(), &mut |_, d| {
+            seen += d.len();
+        });
+        assert!(seen > 0, "observer never saw a memory update");
+    }
+
+    #[test]
+    fn evaluate_is_deterministic_given_state() {
+        let data = tiny_dataset();
+        let mut model = tiny_model(&data);
+        let mut strat = FixedBatching::new(64);
+        let r1 = train(&mut model, &data, &mut strat, &tiny_cfg());
+        assert!(r1.val_loss.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn rejects_zero_epochs() {
+        let data = tiny_dataset();
+        let mut model = tiny_model(&data);
+        let mut strat = FixedBatching::new(64);
+        let cfg = TrainConfig {
+            epochs: 0,
+            ..tiny_cfg()
+        };
+        let _ = train(&mut model, &data, &mut strat, &cfg);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the dependency table, diffuser, and ABS.
+
+use cascade_core::{
+    max_endurance_profiling, Abs, DependencyTable, SgFilter, TgDiffuser,
+};
+use cascade_models::MemoryDelta;
+use cascade_tgraph::{DetRng, Event, NodeId};
+use proptest::prelude::*;
+
+fn random_events() -> impl Strategy<Value = (Vec<Event>, usize)> {
+    (2usize..20, 10usize..120, any::<u64>()).prop_map(|(nodes, events, seed)| {
+        let mut rng = DetRng::new(seed);
+        let evs: Vec<Event> = (0..events)
+            .map(|i| {
+                let s = rng.index(nodes) as u32;
+                let d = rng.index(nodes) as u32;
+                Event::new(s, d, i as f64)
+            })
+            .collect();
+        (evs, nodes)
+    })
+}
+
+/// Reference (slow, obviously correct) dependency entry for one node.
+fn reference_entry(events: &[Event], n: NodeId) -> Vec<usize> {
+    let mut out = std::collections::BTreeSet::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.touches(n) {
+            out.insert(i);
+            let q = if e.src == n { e.dst } else { e.src };
+            if q != n {
+                for (j, f) in events.iter().enumerate().skip(i + 1) {
+                    if f.touches(q) {
+                        out.insert(j);
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dependency_table_matches_reference((events, nodes) in random_events()) {
+        let table = DependencyTable::build(&events, nodes);
+        for n in 0..nodes as u32 {
+            prop_assert_eq!(
+                table.entry(NodeId(n)),
+                reference_entry(&events, NodeId(n)),
+                "node {}", n
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_tables_match_per_chunk_reference((events, nodes) in random_events()) {
+        let chunk = 17usize;
+        for (c, slice) in events.chunks(chunk).enumerate() {
+            let t = DependencyTable::build_range(slice, nodes, c * chunk);
+            for n in 0..nodes as u32 {
+                let local: Vec<usize> = reference_entry(slice, NodeId(n))
+                    .into_iter()
+                    .map(|i| i + c * chunk)
+                    .collect();
+                prop_assert_eq!(t.entry(NodeId(n)), local);
+            }
+        }
+    }
+
+    /// The core Cascade invariant: within any produced batch, every
+    /// non-stable node has at most `Max_r` relevant events.
+    #[test]
+    fn no_node_exceeds_its_endurance_budget(
+        (events, nodes) in random_events(),
+        max_r in 1usize..8,
+    ) {
+        let table = DependencyTable::build(&events, nodes);
+        let mut d = TgDiffuser::new(table.clone(), max_r);
+        let stable = vec![false; nodes];
+        let mut start = 0;
+        while start < events.len() {
+            let end = d.next_boundary(start, events.len(), &stable);
+            // Count each node's relevant events inside [start, end).
+            for n in 0..nodes as u32 {
+                let entry = table.entry(NodeId(n));
+                let inside = entry.iter().filter(|&&e| e >= start && e < end).count();
+                // The progress guarantee can admit a single event past the
+                // budget when max_r would stall the stream.
+                let slack = if end == start + 1 { max_r + 2 } else { max_r };
+                prop_assert!(
+                    inside <= slack,
+                    "node {} saw {} relevant events in {}..{} (Max_r {})",
+                    n, inside, start, end, max_r
+                );
+            }
+            start = end;
+        }
+    }
+
+    #[test]
+    fn stable_flags_only_ever_widen_batches(
+        (events, nodes) in random_events(),
+        max_r in 1usize..6,
+        stable_node in 0usize..20,
+    ) {
+        let table = DependencyTable::build(&events, nodes);
+        let mut plain = TgDiffuser::new(table.clone(), max_r);
+        let mut relaxed = TgDiffuser::new(table, max_r);
+        let none = vec![false; nodes];
+        let mut some = vec![false; nodes];
+        some[stable_node % nodes] = true;
+
+        let a = plain.next_boundary(0, events.len(), &none);
+        let b = relaxed.next_boundary(0, events.len(), &some);
+        prop_assert!(b >= a, "stabilizing a node shrank the batch: {} < {}", b, a);
+    }
+
+    #[test]
+    fn profiling_stats_are_ordered((events, nodes) in random_events(), bs in 2usize..32) {
+        let table = DependencyTable::build(&events, nodes);
+        let stats = max_endurance_profiling(&table, events.len(), bs, 1);
+        prop_assert!(stats.min <= stats.max);
+        prop_assert!(stats.mean >= stats.min as f64 - 1e-9);
+        prop_assert!(stats.mean <= stats.max as f64 + 1e-9);
+        prop_assert_eq!(stats.batch_count, events.len().div_ceil(bs));
+
+        let abs = Abs::from_stats(stats);
+        let init = abs.initial_max_r();
+        prop_assert!(init >= stats.min.max(1));
+        for i in [0usize, 7, 100, 5000] {
+            let r = abs.decayed_max_r(i);
+            prop_assert!(r >= stats.min.max(1));
+            prop_assert!(r <= init);
+        }
+    }
+
+    #[test]
+    fn sgfilter_flags_reflect_last_update(
+        sims in proptest::collection::vec((0u32..10, -1.0f32..1.0), 1..40)
+    ) {
+        // Drive the filter with synthetic cosine values via constructed
+        // vectors: v = [1, 0], post = [c, sqrt(1-c^2)] has cosine c.
+        let mut filter = SgFilter::new(10, 0.9);
+        let mut last: std::collections::HashMap<u32, f32> = Default::default();
+        for &(node, c) in &sims {
+            let c = c.clamp(-0.999, 0.999);
+            let delta = MemoryDelta {
+                node: NodeId(node),
+                pre: vec![1.0, 0.0],
+                post: vec![c, (1.0 - c * c).sqrt()],
+            };
+            filter.observe(std::slice::from_ref(&delta));
+            last.insert(node, c);
+        }
+        for (node, c) in last {
+            prop_assert_eq!(filter.flags()[node as usize], c >= 0.9 - 1e-4);
+        }
+    }
+}

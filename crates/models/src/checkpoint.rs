@@ -1,0 +1,249 @@
+//! Parameter checkpointing.
+//!
+//! Persists every parameter of a [`Module`](cascade_nn::Module) in a
+//! small self-describing binary format so trained TGNNs can be saved and
+//! served later. Parameter order is the module's `parameters()` order,
+//! which is stable for every model in this workspace.
+//!
+//! Format: magic `CSC1`, `u32` parameter count, then per parameter a
+//! `u32` element count followed by little-endian `f32` data.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use cascade_nn::Module;
+
+const MAGIC: &[u8; 4] = b"CSC1";
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a checkpoint file (bad magic).
+    BadMagic,
+    /// Parameter count or shape disagrees with the receiving module.
+    ShapeMismatch {
+        /// Parameter index at which the mismatch occurred.
+        index: usize,
+        /// Elements expected by the module.
+        expected: usize,
+        /// Elements found in the file.
+        found: usize,
+    },
+    /// The file declares a different number of parameters.
+    CountMismatch {
+        /// Parameters expected by the module.
+        expected: usize,
+        /// Parameters found in the file.
+        found: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {}", e),
+            CheckpointError::BadMagic => write!(f, "not a cascade checkpoint file"),
+            CheckpointError::ShapeMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parameter {} has {} elements in file, module expects {}",
+                index, found, expected
+            ),
+            CheckpointError::CountMismatch { expected, found } => write!(
+                f,
+                "file holds {} parameters, module expects {}",
+                found, expected
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes every parameter of `module` to `path`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failures.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_models::{load_parameters, save_parameters, MemoryTgnn, ModelConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join("cascade_ckpt_doc");
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("tgn.ckpt");
+///
+/// let model = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 10, 4, 1);
+/// save_parameters(&model, &path)?;
+///
+/// let mut fresh = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 10, 4, 2);
+/// load_parameters(&mut fresh, &path)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn save_parameters<M: Module>(module: &M, path: &Path) -> Result<(), CheckpointError> {
+    let params = module.parameters();
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(MAGIC)?;
+    f.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in &params {
+        let data = p.to_vec();
+        f.write_all(&(data.len() as u32).to_le_bytes())?;
+        for v in data {
+            f.write_all(&v.to_le_bytes())?;
+        }
+    }
+    f.flush()?;
+    Ok(())
+}
+
+/// Loads parameters saved by [`save_parameters`] into `module`,
+/// overwriting its current values.
+///
+/// # Errors
+///
+/// Fails on I/O errors, wrong magic, or any parameter-count/shape
+/// disagreement; the module is left partially updated only on shape
+/// errors discovered mid-file (validate with matching architectures).
+pub fn load_parameters<M: Module>(module: &mut M, path: &Path) -> Result<(), CheckpointError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut u32buf = [0u8; 4];
+    f.read_exact(&mut u32buf)?;
+    let count = u32::from_le_bytes(u32buf) as usize;
+
+    let params = module.parameters();
+    if count != params.len() {
+        return Err(CheckpointError::CountMismatch {
+            expected: params.len(),
+            found: count,
+        });
+    }
+    for (i, p) in params.iter().enumerate() {
+        f.read_exact(&mut u32buf)?;
+        let len = u32::from_le_bytes(u32buf) as usize;
+        if len != p.len() {
+            return Err(CheckpointError::ShapeMismatch {
+                index: i,
+                expected: p.len(),
+                found: len,
+            });
+        }
+        let mut data = vec![0.0f32; len];
+        for v in &mut data {
+            f.read_exact(&mut u32buf)?;
+            *v = f32::from_le_bytes(u32buf);
+        }
+        p.set_data(&data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryTgnn, ModelConfig};
+    use cascade_tgraph::{synth_features, Event};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cascade_ckpt_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let path = tmp("roundtrip.ckpt");
+        let a = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 1);
+        save_parameters(&a, &path).unwrap();
+
+        let mut b = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 99);
+        load_parameters(&mut b, &path).unwrap();
+
+        for (pa, pb) in a.parameters().iter().zip(b.parameters().iter()) {
+            assert_eq!(pa.to_vec(), pb.to_vec());
+        }
+    }
+
+    #[test]
+    fn loaded_model_behaves_identically() {
+        let path = tmp("behave.ckpt");
+        let events = vec![Event::new(0u32, 1u32, 1.0), Event::new(2u32, 3u32, 2.0)];
+        let feats = synth_features(2, 4, 7);
+
+        let mut a = MemoryTgnn::new(ModelConfig::jodie().with_dims(8, 4), 6, 4, 1);
+        save_parameters(&a, &path).unwrap();
+        let mut b = MemoryTgnn::new(ModelConfig::jodie().with_dims(8, 4), 6, 4, 2);
+        load_parameters(&mut b, &path).unwrap();
+
+        let la = a.process_batch(&events, 0, &feats).loss.item();
+        let lb = b.process_batch(&events, 0, &feats).loss.item();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn architecture_mismatch_is_rejected() {
+        let path = tmp("mismatch.ckpt");
+        let a = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 1);
+        save_parameters(&a, &path).unwrap();
+
+        let mut wrong_width = MemoryTgnn::new(ModelConfig::tgn().with_dims(16, 4), 6, 4, 1);
+        assert!(matches!(
+            load_parameters(&mut wrong_width, &path),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+
+        let mut wrong_arch = MemoryTgnn::new(ModelConfig::jodie().with_dims(8, 4), 6, 4, 1);
+        assert!(matches!(
+            load_parameters(&mut wrong_arch, &path),
+            Err(CheckpointError::CountMismatch { .. })
+                | Err(CheckpointError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let path = tmp("garbage.ckpt");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        let mut m = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 1);
+        assert!(matches!(
+            load_parameters(&mut m, &path),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut m = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 1);
+        assert!(matches!(
+            load_parameters(&mut m, Path::new("/nonexistent/nope.ckpt")),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+}

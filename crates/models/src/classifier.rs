@@ -1,0 +1,125 @@
+//! Node classification on top of TGNN embeddings.
+//!
+//! Equation 1 of the paper covers both edge prediction and node-class
+//! prediction; the MOOC dataset is a student drop-out *classification*
+//! task. [`NodeClassifier`] is the standard head: a small MLP over the
+//! node embedding, trained with BCE for binary labels.
+
+use cascade_nn::{bce_with_logits, Mlp, Module};
+use cascade_tensor::Tensor;
+
+/// A binary node classifier over `embed_dim`-wide node embeddings.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_models::NodeClassifier;
+/// use cascade_tensor::Tensor;
+///
+/// let head = NodeClassifier::new(16, 1);
+/// let embeddings = Tensor::randn([4, 16], 2);
+/// let logits = head.forward(&embeddings);
+/// assert_eq!(logits.dims(), &[4, 1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NodeClassifier {
+    mlp: Mlp,
+    embed_dim: usize,
+}
+
+impl NodeClassifier {
+    /// Creates a two-layer classification head.
+    pub fn new(embed_dim: usize, seed: u64) -> Self {
+        NodeClassifier {
+            mlp: Mlp::new(&[embed_dim, embed_dim, 1], seed),
+            embed_dim,
+        }
+    }
+
+    /// Class logits for a `[B, embed_dim]` batch of embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn forward(&self, embeddings: &Tensor) -> Tensor {
+        assert_eq!(
+            embeddings.dims()[1],
+            self.embed_dim,
+            "NodeClassifier width mismatch"
+        );
+        self.mlp.forward(embeddings)
+    }
+
+    /// BCE loss of the head on a labeled batch (labels in `{0, 1}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size.
+    pub fn loss(&self, embeddings: &Tensor, labels: &[f32]) -> Tensor {
+        let logits = self.forward(embeddings);
+        assert_eq!(labels.len(), logits.dims()[0], "label count mismatch");
+        let t = Tensor::from_vec(labels.to_vec(), [labels.len(), 1]);
+        bce_with_logits(&logits, &t)
+    }
+}
+
+impl Module for NodeClassifier {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.mlp.parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_nn::Adam;
+
+    #[test]
+    fn shapes() {
+        let head = NodeClassifier::new(8, 0);
+        let x = Tensor::ones([3, 8]);
+        assert_eq!(head.forward(&x).dims(), &[3, 1]);
+    }
+
+    #[test]
+    fn learns_a_linear_separation() {
+        // Embeddings whose first component determines the label.
+        let head = NodeClassifier::new(4, 3);
+        let mut opt = Adam::new(head.parameters(), 1e-2);
+        let x = Tensor::from_vec(
+            vec![
+                2.0, 0.1, -0.3, 0.4, //
+                1.5, -0.2, 0.2, 0.1, //
+                -2.0, 0.3, 0.1, -0.1, //
+                -1.7, -0.1, -0.4, 0.2,
+            ],
+            [4, 4],
+        );
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let first = head.loss(&x, &labels).item();
+        for _ in 0..100 {
+            let loss = head.loss(&x, &labels);
+            loss.backward();
+            opt.step();
+        }
+        let last = head.loss(&x, &labels).item();
+        assert!(last < first * 0.5, "loss {} -> {}", first, last);
+        let logits = head.forward(&x).to_vec();
+        assert!(logits[0] > 0.0 && logits[1] > 0.0);
+        assert!(logits[2] < 0.0 && logits[3] < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width() {
+        let head = NodeClassifier::new(8, 0);
+        let _ = head.forward(&Tensor::ones([2, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn rejects_wrong_label_count() {
+        let head = NodeClassifier::new(4, 0);
+        let _ = head.loss(&Tensor::ones([2, 4]), &[1.0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Graph attention over sampled temporal neighborhoods.
+//!
+//! TGN, DySAT, and TGAT embed node memories with attention modules
+//! (Table 1 of the paper). [`GatLayer`] implements single-head GATv1-style
+//! attention over a fixed-width sampled neighborhood with a validity mask,
+//! always including the center node as an attention target (self-loop).
+
+use cascade_tensor::Tensor;
+
+use crate::module::{xavier_uniform, Module};
+
+/// A single-head graph attention layer.
+///
+/// For a batch of `B` center nodes, each with `K` sampled neighbor slots
+/// (invalid slots masked out), computes
+///
+/// ```text
+/// e_j   = LeakyReLU(a_srcᵀ·W h_center + a_dstᵀ·W h_j)
+/// α     = softmax over {self} ∪ neighbors
+/// out   = ReLU(α_self · W h_center + Σ_j α_j · W h_j)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use cascade_nn::GatLayer;
+/// use cascade_tensor::Tensor;
+///
+/// let gat = GatLayer::new(8, 16, 4);
+/// let center = Tensor::ones([2, 8]);
+/// let neighbors = Tensor::ones([2 * 3, 8]);
+/// let mask = vec![1.0; 6];
+/// let out = gat.forward(&center, &neighbors, &mask, 3);
+/// assert_eq!(out.dims(), &[2, 16]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GatLayer {
+    weight: Tensor,
+    attn_src: Tensor,
+    attn_dst: Tensor,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl GatLayer {
+    /// Creates a layer with Xavier-initialized projection and attention
+    /// vectors.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        GatLayer {
+            weight: xavier_uniform(in_dim, out_dim, seed.wrapping_add(1)),
+            attn_src: xavier_uniform(out_dim, 1, seed.wrapping_add(2)),
+            attn_dst: xavier_uniform(out_dim, 1, seed.wrapping_add(3)),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Attends each of the `B` center rows over its `K` neighbor slots.
+    ///
+    /// * `center`: `[B, in_dim]`
+    /// * `neighbors`: `[B·K, in_dim]`, row `i·K + j` is neighbor `j` of
+    ///   center `i`
+    /// * `mask`: length `B·K`; `1.0` for valid slots, `0.0` for padding
+    /// * `k`: neighbor slots per center
+    ///
+    /// Returns `[B, out_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension inconsistency.
+    pub fn forward(&self, center: &Tensor, neighbors: &Tensor, mask: &[f32], k: usize) -> Tensor {
+        let b = center.dims()[0];
+        assert_eq!(center.dims()[1], self.in_dim, "GatLayer center width mismatch");
+        assert_eq!(
+            neighbors.dims(),
+            &[b * k, self.in_dim],
+            "GatLayer neighbors must be [B*K, in]"
+        );
+        assert_eq!(mask.len(), b * k, "GatLayer mask length mismatch");
+
+        let wh_c = center.matmul(&self.weight); // [B, out]
+        let e_self = wh_c.matmul(&self.attn_src).mul_scalar(2.0).leaky_relu(0.2); // [B,1]
+
+        if k == 0 {
+            // No neighborhood: attention collapses onto the self-loop.
+            return wh_c.relu();
+        }
+
+        let wh_n = neighbors.matmul(&self.weight); // [B*K, out]
+        let e_src = wh_c.matmul(&self.attn_src); // [B, 1]
+        let e_dst = wh_n.matmul(&self.attn_dst).reshape([b, k]); // [B, K]
+        let e_neigh = e_src.add(&e_dst).leaky_relu(0.2); // [B, K]
+
+        // Mask invalid slots to -1e9 before softmax.
+        let mask_t = Tensor::from_vec(mask.to_vec(), [b, k]);
+        let neg_inf = mask_t.sub_scalar(1.0).mul_scalar(1e9); // 0 valid, -1e9 invalid
+        let e_neigh = e_neigh.mul(&mask_t).add(&neg_inf);
+
+        let e_all = Tensor::concat_cols(&[&e_self, &e_neigh]); // [B, K+1]
+        let alpha = e_all.softmax(); // [B, K+1]
+
+        let alpha_self = alpha.slice_cols(0, 1); // [B, 1]
+        let alpha_n = alpha.slice_cols(1, k + 1).reshape([b * k, 1]); // [B*K, 1]
+
+        let self_part = wh_c.mul(&alpha_self); // [B, out]
+        let neigh_part = wh_n
+            .mul(&alpha_n)
+            .reshape([b, k, self.out_dim])
+            .sum_axis(1); // [B, out]
+        self_part.add(&neigh_part).relu()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+}
+
+impl Module for GatLayer {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.attn_src.clone(), self.attn_dst.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape() {
+        let g = GatLayer::new(4, 6, 0);
+        let c = Tensor::ones([3, 4]);
+        let n = Tensor::ones([6, 4]);
+        assert_eq!(g.forward(&c, &n, &[1.0; 6], 2).dims(), &[3, 6]);
+    }
+
+    #[test]
+    fn zero_neighbors_uses_self_only() {
+        let g = GatLayer::new(4, 6, 1);
+        let c = Tensor::ones([2, 4]);
+        let n = Tensor::zeros([0, 4]);
+        let out = g.forward(&c, &n, &[], 0);
+        assert_eq!(out.dims(), &[2, 6]);
+    }
+
+    #[test]
+    fn fully_masked_neighbors_match_self_only() {
+        // All-invalid mask should attend (almost) only to the self-loop.
+        let g = GatLayer::new(3, 5, 2);
+        let c = Tensor::from_vec(vec![0.5, -0.2, 0.9, 0.1, 0.4, -0.6], [2, 3]);
+        let noise = Tensor::randn([4, 3], 9);
+        let masked = g.forward(&c, &noise, &[0.0; 4], 2);
+        let selfonly = g.forward(&c, &Tensor::zeros([0, 3]), &[], 0);
+        for (a, b) in masked.to_vec().iter().zip(selfonly.to_vec().iter()) {
+            assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn masked_slot_has_no_influence() {
+        let g = GatLayer::new(3, 4, 3);
+        let c = Tensor::ones([1, 3]);
+        let n1 = Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0], [2, 3]);
+        let n2 = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0, -9.0, 9.0], [2, 3]);
+        let mask = [1.0, 0.0];
+        let o1 = g.forward(&c, &n1, &mask, 2);
+        let o2 = g.forward(&c, &n2, &mask, 2);
+        for (a, b) in o1.to_vec().iter().zip(o2.to_vec().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_parameters() {
+        let g = GatLayer::new(3, 4, 4);
+        let c = Tensor::ones([2, 3]);
+        let n = Tensor::ones([4, 3]);
+        g.forward(&c, &n, &[1.0; 4], 2).sum().backward();
+        for p in g.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn rejects_bad_mask() {
+        let g = GatLayer::new(3, 4, 0);
+        let _ = g.forward(&Tensor::ones([2, 3]), &Tensor::ones([4, 3]), &[1.0; 3], 2);
+    }
+}

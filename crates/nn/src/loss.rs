@@ -1,0 +1,147 @@
+//! Loss functions and classification metrics.
+
+use cascade_tensor::Tensor;
+
+/// Numerically stable binary cross-entropy on logits, averaged over the
+/// batch:
+///
+/// ```text
+/// ℓ(x, z) = max(x, 0) − x·z + log(1 + e^{−|x|})
+/// ```
+///
+/// The paper trains link prediction with BCE between a real edge and a
+/// negative-sampled wrong edge (§2.3).
+///
+/// # Panics
+///
+/// Panics if shapes differ or the batch is empty.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_nn::bce_with_logits;
+/// use cascade_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], [2, 1]);
+/// let targets = Tensor::from_vec(vec![1.0, 0.0], [2, 1]);
+/// assert!(bce_with_logits(&logits, &targets).item() < 1e-3);
+/// ```
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> Tensor {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    assert!(logits.len() > 0, "bce on empty batch");
+    let pos = logits.relu();
+    let xz = logits.mul(targets);
+    let softplus = logits.abs().neg().exp().add_scalar(1.0).log();
+    pos.sub(&xz).add(&softplus).mean()
+}
+
+/// Fraction of logits on the correct side of zero (no autograd).
+///
+/// # Panics
+///
+/// Panics if lengths differ or the batch is empty.
+pub fn binary_accuracy(logits: &[f32], targets: &[f32]) -> f32 {
+    assert_eq!(logits.len(), targets.len(), "accuracy length mismatch");
+    assert!(!logits.is_empty(), "accuracy on empty batch");
+    let correct = logits
+        .iter()
+        .zip(targets.iter())
+        .filter(|(&x, &z)| (x > 0.0) == (z > 0.5))
+        .count();
+    correct as f32 / logits.len() as f32
+}
+
+/// Average precision (area under the precision-recall curve) for logits
+/// with binary targets — the link-prediction metric used by the TGNN
+/// literature (no autograd).
+///
+/// # Panics
+///
+/// Panics if lengths differ or the batch is empty.
+pub fn average_precision(logits: &[f32], targets: &[f32]) -> f32 {
+    assert_eq!(logits.len(), targets.len(), "ap length mismatch");
+    assert!(!logits.is_empty(), "ap on empty batch");
+    let mut order: Vec<usize> = (0..logits.len()).collect();
+    order.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let total_pos = targets.iter().filter(|&&t| t > 0.5).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (rank, &i) in order.iter().enumerate() {
+        if targets[i] > 0.5 {
+            tp += 1;
+            ap += tp as f64 / (rank + 1) as f64;
+        }
+    }
+    (ap / total_pos as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-4
+    }
+
+    #[test]
+    fn bce_matches_reference() {
+        // BCE(x=0, z=1) = ln 2
+        let l = Tensor::from_vec(vec![0.0], [1]);
+        let t = Tensor::from_vec(vec![1.0], [1]);
+        assert!(close(bce_with_logits(&l, &t).item(), std::f32::consts::LN_2));
+    }
+
+    #[test]
+    fn bce_penalizes_wrong_side() {
+        let t = Tensor::from_vec(vec![1.0], [1]);
+        let good = bce_with_logits(&Tensor::from_vec(vec![3.0], [1]), &t).item();
+        let bad = bce_with_logits(&Tensor::from_vec(vec![-3.0], [1]), &t).item();
+        assert!(bad > good);
+    }
+
+    #[test]
+    fn bce_stable_for_large_logits() {
+        let l = Tensor::from_vec(vec![1000.0, -1000.0], [2]);
+        let t = Tensor::from_vec(vec![1.0, 0.0], [2]);
+        let v = bce_with_logits(&l, &t).item();
+        assert!(v.is_finite());
+        assert!(v < 1e-3);
+    }
+
+    #[test]
+    fn bce_gradient_direction() {
+        // d/dx BCE(x, z=1) = sigmoid(x) - 1 < 0: increasing logit reduces
+        // loss. Evaluated away from the x = 0 subgradient kink.
+        let l = Tensor::from_vec(vec![1.0], [1]).requires_grad();
+        let t = Tensor::from_vec(vec![1.0], [1]);
+        bce_with_logits(&l, &t).backward();
+        let sigmoid1 = 1.0 / (1.0 + (-1.0f32).exp());
+        assert!(close(l.grad().unwrap()[0], sigmoid1 - 1.0));
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        assert_eq!(binary_accuracy(&[1.0, -1.0, 1.0], &[1.0, 0.0, 0.0]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn ap_perfect_ranking_is_one() {
+        assert!(close(average_precision(&[3.0, 2.0, -1.0, -2.0], &[1.0, 1.0, 0.0, 0.0]), 1.0));
+    }
+
+    #[test]
+    fn ap_worst_ranking_below_one() {
+        let ap = average_precision(&[-2.0, -1.0, 1.0, 2.0], &[1.0, 1.0, 0.0, 0.0]);
+        assert!(ap < 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn bce_rejects_empty() {
+        let l = Tensor::zeros([0]);
+        let _ = bce_with_logits(&l, &Tensor::zeros([0]));
+    }
+}

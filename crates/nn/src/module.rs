@@ -1,0 +1,94 @@
+//! The [`Module`] trait and parameter initialization.
+
+use cascade_tensor::Tensor;
+
+/// A trainable component exposing its parameters.
+///
+/// Modules are plain structs holding parameter tensors (created with
+/// [`Tensor::requires_grad`]); [`Module::parameters`] lets optimizers and
+/// serializers walk them.
+pub trait Module {
+    /// All trainable parameter tensors of this module, in a stable order.
+    fn parameters(&self) -> Vec<Tensor>;
+
+    /// Total number of scalar parameters.
+    fn parameter_count(&self) -> usize {
+        self.parameters().iter().map(Tensor::len).sum()
+    }
+
+    /// Clears the gradients of every parameter.
+    fn zero_grad(&self) {
+        for p in self.parameters() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
+///
+/// Samples from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`,
+/// deterministically seeded.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_nn::xavier_uniform;
+///
+/// let w = xavier_uniform(4, 8, 1);
+/// assert_eq!(w.dims(), &[4, 8]);
+/// ```
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::uniform([fan_in, fan_out], -a, a, seed).requires_grad()
+}
+
+/// Zero-initialized bias of length `n`.
+pub fn zeros_bias(n: usize) -> Tensor {
+    Tensor::zeros([n]).requires_grad()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        w: Tensor,
+        b: Tensor,
+    }
+
+    impl Module for Toy {
+        fn parameters(&self) -> Vec<Tensor> {
+            vec![self.w.clone(), self.b.clone()]
+        }
+    }
+
+    #[test]
+    fn parameter_count_sums_elements() {
+        let t = Toy {
+            w: xavier_uniform(3, 4, 0),
+            b: zeros_bias(4),
+        };
+        assert_eq!(t.parameter_count(), 16);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let w = xavier_uniform(10, 10, 3);
+        let a = (6.0f32 / 20.0).sqrt();
+        assert!(w.to_vec().iter().all(|&x| x.abs() <= a));
+        assert!(w.is_requires_grad());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let t = Toy {
+            w: xavier_uniform(2, 2, 0),
+            b: zeros_bias(2),
+        };
+        let out = t.w.sum();
+        out.backward();
+        assert!(t.w.grad().is_some());
+        t.zero_grad();
+        assert!(t.w.grad().is_none());
+    }
+}

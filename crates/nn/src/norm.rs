@@ -1,0 +1,195 @@
+//! Normalization and regularization layers: [`LayerNorm`] and
+//! [`Dropout`].
+
+use cascade_tensor::Tensor;
+use cascade_tgraph::DetRng;
+
+use crate::module::{zeros_bias, Module};
+
+/// Layer normalization over the last axis of a `[B, D]` tensor, with
+/// learnable gain and bias:
+///
+/// ```text
+/// y = γ ⊙ (x − μ) / √(σ² + ε) + β
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use cascade_nn::LayerNorm;
+/// use cascade_tensor::Tensor;
+///
+/// let ln = LayerNorm::new(4);
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 4]);
+/// let y = ln.forward(&x);
+/// // Initially γ = 1, β = 0: output is standardized.
+/// assert!(y.to_vec().iter().sum::<f32>().abs() < 1e-4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    gain: Tensor,
+    bias: Tensor,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer with γ = 1, β = 0, ε = 1e-5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "LayerNorm dim must be positive");
+        LayerNorm {
+            gain: Tensor::ones([dim]).requires_grad(),
+            bias: zeros_bias(dim),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalizes each row of a `[B, dim]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.dims()[1], self.dim, "LayerNorm width mismatch");
+        let b = x.dims()[0];
+        let mean = x.mean_axis(1).reshape([b, 1]);
+        let centered = x.sub(&mean);
+        let var = centered.square().mean_axis(1).reshape([b, 1]);
+        let normed = centered.div(&var.add_scalar(self.eps).sqrt());
+        normed.mul(&self.gain).add(&self.bias)
+    }
+}
+
+impl Module for LayerNorm {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.gain.clone(), self.bias.clone()]
+    }
+}
+
+/// Inverted dropout: during training, zeroes each element with
+/// probability `p` and scales survivors by `1/(1−p)`; the identity at
+/// evaluation time.
+///
+/// The mask is drawn from an internal deterministic RNG so training runs
+/// stay reproducible.
+#[derive(Clone, Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: std::cell::RefCell<DetRng>,
+    training: std::cell::Cell<bool>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout {
+            p,
+            rng: std::cell::RefCell::new(DetRng::new(seed)),
+            training: std::cell::Cell::new(true),
+        }
+    }
+
+    /// Switches between training (masking) and evaluation (identity).
+    pub fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        if !self.training.get() || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mut rng = self.rng.borrow_mut();
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if rng.f32() < self.p { 0.0 } else { 1.0 / keep })
+            .collect();
+        let mask = Tensor::from_vec(mask, x.dims());
+        x.mul(&mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layernorm_standardizes_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0, -1.0, 0.0, 1.0, 2.0], [2, 4]);
+        let y = ln.forward(&x).to_vec();
+        for r in 0..2 {
+            let row = &y[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4, "row {} mean {}", r, mean);
+            assert!((var - 1.0).abs() < 1e-2, "row {} var {}", r, var);
+        }
+    }
+
+    #[test]
+    fn layernorm_gradients_flow() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 4.0], [1, 3]).requires_grad();
+        ln.forward(&x).square().sum().backward();
+        assert!(x.grad().is_some());
+        for p in ln.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    fn layernorm_scale_invariance() {
+        // Standardization makes the output invariant to input scaling.
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 5.0], [1, 4]);
+        let x10 = x.mul_scalar(10.0);
+        let a = ln.forward(&x).to_vec();
+        let b = ln.forward(&x10).to_vec();
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        assert_eq!(d.forward(&x).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let d = Dropout::new(0.3, 2);
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x).to_vec();
+        let mean: f32 = y.iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {}", mean);
+        // Survivors are scaled by 1/keep.
+        assert!(y.iter().all(|&v| v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-5));
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let d = Dropout::new(0.0, 3);
+        let x = Tensor::from_vec(vec![1.0, -2.0], [2]);
+        assert_eq!(d.forward(&x).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Optimizers: [`Adam`] (the paper's choice, §2.3) and [`Sgd`].
+
+use cascade_tensor::Tensor;
+
+/// The Adam optimizer (Kingma & Ba, 2014).
+///
+/// # Examples
+///
+/// ```
+/// use cascade_nn::{Adam, Linear, Module};
+/// use cascade_tensor::Tensor;
+///
+/// let layer = Linear::new(2, 1, 0);
+/// let mut opt = Adam::new(layer.parameters(), 1e-2);
+/// let x = Tensor::ones([4, 2]);
+/// let loss = layer.forward(&x).square().mean();
+/// loss.backward();
+/// opt.step();
+/// ```
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Tensor>,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    t: u64,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+}
+
+impl Adam {
+    /// Creates an optimizer over `params` with the given learning rate and
+    /// default moments `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        let m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        let v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        Adam {
+            params,
+            m,
+            v,
+            t: 0,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Overrides the moment coefficients.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Applies one update using the accumulated gradients, then clears
+    /// them. Parameters with no gradient are skipped.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(grad) = p.grad() else { continue };
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+            p.update_data(|data| {
+                for j in 0..data.len() {
+                    let g = grad[j];
+                    m[j] = b1 * m[j] + (1.0 - b1) * g;
+                    v[j] = b2 * v[j] + (1.0 - b2) * g * g;
+                    let m_hat = m[j] / bc1;
+                    let v_hat = v[j] / bc2;
+                    data[j] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    /// Clears all parameter gradients without stepping.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (batch-size scaling, schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Plain stochastic gradient descent, `p ← p − lr·g`.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        Sgd { params, lr }
+    }
+
+    /// Applies one descent step and clears gradients.
+    pub fn step(&mut self) {
+        for p in &self.params {
+            let Some(grad) = p.grad() else { continue };
+            let lr = self.lr;
+            p.update_data(|data| {
+                for (d, g) in data.iter_mut().zip(grad.iter()) {
+                    *d -= lr * g;
+                }
+            });
+            p.zero_grad();
+        }
+    }
+}
+
+/// Rescales gradients in place so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
+    let mut total = 0.0f64;
+    for p in params {
+        if let Some(g) = p.grad() {
+            total += g.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+        }
+    }
+    let norm = total.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(mut g) = p.grad() {
+                for x in &mut g {
+                    *x *= scale;
+                }
+                p.set_grad(&g);
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(start: f32) -> Tensor {
+        Tensor::from_vec(vec![start], [1]).requires_grad()
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let p = quadratic_param(5.0);
+        let mut opt = Adam::new(vec![p.clone()], 0.5);
+        for _ in 0..200 {
+            let loss = p.square().sum();
+            loss.backward();
+            opt.step();
+        }
+        assert!(p.at(0).abs() < 0.1, "param stuck at {}", p.at(0));
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let p = quadratic_param(4.0);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        for _ in 0..100 {
+            p.square().sum().backward();
+            opt.step();
+        }
+        assert!(p.at(0).abs() < 0.01);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let p = quadratic_param(1.0);
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        p.square().sum().backward();
+        opt.step();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn step_skips_gradientless_params() {
+        let p = quadratic_param(2.0);
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        opt.step(); // must not panic or move the parameter
+        assert_eq!(p.at(0), 2.0);
+    }
+
+    #[test]
+    fn clip_caps_norm() {
+        let p = Tensor::from_vec(vec![3.0, 4.0], [2]).requires_grad();
+        p.square().sum().backward(); // grad = [6, 8], norm 10
+        let pre = clip_grad_norm(&[p.clone()], 5.0);
+        assert!((pre - 10.0).abs() < 1e-4);
+        let g = p.grad().unwrap();
+        let norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((norm - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clip_leaves_small_grads() {
+        let p = Tensor::from_vec(vec![0.3], [1]).requires_grad();
+        p.square().sum().backward(); // grad 0.6
+        clip_grad_norm(&[p.clone()], 5.0);
+        assert!((p.grad().unwrap()[0] - 0.6).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Link prediction heads.
+
+use cascade_tensor::Tensor;
+
+use crate::linear::Mlp;
+use crate::module::Module;
+
+/// Predicts edge-presence logits from a pair of node embeddings via a
+/// two-layer MLP on their concatenation — the final "MLP module" of
+/// Equation 4's pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_nn::EdgePredictor;
+/// use cascade_tensor::Tensor;
+///
+/// let head = EdgePredictor::new(8, 9);
+/// let src = Tensor::ones([4, 8]);
+/// let dst = Tensor::ones([4, 8]);
+/// assert_eq!(head.forward(&src, &dst).dims(), &[4, 1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EdgePredictor {
+    mlp: Mlp,
+    embed_dim: usize,
+}
+
+impl EdgePredictor {
+    /// Creates a predictor over `embed_dim`-wide node embeddings.
+    pub fn new(embed_dim: usize, seed: u64) -> Self {
+        EdgePredictor {
+            mlp: Mlp::new(&[2 * embed_dim, embed_dim, 1], seed),
+            embed_dim,
+        }
+    }
+
+    /// Scores each row pair, returning `[B, 1]` logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs disagree in shape or width.
+    pub fn forward(&self, src: &Tensor, dst: &Tensor) -> Tensor {
+        assert_eq!(src.shape(), dst.shape(), "EdgePredictor input shapes differ");
+        assert_eq!(src.dims()[1], self.embed_dim, "EdgePredictor width mismatch");
+        self.mlp.forward(&Tensor::concat_cols(&[src, dst]))
+    }
+}
+
+impl Module for EdgePredictor {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.mlp.parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logit_shape() {
+        let p = EdgePredictor::new(4, 0);
+        let out = p.forward(&Tensor::ones([3, 4]), &Tensor::zeros([3, 4]));
+        assert_eq!(out.dims(), &[3, 1]);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let p = EdgePredictor::new(4, 1);
+        let a = Tensor::randn([2, 4], 1);
+        let b = Tensor::randn([2, 4], 2);
+        let ab = p.forward(&a, &b).to_vec();
+        let ba = p.forward(&b, &a).to_vec();
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let p = EdgePredictor::new(4, 2);
+        p.forward(&Tensor::ones([2, 4]), &Tensor::ones([2, 4]))
+            .sum()
+            .backward();
+        for param in p.parameters() {
+            assert!(param.grad().is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn rejects_shape_mismatch() {
+        let p = EdgePredictor::new(4, 0);
+        let _ = p.forward(&Tensor::ones([2, 4]), &Tensor::ones([3, 4]));
+    }
+}

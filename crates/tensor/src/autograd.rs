@@ -1,0 +1,164 @@
+//! Reverse-mode automatic differentiation.
+
+use std::collections::HashSet;
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Runs reverse-mode autodiff from this scalar tensor, accumulating
+    /// gradients into every reachable tensor that requires them.
+    ///
+    /// Gradients accumulate across calls; clear them between optimizer
+    /// steps via [`Tensor::zero_grad`] (the optimizers in `cascade-nn` do
+    /// this for you).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor does not hold exactly one element.
+    pub fn backward(&self) {
+        assert_eq!(
+            self.len(),
+            1,
+            "backward() requires a scalar output, got {}",
+            self.shape()
+        );
+        self.backward_with(&[1.0]);
+    }
+
+    /// Runs backward with an explicit upstream gradient of this tensor's
+    /// shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upstream.len()` differs from the element count.
+    pub fn backward_with(&self, upstream: &[f32]) {
+        assert_eq!(upstream.len(), self.len(), "upstream gradient length mismatch");
+        if !self.is_requires_grad() {
+            return;
+        }
+        self.accumulate_grad(upstream);
+
+        // Iterative post-order DFS to topologically order the graph.
+        let mut order: Vec<Tensor> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<(Tensor, usize)> = vec![(self.clone(), 0)];
+        visited.insert(self.id());
+        while let Some((node, child)) = stack.pop() {
+            if child < node.inner.parents.len() {
+                stack.push((node.clone(), child + 1));
+                let parent = node.inner.parents[child].clone();
+                if parent.is_requires_grad() && visited.insert(parent.id()) {
+                    stack.push((parent, 0));
+                }
+            } else {
+                order.push(node);
+            }
+        }
+
+        // Reverse topological order: outputs before inputs. Intermediate
+        // (non-leaf) gradients are dropped once consumed so that repeated
+        // backward passes accumulate only into leaves, and memory is freed
+        // eagerly.
+        for node in order.iter().rev() {
+            if let Some(backward) = &node.inner.backward {
+                if node.inner.grad.borrow().is_some() {
+                    backward(node, &node.inner.parents);
+                }
+            }
+            if !node.inner.parents.is_empty() {
+                *node.inner.grad.borrow_mut() = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-4
+    }
+
+    #[test]
+    fn chain_rule_through_composition() {
+        // f(x) = (2x + 1)^2 ; f'(x) = 4(2x+1); at x=1 -> 12
+        let x = Tensor::from_vec(vec![1.0], [1]).requires_grad();
+        let y = x.mul_scalar(2.0).add_scalar(1.0).square().sum();
+        y.backward();
+        assert!(close(x.grad().unwrap()[0], 12.0));
+    }
+
+    #[test]
+    fn diamond_graph_accumulates() {
+        // f = x*x + x ; f' = 2x + 1 ; at x=3 -> 7
+        let x = Tensor::from_vec(vec![3.0], [1]).requires_grad();
+        let y = x.mul(&x).add(&x).sum();
+        y.backward();
+        assert!(close(x.grad().unwrap()[0], 7.0));
+    }
+
+    #[test]
+    fn reused_subexpression() {
+        // s = x + 1; f = s * s; f' = 2(x+1); at x=2 -> 6
+        let x = Tensor::from_vec(vec![2.0], [1]).requires_grad();
+        let s = x.add_scalar(1.0);
+        s.mul(&s).sum().backward();
+        assert!(close(x.grad().unwrap()[0], 6.0));
+    }
+
+    #[test]
+    fn grads_accumulate_across_backwards() {
+        let x = Tensor::from_vec(vec![1.0], [1]).requires_grad();
+        let y = x.mul_scalar(3.0).sum();
+        y.backward();
+        y.backward();
+        assert!(close(x.grad().unwrap()[0], 6.0));
+        x.zero_grad();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn no_grad_inputs_are_skipped() {
+        let x = Tensor::from_vec(vec![1.0], [1]); // leaf, no grad
+        let y = x.mul_scalar(2.0).sum();
+        y.backward(); // no-op, must not panic
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a scalar output")]
+    fn backward_rejects_non_scalar() {
+        let x = Tensor::ones([2]).requires_grad();
+        x.mul_scalar(1.0).backward();
+    }
+
+    #[test]
+    fn finite_difference_agreement() {
+        // Random-ish composite function: f(x) = sum(sigmoid(W x) * tanh(x))
+        let xs = vec![0.3, -0.7, 1.2];
+        let x = Tensor::from_vec(xs.clone(), [3, 1]).requires_grad();
+        let w = Tensor::from_vec(vec![0.5, -0.2, 0.8, 0.1, 0.9, -0.4, 0.0, 0.3, 0.7], [3, 3]);
+        let f = |x: &Tensor| w.matmul(x).sigmoid().mul(&x.tanh()).sum();
+        f(&x).backward();
+        let analytic = x.grad().unwrap();
+
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = xs.clone();
+            plus[i] += eps;
+            let mut minus = xs.clone();
+            minus[i] -= eps;
+            let fp = f(&Tensor::from_vec(plus, [3, 1])).item();
+            let fm = f(&Tensor::from_vec(minus, [3, 1])).item();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (analytic[i] - numeric).abs() < 1e-2,
+                "grad[{}]: analytic {} vs numeric {}",
+                i,
+                analytic[i],
+                numeric
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+#![warn(missing_docs)]
+//! # cascade-tensor
+//!
+//! Dense `f32` tensors with reverse-mode automatic differentiation — the
+//! numerical substrate of the [Cascade](https://doi.org/10.1145/3676641.3716250)
+//! TGNN training framework reproduction.
+//!
+//! The design is a deliberately small dynamic-graph engine in the spirit of
+//! PyTorch: every operation records its parents and a backward closure;
+//! calling [`Tensor::backward`] on a scalar loss topologically sorts the
+//! graph and accumulates gradients into every tensor created with
+//! [`Tensor::requires_grad`].
+//!
+//! # Examples
+//!
+//! A two-parameter linear regression step:
+//!
+//! ```
+//! use cascade_tensor::Tensor;
+//!
+//! let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [4, 1]);
+//! let t = Tensor::from_vec(vec![3.0, 5.0, 7.0, 9.0], [4, 1]);
+//! let w = Tensor::from_vec(vec![0.0], [1, 1]).requires_grad();
+//! let b = Tensor::zeros([1]).requires_grad();
+//!
+//! let pred = x.matmul(&w).add(&b);
+//! let loss = pred.sub(&t).square().mean();
+//! loss.backward();
+//!
+//! assert!(w.grad().is_some());
+//! assert!(b.grad().is_some());
+//! ```
+//!
+//! # Scope
+//!
+//! Only what memory-based TGNNs need: broadcasting elementwise algebra,
+//! rank-2 matmul, reductions, softmax, row gather/scatter, concatenation,
+//! and a handful of activations. Tensors are single-threaded (`Rc`-based);
+//! the Cascade training loop is single-threaded by construction and its
+//! preprocessing pipeline exchanges plain buffers, never tensors.
+
+mod autograd;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Cosine similarity between two equal-length vectors.
+///
+/// Returns 1.0 for two zero vectors (a stabilized node whose memory never
+/// moved is by definition similar to itself), and 0.0 when exactly one of
+/// the vectors is zero.
+///
+/// This runs outside the autograd graph: the SG-Filter of the Cascade
+/// framework consumes raw memory snapshots.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_tensor::cosine_similarity;
+///
+/// let sim = cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]);
+/// assert!((sim - 1.0).abs() < 1e-6);
+/// assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+/// ```
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity length mismatch");
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        dot += x as f64 * y as f64;
+        na += x as f64 * x as f64;
+        nb += y as f64 * y as f64;
+    }
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_similarity_basics() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn cosine_similarity_rejects_ragged() {
+        let _ = cosine_similarity(&[1.0], &[1.0, 2.0]);
+    }
+}

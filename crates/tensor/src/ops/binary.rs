@@ -1,0 +1,323 @@
+//! Broadcasting elementwise binary operations: `add`, `sub`, `mul`, `div`.
+
+use crate::shape::{advance_index, broadcast_offset, Shape};
+use crate::tensor::Tensor;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+}
+
+/// Sums `grad` (shaped `out_dims`) over the axes that were broadcast from
+/// `src_dims`, producing a gradient of the source shape.
+pub(crate) fn reduce_broadcast_grad(
+    grad: &[f32],
+    out_dims: &[usize],
+    src_dims: &[usize],
+) -> Vec<f32> {
+    if out_dims == src_dims {
+        return grad.to_vec();
+    }
+    let src_len: usize = src_dims.iter().product::<usize>().max(1);
+    let mut out = vec![0.0; src_len];
+    let src_shape = Shape::new(src_dims.to_vec());
+    let src_strides = src_shape.strides();
+    let mut idx = vec![0usize; out_dims.len()];
+    let mut flat = 0usize;
+    loop {
+        let off = broadcast_offset(&idx, src_dims, &src_strides);
+        out[off] += grad[flat];
+        flat += 1;
+        if !advance_index(&mut idx, out_dims) {
+            break;
+        }
+    }
+    out
+}
+
+fn binary(a: &Tensor, b: &Tensor, op: BinOp) -> Tensor {
+    let out_shape = a
+        .shape()
+        .broadcast(b.shape())
+        .unwrap_or_else(|| panic!("cannot broadcast {} with {}", a.shape(), b.shape()));
+
+    let a_data = a.data();
+    let b_data = b.data();
+    let out_data: Vec<f32> = if a.shape() == b.shape() {
+        // Fast path: identical shapes.
+        a_data
+            .iter()
+            .zip(b_data.iter())
+            .map(|(&x, &y)| op.apply(x, y))
+            .collect()
+    } else if a.dims().len() == 2 && b.dims().len() == 1 && a.dims()[1] == b.dims()[0] {
+        // Fast path: [R, C] op [C] (bias-style row broadcast).
+        let c = b.dims()[0];
+        a_data
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| op.apply(x, b_data[i % c]))
+            .collect()
+    } else {
+        // General broadcasting path.
+        let out_dims = out_shape.dims().to_vec();
+        let a_strides = a.shape().strides();
+        let b_strides = b.shape().strides();
+        let a_dims = a.dims().to_vec();
+        let b_dims = b.dims().to_vec();
+        let mut out = Vec::with_capacity(out_shape.len());
+        if out_shape.len() > 0 {
+            let mut idx = vec![0usize; out_dims.len()];
+            loop {
+                let ai = broadcast_offset(&idx, &a_dims, &a_strides);
+                let bi = broadcast_offset(&idx, &b_dims, &b_strides);
+                out.push(op.apply(a_data[ai], b_data[bi]));
+                if !advance_index(&mut idx, &out_dims) {
+                    break;
+                }
+            }
+        }
+        out
+    };
+    drop(a_data);
+    drop(b_data);
+
+    let out_dims = out_shape.dims().to_vec();
+    Tensor::from_op(
+        out_data,
+        out_shape,
+        vec![a.clone(), b.clone()],
+        Box::new(move |out, parents| {
+            let grad = out.grad().expect("backward without gradient");
+            let (a, b) = (&parents[0], &parents[1]);
+            match op {
+                BinOp::Add => {
+                    if a.is_requires_grad() {
+                        a.accumulate_grad(&reduce_broadcast_grad(&grad, &out_dims, a.dims()));
+                    }
+                    if b.is_requires_grad() {
+                        b.accumulate_grad(&reduce_broadcast_grad(&grad, &out_dims, b.dims()));
+                    }
+                }
+                BinOp::Sub => {
+                    if a.is_requires_grad() {
+                        a.accumulate_grad(&reduce_broadcast_grad(&grad, &out_dims, a.dims()));
+                    }
+                    if b.is_requires_grad() {
+                        let neg: Vec<f32> = grad.iter().map(|g| -g).collect();
+                        b.accumulate_grad(&reduce_broadcast_grad(&neg, &out_dims, b.dims()));
+                    }
+                }
+                BinOp::Mul => {
+                    if a.is_requires_grad() {
+                        let g = broadcast_weighted(&grad, b, &out_dims);
+                        a.accumulate_grad(&reduce_broadcast_grad(&g, &out_dims, a.dims()));
+                    }
+                    if b.is_requires_grad() {
+                        let g = broadcast_weighted(&grad, a, &out_dims);
+                        b.accumulate_grad(&reduce_broadcast_grad(&g, &out_dims, b.dims()));
+                    }
+                }
+                BinOp::Div => {
+                    // out = a / b
+                    if a.is_requires_grad() {
+                        let g = broadcast_map(&grad, b, &out_dims, |g, bv| g / bv);
+                        a.accumulate_grad(&reduce_broadcast_grad(&g, &out_dims, a.dims()));
+                    }
+                    if b.is_requires_grad() {
+                        let a_vals = expand(a, &out_dims);
+                        let b_vals = expand(b, &out_dims);
+                        let g: Vec<f32> = grad
+                            .iter()
+                            .zip(a_vals.iter().zip(b_vals.iter()))
+                            .map(|(g, (av, bv))| -g * av / (bv * bv))
+                            .collect();
+                        b.accumulate_grad(&reduce_broadcast_grad(&g, &out_dims, b.dims()));
+                    }
+                }
+            }
+        }),
+    )
+}
+
+/// `grad[i] * broadcast(src)[i]`.
+fn broadcast_weighted(grad: &[f32], src: &Tensor, out_dims: &[usize]) -> Vec<f32> {
+    broadcast_map(grad, src, out_dims, |g, s| g * s)
+}
+
+fn broadcast_map(
+    grad: &[f32],
+    src: &Tensor,
+    out_dims: &[usize],
+    f: impl Fn(f32, f32) -> f32,
+) -> Vec<f32> {
+    let vals = expand(src, out_dims);
+    grad.iter().zip(vals.iter()).map(|(&g, &v)| f(g, v)).collect()
+}
+
+/// Materializes `src` broadcast to `out_dims`.
+fn expand(src: &Tensor, out_dims: &[usize]) -> Vec<f32> {
+    let data = src.data();
+    if src.dims() == out_dims {
+        return data.clone();
+    }
+    let strides = src.shape().strides();
+    let dims = src.dims().to_vec();
+    let total: usize = out_dims.iter().product::<usize>().max(1);
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; out_dims.len()];
+    loop {
+        out.push(data[broadcast_offset(&idx, &dims, &strides)]);
+        if !advance_index(&mut idx, out_dims) {
+            break;
+        }
+    }
+    out
+}
+
+impl Tensor {
+    /// Elementwise addition with NumPy-style broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes cannot be broadcast together.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        binary(self, other, BinOp::Add)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes cannot be broadcast together.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        binary(self, other, BinOp::Sub)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes cannot be broadcast together.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        binary(self, other, BinOp::Mul)
+    }
+
+    /// Elementwise division with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes cannot be broadcast together.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        binary(self, other, BinOp::Div)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, v: f32) -> Tensor {
+        self.add(&Tensor::scalar(v))
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, v: f32) -> Tensor {
+        self.mul(&Tensor::scalar(v))
+    }
+
+    /// Subtracts a scalar from every element.
+    pub fn sub_scalar(&self, v: f32) -> Tensor {
+        self.sub(&Tensor::scalar(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], [2]);
+        assert_eq!(a.add(&b).to_vec(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn sub_mul_div() {
+        let a = Tensor::from_vec(vec![6.0, 8.0], [2]);
+        let b = Tensor::from_vec(vec![2.0, 4.0], [2]);
+        assert_eq!(a.sub(&b).to_vec(), vec![4.0, 4.0]);
+        assert_eq!(a.mul(&b).to_vec(), vec![12.0, 32.0]);
+        assert_eq!(a.div(&b).to_vec(), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let bias = Tensor::from_vec(vec![10.0, 20.0], [2]);
+        assert_eq!(a.add(&bias).to_vec(), vec![11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn mul_column_broadcast() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let col = Tensor::from_vec(vec![10.0, 100.0], [2, 1]);
+        assert_eq!(a.mul(&col).to_vec(), vec![10.0, 20.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn scalar_helpers() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        assert_eq!(a.add_scalar(1.0).to_vec(), vec![2.0, 3.0]);
+        assert_eq!(a.mul_scalar(2.0).to_vec(), vec![2.0, 4.0]);
+        assert_eq!(a.sub_scalar(1.0).to_vec(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn incompatible_shapes_panic() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 4]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn add_backward_broadcast_sums() {
+        let a = Tensor::ones([2, 2]).requires_grad();
+        let bias = Tensor::ones([2]).requires_grad();
+        let out = a.add(&bias);
+        out.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0; 4]);
+        // bias gradient sums over the broadcast (row) axis
+        assert_eq!(bias.grad().unwrap(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_backward_products() {
+        let a = Tensor::from_vec(vec![2.0, 3.0], [2]).requires_grad();
+        let b = Tensor::from_vec(vec![5.0, 7.0], [2]).requires_grad();
+        a.mul(&b).sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![5.0, 7.0]);
+        assert_eq!(b.grad().unwrap(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn div_backward() {
+        let a = Tensor::from_vec(vec![6.0], [1]).requires_grad();
+        let b = Tensor::from_vec(vec![2.0], [1]).requires_grad();
+        a.div(&b).sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![0.5]);
+        assert_eq!(b.grad().unwrap(), vec![-1.5]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Dense matrix multiplication.
+//!
+//! The `ikj` loop order keeps the inner loop contiguous over both the
+//! right-hand operand and the output row, which auto-vectorizes well; the
+//! amortization of per-batch overhead over large `[B, d] × [d, d]` products
+//! is the hardware effect Cascade's adaptive batching exploits.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// `out[m×n] = a[m×k] · b[k×n]`, writing into a zeroed `out`.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out[m×n] += a[k×m]ᵀ · b[k×n]` (A transposed), used by backward.
+fn matmul_at_b(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out[m×k] += a[m×n] · b[k×n]ᵀ` (B transposed), used by backward.
+fn matmul_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    for i in 0..m {
+        let a_row = &a[i * n..(i + 1) * n];
+        let out_row = &mut out[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * n..(j + 1) * n];
+            let mut acc = 0.0;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *o += acc;
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank-2 or the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.dims().len(), 2, "matmul lhs must be rank-2, got {}", self.shape());
+        assert_eq!(other.dims().len(), 2, "matmul rhs must be rank-2, got {}", other.shape());
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimensions disagree: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+
+        let mut out = vec![0.0; m * n];
+        matmul_into(&self.data(), &other.data(), &mut out, m, k, n);
+
+        Tensor::from_op(
+            out,
+            Shape::new(vec![m, n]),
+            vec![self.clone(), other.clone()],
+            Box::new(move |out, parents| {
+                let grad = out.grad().expect("backward without gradient");
+                let (a, b) = (&parents[0], &parents[1]);
+                if a.is_requires_grad() {
+                    // dA = dOut · Bᵀ  : [m,n]·[k,n]ᵀ → [m,k]
+                    let mut ga = vec![0.0; m * k];
+                    matmul_a_bt(&grad, &b.data(), &mut ga, m, n, k);
+                    a.accumulate_grad(&ga);
+                }
+                if b.is_requires_grad() {
+                    // dB = Aᵀ · dOut : [m,k]ᵀ·[m,n] → [k,n]
+                    let mut gb = vec![0.0; k * n];
+                    matmul_at_b(&a.data(), &grad, &mut gb, m, k, n);
+                    b.accumulate_grad(&gb);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn small_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        assert_eq!(a.matmul(&b).to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn rectangular_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], [3, 2]);
+        assert_eq!(a.matmul(&b).dims(), &[2, 2]);
+        assert_eq!(a.matmul(&b).to_vec(), vec![4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul(&i).to_vec(), a.to_vec());
+        assert_eq!(i.matmul(&a).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn backward_matches_manual() {
+        // f = sum(A·B); dA = 1·Bᵀ-row-sums, dB = Aᵀ-col-sums
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).requires_grad();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]).requires_grad();
+        a.matmul(&b).sum().backward();
+        // dA[i][p] = sum_j B[p][j]
+        assert_eq!(a.grad().unwrap(), vec![11.0, 15.0, 11.0, 15.0]);
+        // dB[p][j] = sum_i A[i][p]
+        assert_eq!(b.grad().unwrap(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn zero_rows_ok() {
+        let a = Tensor::zeros([0, 3]);
+        let b = Tensor::zeros([3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[0, 2]);
+        assert!(c.is_empty());
+    }
+}

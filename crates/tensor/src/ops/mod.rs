@@ -1,0 +1,13 @@
+//! Tensor operations.
+//!
+//! Every op creates a new [`Tensor`](crate::Tensor) node whose backward
+//! closure knows how to push gradients to the op's parents. Ops whose
+//! inputs do not require gradients skip recording history entirely.
+
+mod binary;
+mod matmul;
+mod reduce;
+mod select;
+mod shape_ops;
+mod unary;
+

@@ -1,0 +1,118 @@
+//! Row gathering and scattering — the embedding-table primitives TGNN
+//! memory reads rely on.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Gathers rows of a rank-2 tensor: `out[i] = self[indices[i]]`.
+    ///
+    /// The gradient scatter-adds rows back, so repeated indices accumulate
+    /// (matching embedding-lookup semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or any index is out of bounds.
+    pub fn index_select(&self, indices: &[usize]) -> Tensor {
+        assert_eq!(self.dims().len(), 2, "index_select requires rank-2, got {}", self.shape());
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let data = self.data();
+        let mut out = Vec::with_capacity(indices.len() * cols);
+        for &i in indices {
+            assert!(i < rows, "index {} out of bounds for {} rows", i, rows);
+            out.extend_from_slice(&data[i * cols..(i + 1) * cols]);
+        }
+        drop(data);
+        let idx = indices.to_vec();
+        Tensor::from_op(
+            out,
+            Shape::new(vec![idx.len(), cols]),
+            vec![self.clone()],
+            Box::new(move |out, parents| {
+                let grad = out.grad().expect("backward without gradient");
+                let p = &parents[0];
+                if !p.is_requires_grad() {
+                    return;
+                }
+                let mut g = vec![0.0; rows * cols];
+                for (r, &i) in idx.iter().enumerate() {
+                    for c in 0..cols {
+                        g[i * cols + c] += grad[r * cols + c];
+                    }
+                }
+                p.accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Builds a rank-2 tensor by stacking `rows` (each of equal length).
+    ///
+    /// This is a leaf constructor: no gradients flow to the sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty and
+    /// `cols` cannot be inferred.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Tensor {
+        assert!(!rows.is_empty(), "from_rows of zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows ragged input");
+            data.extend_from_slice(r);
+        }
+        Tensor::from_vec(data, [rows.len(), cols])
+    }
+
+    /// Copies row `r` out of a rank-2 tensor (no autograd).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or not rank-2.
+    pub fn row(&self, r: usize) -> Vec<f32> {
+        assert_eq!(self.dims().len(), 2, "row() requires rank-2");
+        let cols = self.dims()[1];
+        assert!(r < self.dims()[0], "row {} out of bounds", r);
+        self.data()[r * cols..(r + 1) * cols].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn gather_rows() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [3, 2]);
+        let g = t.index_select(&[2, 0, 2]);
+        assert_eq!(g.dims(), &[3, 2]);
+        assert_eq!(g.to_vec(), vec![5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_backward_scatter_adds() {
+        let t = Tensor::ones([3, 2]).requires_grad();
+        t.index_select(&[1, 1, 0]).sum().backward();
+        // row 1 selected twice -> grad 2, row 0 once -> 1, row 2 never -> 0
+        assert_eq!(t.grad().unwrap(), vec![1.0, 1.0, 2.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_rejects_oob() {
+        let _ = Tensor::zeros([2, 2]).index_select(&[2]);
+    }
+
+    #[test]
+    fn from_rows_stacks() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(t.dims(), &[2, 2]);
+        assert_eq!(t.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_copies() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        assert_eq!(t.row(1), vec![3.0, 4.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Elementwise unary operations and activations.
+
+use crate::tensor::Tensor;
+
+fn unary(
+    t: &Tensor,
+    forward: impl Fn(f32) -> f32,
+    // dy/dx expressed from (x, y) so activations can reuse the output.
+    backward: impl Fn(f32, f32) -> f32 + 'static,
+) -> Tensor {
+    let data: Vec<f32> = t.data().iter().map(|&x| forward(x)).collect();
+    let shape = t.shape().clone();
+    Tensor::from_op(
+        data,
+        shape,
+        vec![t.clone()],
+        Box::new(move |out, parents| {
+            let grad = out.grad().expect("backward without gradient");
+            let p = &parents[0];
+            if !p.is_requires_grad() {
+                return;
+            }
+            let x = p.data();
+            let y = out.data();
+            let g: Vec<f32> = grad
+                .iter()
+                .zip(x.iter().zip(y.iter()))
+                .map(|(&g, (&x, &y))| g * backward(x, y))
+                .collect();
+            drop(x);
+            drop(y);
+            p.accumulate_grad(&g);
+        }),
+    )
+}
+
+impl Tensor {
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        unary(self, |x| -x, |_, _| -1.0)
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&self) -> Tensor {
+        unary(self, f32::exp, |_, y| y)
+    }
+
+    /// Elementwise natural logarithm.
+    ///
+    /// Inputs must be positive for meaningful gradients; non-positive
+    /// inputs produce `-inf`/`NaN` as in IEEE arithmetic.
+    pub fn log(&self) -> Tensor {
+        unary(self, f32::ln, |x, _| 1.0 / x)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        unary(self, f32::sqrt, |_, y| 0.5 / y)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        unary(self, |x| x * x, |x, _| 2.0 * x)
+    }
+
+    /// Elementwise absolute value (subgradient 0 at 0).
+    pub fn abs(&self) -> Tensor {
+        unary(self, f32::abs, |x, _| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        unary(self, f32::tanh, |_, y| 1.0 - y * y)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        unary(
+            self,
+            |x| 1.0 / (1.0 + (-x).exp()),
+            |_, y| y * (1.0 - y),
+        )
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        unary(self, |x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Elementwise leaky ReLU with slope `alpha` on the negative side.
+    pub fn leaky_relu(&self, alpha: f32) -> Tensor {
+        unary(
+            self,
+            move |x| if x > 0.0 { x } else { alpha * x },
+            move |x, _| if x > 0.0 { 1.0 } else { alpha },
+        )
+    }
+
+    /// Elementwise cosine (used by sinusoidal time encodings).
+    pub fn cos(&self) -> Tensor {
+        unary(self, f32::cos, |x, _| -x.sin())
+    }
+
+    /// Elementwise sine.
+    pub fn sin(&self) -> Tensor {
+        unary(self, f32::sin, |x, _| x.cos())
+    }
+
+    /// Elementwise power with constant exponent.
+    pub fn powf(&self, e: f32) -> Tensor {
+        unary(
+            self,
+            move |x| x.powf(e),
+            move |x, _| e * x.powf(e - 1.0),
+        )
+    }
+
+    /// Clamps every element into `[lo, hi]` (zero gradient outside).
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        unary(
+            self,
+            move |x| x.clamp(lo, hi),
+            move |x, _| if x >= lo && x <= hi { 1.0 } else { 0.0 },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn neg_exp_log() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        assert_eq!(t.neg().to_vec(), vec![-1.0, -2.0]);
+        assert!(close(t.exp().at(0), std::f32::consts::E));
+        assert!(close(t.log().at(0), 0.0));
+    }
+
+    #[test]
+    fn sigmoid_values() {
+        let t = Tensor::from_vec(vec![0.0], [1]);
+        assert!(close(t.sigmoid().item(), 0.5));
+    }
+
+    #[test]
+    fn relu_and_leaky() {
+        let t = Tensor::from_vec(vec![-2.0, 3.0], [2]);
+        assert_eq!(t.relu().to_vec(), vec![0.0, 3.0]);
+        assert_eq!(t.leaky_relu(0.1).to_vec(), vec![-0.2, 3.0]);
+    }
+
+    #[test]
+    fn tanh_backward() {
+        let t = Tensor::from_vec(vec![0.5], [1]).requires_grad();
+        t.tanh().sum().backward();
+        let y = 0.5f32.tanh();
+        assert!(close(t.grad().unwrap()[0], 1.0 - y * y));
+    }
+
+    #[test]
+    fn sigmoid_backward() {
+        let t = Tensor::from_vec(vec![0.0], [1]).requires_grad();
+        t.sigmoid().sum().backward();
+        assert!(close(t.grad().unwrap()[0], 0.25));
+    }
+
+    #[test]
+    fn relu_backward_gates() {
+        let t = Tensor::from_vec(vec![-1.0, 2.0], [2]).requires_grad();
+        t.relu().sum().backward();
+        assert_eq!(t.grad().unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn square_and_sqrt_backward() {
+        let t = Tensor::from_vec(vec![3.0], [1]).requires_grad();
+        t.square().sum().backward();
+        assert!(close(t.grad().unwrap()[0], 6.0));
+
+        let u = Tensor::from_vec(vec![4.0], [1]).requires_grad();
+        u.sqrt().sum().backward();
+        assert!(close(u.grad().unwrap()[0], 0.25));
+    }
+
+    #[test]
+    fn clamp_gradient_gates() {
+        let t = Tensor::from_vec(vec![-2.0, 0.5, 2.0], [3]).requires_grad();
+        t.clamp(0.0, 1.0).sum().backward();
+        assert_eq!(t.grad().unwrap(), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn trig_roundtrip() {
+        let t = Tensor::from_vec(vec![0.0], [1]);
+        assert!(close(t.cos().item(), 1.0));
+        assert!(close(t.sin().item(), 0.0));
+    }
+}

@@ -1,0 +1,410 @@
+//! The core [`Tensor`] type: a reference-counted, row-major, `f32` buffer
+//! participating in a dynamically-built reverse-mode autograd graph.
+
+use std::cell::{Ref, RefCell};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::shape::Shape;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Backward function of an op node: given the node itself (for its data and
+/// gradient) and its parents, accumulates gradients into the parents.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[Tensor])>;
+
+pub(crate) struct Inner {
+    pub(crate) id: u64,
+    pub(crate) shape: Shape,
+    pub(crate) data: RefCell<Vec<f32>>,
+    pub(crate) grad: RefCell<Option<Vec<f32>>>,
+    pub(crate) requires_grad: bool,
+    pub(crate) parents: Vec<Tensor>,
+    pub(crate) backward: Option<BackwardFn>,
+}
+
+/// A dense, row-major `f32` tensor.
+///
+/// `Tensor` is a cheap-to-clone handle (`Rc` internally); clones alias the
+/// same storage and the same autograd node. Operations build a computation
+/// graph on the fly; calling [`Tensor::backward`] on a scalar result fills
+/// the `grad` buffers of every reachable tensor created with
+/// `requires_grad`.
+///
+/// Tensors are single-threaded by design (the training loop of the Cascade
+/// framework is single-threaded; preprocessing pipelines exchange plain
+/// buffers, not tensors).
+///
+/// # Examples
+///
+/// ```
+/// use cascade_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+/// let b = Tensor::full([2, 2], 2.0);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.to_vec(), vec![6.0, 6.0, 14.0, 14.0]);
+/// ```
+#[derive(Clone)]
+pub struct Tensor {
+    pub(crate) inner: Rc<Inner>,
+}
+
+impl Tensor {
+    pub(crate) fn from_op(
+        data: Vec<f32>,
+        shape: Shape,
+        parents: Vec<Tensor>,
+        backward: BackwardFn,
+    ) -> Tensor {
+        debug_assert_eq!(data.len(), shape.len(), "op produced wrong element count");
+        let requires_grad = parents.iter().any(|p| p.inner.requires_grad);
+        Tensor {
+            inner: Rc::new(Inner {
+                id: fresh_id(),
+                shape,
+                data: RefCell::new(data),
+                grad: RefCell::new(None),
+                requires_grad,
+                parents: if requires_grad { parents } else { Vec::new() },
+                backward: if requires_grad { Some(backward) } else { None },
+            }),
+        }
+    }
+
+    fn leaf(data: Vec<f32>, shape: Shape, requires_grad: bool) -> Tensor {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.len()
+        );
+        Tensor {
+            inner: Rc::new(Inner {
+                id: fresh_id(),
+                shape,
+                data: RefCell::new(data),
+                grad: RefCell::new(None),
+                requires_grad,
+                parents: Vec::new(),
+                backward: None,
+            }),
+        }
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the element count of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Tensor {
+        Tensor::leaf(data, shape.into(), false)
+    }
+
+    /// Creates a scalar (0-dimensional) tensor.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor::leaf(vec![value], Shape::scalar(), false)
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let n = shape.len();
+        Tensor::leaf(vec![0.0; n], shape, false)
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Tensor {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
+        let shape = shape.into();
+        let n = shape.len();
+        Tensor::leaf(vec![value; n], shape, false)
+    }
+
+    /// Creates a tensor with elements drawn uniformly from `[low, high)`,
+    /// deterministically seeded.
+    pub fn uniform(shape: impl Into<Shape>, low: f32, high: f32, seed: u64) -> Tensor {
+        let shape = shape.into();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.len())
+            .map(|_| rng.random_range(low..high))
+            .collect();
+        Tensor::leaf(data, shape, false)
+    }
+
+    /// Creates a tensor with standard-normal elements (Box–Muller),
+    /// deterministically seeded.
+    pub fn randn(shape: impl Into<Shape>, seed: u64) -> Tensor {
+        let shape = shape.into();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.random_range(0.0..1.0);
+            let r = (-2.0f32 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Tensor::leaf(data, shape, false)
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn eye(n: usize) -> Tensor {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Tensor::leaf(data, Shape::new(vec![n, n]), false)
+    }
+
+    /// Marks this tensor as a trainable leaf: gradients will be accumulated
+    /// into it during [`Tensor::backward`].
+    ///
+    /// Returns a new handle sharing no autograd history (fresh leaf with the
+    /// same data).
+    pub fn requires_grad(self) -> Tensor {
+        if self.inner.requires_grad && self.inner.parents.is_empty() {
+            return self;
+        }
+        let data = self.inner.data.borrow().clone();
+        Tensor::leaf(data, self.inner.shape.clone(), true)
+    }
+
+    /// `true` if gradients flow into (or through) this tensor.
+    pub fn is_requires_grad(&self) -> bool {
+        self.inner.requires_grad
+    }
+
+    /// Detaches this tensor from the autograd graph: the result shares the
+    /// current values but receives no gradient and holds no history.
+    ///
+    /// Cascade detaches node memories at batch boundaries, matching the
+    /// stop-gradient semantics of memory-based TGNNs.
+    pub fn detach(&self) -> Tensor {
+        Tensor::leaf(self.inner.data.borrow().clone(), self.inner.shape.clone(), false)
+    }
+
+    /// Unique autograd node id (monotonic creation order).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The shape of this tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.inner.shape
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        self.inner.shape.dims()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.inner.shape.len()
+    }
+
+    /// `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.inner.shape.is_empty()
+    }
+
+    /// Borrows the flat row-major data.
+    pub fn data(&self) -> Ref<'_, Vec<f32>> {
+        self.inner.data.borrow()
+    }
+
+    /// Copies the data out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.inner.data.borrow().clone()
+    }
+
+    /// The single element of a scalar or 1-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        let data = self.inner.data.borrow();
+        assert_eq!(data.len(), 1, "item() on tensor with {} elements", data.len());
+        data[0]
+    }
+
+    /// Element at flat offset `i`.
+    pub fn at(&self, i: usize) -> f32 {
+        self.inner.data.borrow()[i]
+    }
+
+    /// Overwrites the data in place without touching autograd history.
+    ///
+    /// Intended for optimizer steps and memory-store writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the tensor's element count.
+    pub fn set_data(&self, data: &[f32]) {
+        let mut d = self.inner.data.borrow_mut();
+        assert_eq!(d.len(), data.len(), "set_data length mismatch");
+        d.copy_from_slice(data);
+    }
+
+    /// Applies `f` to the data in place (optimizer updates).
+    pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
+        f(&mut self.inner.data.borrow_mut());
+    }
+
+    /// The accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Vec<f32>> {
+        self.inner.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.inner.grad.borrow_mut() = None;
+    }
+
+    /// Replaces the accumulated gradient (used by gradient clipping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.len()` differs from the element count.
+    pub fn set_grad(&self, g: &[f32]) {
+        assert_eq!(g.len(), self.len(), "set_grad length mismatch");
+        *self.inner.grad.borrow_mut() = Some(g.to_vec());
+    }
+
+    pub(crate) fn accumulate_grad(&self, g: &[f32]) {
+        let mut grad = self.inner.grad.borrow_mut();
+        match grad.as_mut() {
+            Some(existing) => {
+                for (e, &v) in existing.iter_mut().zip(g) {
+                    *e += v;
+                }
+            }
+            None => *grad = Some(g.to_vec()),
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let data = self.inner.data.borrow();
+        let preview: Vec<f32> = data.iter().take(8).copied().collect();
+        f.debug_struct("Tensor")
+            .field("shape", &self.inner.shape)
+            .field("requires_grad", &self.inner.requires_grad)
+            .field("data", &preview)
+            .finish()
+    }
+}
+
+impl From<f32> for Tensor {
+    fn from(v: f32) -> Self {
+        Tensor::scalar(v)
+    }
+}
+
+impl From<Vec<f32>> for Tensor {
+    fn from(v: Vec<f32>) -> Self {
+        let n = v.len();
+        Tensor::from_vec(v, [n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_len() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        assert_eq!(t.dims(), &[2, 2]);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_wrong_len() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], [2, 2]);
+    }
+
+    #[test]
+    fn constructors_fill() {
+        assert_eq!(Tensor::zeros([3]).to_vec(), vec![0.0; 3]);
+        assert_eq!(Tensor::ones([2]).to_vec(), vec![1.0; 2]);
+        assert_eq!(Tensor::full([2], 7.0).to_vec(), vec![7.0; 2]);
+        assert_eq!(Tensor::eye(2).to_vec(), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_bounded() {
+        let a = Tensor::uniform([100], -0.5, 0.5, 42);
+        let b = Tensor::uniform([100], -0.5, 0.5, 42);
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert!(a.to_vec().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn randn_is_deterministic() {
+        let a = Tensor::randn([64], 7);
+        let b = Tensor::randn([64], 7);
+        assert_eq!(a.to_vec(), b.to_vec());
+        // crude sanity: mean near 0
+        let mean: f32 = a.to_vec().iter().sum::<f32>() / 64.0;
+        assert!(mean.abs() < 0.5);
+    }
+
+    #[test]
+    fn detach_shares_values_not_history() {
+        let a = Tensor::ones([2]).requires_grad();
+        let b = a.mul_scalar(3.0);
+        let d = b.detach();
+        assert_eq!(d.to_vec(), vec![3.0, 3.0]);
+        assert!(!d.is_requires_grad());
+    }
+
+    #[test]
+    fn item_on_scalar() {
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    fn set_data_overwrites() {
+        let t = Tensor::zeros([2]);
+        t.set_data(&[1.0, 2.0]);
+        assert_eq!(t.to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn clone_aliases_storage() {
+        let t = Tensor::zeros([2]);
+        let u = t.clone();
+        t.set_data(&[5.0, 6.0]);
+        assert_eq!(u.to_vec(), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn requires_grad_roundtrip() {
+        let t = Tensor::ones([2]).requires_grad();
+        assert!(t.is_requires_grad());
+        assert!(t.grad().is_none());
+    }
+}

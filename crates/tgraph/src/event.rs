@@ -1,0 +1,362 @@
+//! Events and event streams — the CTDG representation of §2.1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a node of the dynamic graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifies an event by its position in the chronological stream.
+pub type EventId = usize;
+
+/// One graph change: an edge from `src` to `dst` occurring at `time`.
+///
+/// In the CTDG formulation `G = {e(t₁), e(t₂), …}` (Equation 1), each
+/// event is "typically represented as an edge with a timestamp".
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Occurrence timestamp (arbitrary monotone units).
+    pub time: f64,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(src: impl Into<NodeId>, dst: impl Into<NodeId>, time: f64) -> Self {
+        Event {
+            src: src.into(),
+            dst: dst.into(),
+            time,
+        }
+    }
+
+    /// `true` if the event touches `node` as source or destination.
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.src == node || self.dst == node
+    }
+}
+
+/// A chronologically ordered sequence of events.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_tgraph::{Event, EventStream};
+///
+/// let stream = EventStream::new(vec![
+///     Event::new(0u32, 1u32, 0.0),
+///     Event::new(1u32, 2u32, 1.0),
+/// ]).unwrap();
+/// assert_eq!(stream.len(), 2);
+/// assert_eq!(stream.num_nodes(), 3);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EventStream {
+    events: Vec<Event>,
+    num_nodes: usize,
+}
+
+/// Error constructing an [`EventStream`] from out-of-order events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrderError {
+    /// Index of the first event whose timestamp precedes its predecessor's.
+    pub at: usize,
+}
+
+impl fmt::Display for OrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {} is earlier than its predecessor", self.at)
+    }
+}
+
+impl std::error::Error for OrderError {}
+
+impl EventStream {
+    /// Creates a stream, validating chronological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrderError`] if any timestamp decreases.
+    pub fn new(events: Vec<Event>) -> Result<Self, OrderError> {
+        for (i, w) in events.windows(2).enumerate() {
+            if w[1].time < w[0].time {
+                return Err(OrderError { at: i + 1 });
+            }
+        }
+        let num_nodes = events
+            .iter()
+            .map(|e| e.src.0.max(e.dst.0) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        Ok(EventStream { events, num_nodes })
+    }
+
+    /// Creates a stream, sorting the events by timestamp first (stable).
+    pub fn from_unsorted(mut events: Vec<Event>) -> Self {
+        events.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal));
+        EventStream::new(events).expect("sorted events are ordered")
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the stream holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of nodes (max node id + 1 across all events).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The events as a slice.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Event at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn event(&self, idx: EventId) -> &Event {
+        &self.events[idx]
+    }
+
+    /// Iterates over the events in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// A sub-stream view over the index range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> &[Event] {
+        &self.events[range]
+    }
+
+    /// A new stream restricted to `range` (used for chronological splits).
+    pub fn restricted(&self, range: std::ops::Range<usize>) -> EventStream {
+        EventStream {
+            events: self.events[range].to_vec(),
+            num_nodes: self.num_nodes,
+        }
+    }
+
+    /// Average degree: `2·|E| / |V|` (each event contributes to two
+    /// endpoints). Returns 0 on empty graphs.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            return 0.0;
+        }
+        2.0 * self.events.len() as f64 / self.num_nodes as f64
+    }
+}
+
+impl<'a> IntoIterator for &'a EventStream {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_accepts_ordered() {
+        let s = EventStream::new(vec![
+            Event::new(0u32, 1u32, 0.0),
+            Event::new(1u32, 0u32, 0.0),
+            Event::new(2u32, 3u32, 5.0),
+        ])
+        .unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.num_nodes(), 4);
+    }
+
+    #[test]
+    fn stream_rejects_disorder() {
+        let err = EventStream::new(vec![
+            Event::new(0u32, 1u32, 5.0),
+            Event::new(1u32, 0u32, 1.0),
+        ])
+        .unwrap_err();
+        assert_eq!(err.at, 1);
+    }
+
+    #[test]
+    fn from_unsorted_sorts() {
+        let s = EventStream::from_unsorted(vec![
+            Event::new(0u32, 1u32, 5.0),
+            Event::new(1u32, 2u32, 1.0),
+        ]);
+        assert_eq!(s.event(0).time, 1.0);
+        assert_eq!(s.event(1).time, 5.0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = EventStream::new(vec![]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.num_nodes(), 0);
+        assert_eq!(s.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn touches_both_endpoints() {
+        let e = Event::new(3u32, 7u32, 1.0);
+        assert!(e.touches(NodeId(3)));
+        assert!(e.touches(NodeId(7)));
+        assert!(!e.touches(NodeId(5)));
+    }
+
+    #[test]
+    fn restricted_keeps_num_nodes() {
+        let s = EventStream::new(vec![
+            Event::new(0u32, 9u32, 0.0),
+            Event::new(1u32, 2u32, 1.0),
+        ])
+        .unwrap();
+        let r = s.restricted(1..2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.num_nodes(), 10);
+    }
+
+    #[test]
+    fn average_degree_formula() {
+        let s = EventStream::new(vec![Event::new(0u32, 1u32, 0.0); 10]).unwrap();
+        assert_eq!(s.average_degree(), 10.0);
+    }
+}
+
+impl EventStream {
+    /// Splits the stream into DTDG snapshots of fixed time width —
+    /// discrete-time dynamic graphs are "specific instances of CTDGs,
+    /// distinguished by the segmentation of events into uniform time
+    /// intervals" (paper §2.1). Each snapshot holds the events of one
+    /// interval; empty intervals yield empty snapshots, and trailing
+    /// events land in the final snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive and finite.
+    pub fn snapshots(&self, interval: f64) -> Vec<EventStream> {
+        assert!(
+            interval.is_finite() && interval > 0.0,
+            "snapshot interval must be positive"
+        );
+        if self.events.is_empty() {
+            return Vec::new();
+        }
+        let t0 = self.events.first().expect("non-empty").time;
+        let t1 = self.events.last().expect("non-empty").time;
+        let n_snaps = (((t1 - t0) / interval).floor() as usize) + 1;
+        let mut out: Vec<Vec<Event>> = vec![Vec::new(); n_snaps];
+        for e in &self.events {
+            let idx = (((e.time - t0) / interval).floor() as usize).min(n_snaps - 1);
+            out[idx].push(*e);
+        }
+        out.into_iter()
+            .map(|events| EventStream {
+                events,
+                num_nodes: self.num_nodes,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_partition_events() {
+        let s = EventStream::new(
+            (0..10)
+                .map(|i| Event::new(0u32, 1u32, i as f64))
+                .collect(),
+        )
+        .unwrap();
+        let snaps = s.snapshots(3.0);
+        assert_eq!(snaps.len(), 4);
+        let total: usize = snaps.iter().map(EventStream::len).sum();
+        assert_eq!(total, 10);
+        assert_eq!(snaps[0].len(), 3); // t = 0, 1, 2
+        assert_eq!(snaps[3].len(), 1); // t = 9
+    }
+
+    #[test]
+    fn snapshots_preserve_node_count() {
+        let s = EventStream::new(vec![
+            Event::new(0u32, 9u32, 0.0),
+            Event::new(1u32, 2u32, 10.0),
+        ])
+        .unwrap();
+        for snap in s.snapshots(4.0) {
+            assert_eq!(snap.num_nodes(), 10);
+        }
+    }
+
+    #[test]
+    fn empty_stream_has_no_snapshots() {
+        let s = EventStream::new(vec![]).unwrap();
+        assert!(s.snapshots(1.0).is_empty());
+    }
+
+    #[test]
+    fn single_interval_holds_everything() {
+        let s = EventStream::new(vec![
+            Event::new(0u32, 1u32, 0.0),
+            Event::new(1u32, 0u32, 0.5),
+        ])
+        .unwrap();
+        let snaps = s.snapshots(100.0);
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_bad_interval() {
+        let s = EventStream::new(vec![Event::new(0u32, 1u32, 0.0)]).unwrap();
+        let _ = s.snapshots(0.0);
+    }
+}

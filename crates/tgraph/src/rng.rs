@@ -1,0 +1,125 @@
+//! A small, cloneable, deterministic RNG (splitmix64 + xorshift*).
+//!
+//! Sampling components must be `Clone` (batching strategies are cloned for
+//! ablations) and reproducible across platforms, so a tiny local generator
+//! is preferable to threading library RNG state.
+
+/// Deterministic pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_tgraph::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 scramble so nearby seeds diverge.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index(0) is undefined");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut r = DetRng::new(4);
+        for _ in 0..1000 {
+            assert!(r.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn index_roughly_uniform() {
+        let mut r = DetRng::new(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[r.index(4)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {}", c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index(0)")]
+    fn index_zero_panics() {
+        DetRng::new(0).index(0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Student drop-out prediction on the MOOC profile — the node
+//! *classification* task of Equation 1, built on Cascade-trained TGNN
+//! embeddings.
+//!
+//! Pipeline: (1) self-supervised link-prediction training with adaptive
+//! batching drives the node memories; (2) a [`NodeClassifier`] head is
+//! trained on the resulting embeddings to predict which students drop out
+//! (synthetic label: the student's last interaction falls in the first
+//! 60% of the course timeline).
+//!
+//! ```text
+//! cargo run --release --example mooc_dropout
+//! ```
+
+use cascade_core::{train, CascadeConfig, CascadeScheduler, TrainConfig};
+use cascade_models::{MemoryTgnn, ModelConfig, NodeClassifier};
+use cascade_nn::{binary_accuracy, Adam, Module};
+use cascade_tgraph::{NodeId, SynthConfig};
+
+fn main() {
+    let data = SynthConfig::mooc()
+        .with_scale(0.008)
+        .with_node_scale(0.05)
+        .with_feature_dim(8)
+        .generate(13);
+    println!(
+        "MOOC profile: {} nodes, {} interaction events",
+        data.num_nodes(),
+        data.num_events()
+    );
+
+    // ---- Stage 1: self-supervised TGNN training under Cascade ---------
+    // JODIE fits this task: its time-decay embedding h = s ⊙ (1 + w·Δt)
+    // explicitly encodes how long a student has been inactive — the
+    // signal drop-out prediction needs (the very use case JODIE was
+    // designed for).
+    let mut model = MemoryTgnn::new(
+        ModelConfig::jodie().with_dims(16, 8),
+        data.num_nodes(),
+        data.features().dim(),
+        5,
+    );
+    let mut scheduler = CascadeScheduler::new(CascadeConfig {
+        preset_batch_size: 64,
+        ..CascadeConfig::default()
+    });
+    let report = train(
+        &mut model,
+        &data,
+        &mut scheduler,
+        &TrainConfig {
+            epochs: 4,
+            lr: 1e-3,
+            eval_batch_size: 64,
+            scale_lr_with_batch: true,
+            ..TrainConfig::default()
+        },
+    );
+    println!(
+        "stage 1: {} adaptive batches (avg {:.0}), link-pred val loss {:.4}",
+        report.num_batches, report.avg_batch_size, report.val_loss
+    );
+
+    // ---- Stage 2: drop-out labels and classifier ----------------------
+    // A student "drops out" if their last interaction happens in the first
+    // 60% of the course timeline.
+    let horizon = data.stream().event(data.num_events() - 1).time * 0.6;
+    let mut last_seen = vec![0.0f64; data.num_nodes()];
+    for e in data.stream() {
+        last_seen[e.src.index()] = e.time;
+        last_seen[e.dst.index()] = e.time;
+    }
+    let students: Vec<NodeId> = (0..data.num_nodes() as u32)
+        .map(NodeId)
+        .filter(|n| last_seen[n.index()] > 0.0)
+        .collect();
+    let labels: Vec<f32> = students
+        .iter()
+        .map(|n| if last_seen[n.index()] < horizon { 1.0 } else { 0.0 })
+        .collect();
+    let dropouts = labels.iter().filter(|&&l| l > 0.5).count();
+    println!(
+        "stage 2: {} students, {} drop-outs ({:.0}%)",
+        students.len(),
+        dropouts,
+        100.0 * dropouts as f64 / students.len() as f64
+    );
+
+    // Interleaved split of students for train/test (node ids correlate
+    // with arrival time, so a chronological split would separate the
+    // classes).
+    let (mut train_s, mut test_s) = (Vec::new(), Vec::new());
+    let (mut train_y, mut test_y) = (Vec::new(), Vec::new());
+    for (i, (&n, &y)) in students.iter().zip(labels.iter()).enumerate() {
+        if i % 4 == 3 {
+            test_s.push(n);
+            test_y.push(y);
+        } else {
+            train_s.push(n);
+            train_y.push(y);
+        }
+    }
+    let now = data.stream().event(data.num_events() - 1).time;
+
+    let head = NodeClassifier::new(16, 21);
+    let mut opt = Adam::new(head.parameters(), 3e-3);
+    for epoch in 0..120 {
+        let emb = model.embed_nodes(&train_s, now, data.features());
+        let loss = head.loss(&emb.detach(), &train_y);
+        loss.backward();
+        opt.step();
+        if epoch % 40 == 0 {
+            println!("  classifier epoch {:>2}: train loss {:.4}", epoch, loss.item());
+        }
+    }
+
+    let emb = model.embed_nodes(&test_s, now, data.features());
+    let logits = head.forward(&emb.detach()).to_vec();
+    let acc = binary_accuracy(&logits, &test_y);
+    let base_rate =
+        test_y.iter().map(|&l| if l > 0.5 { 1.0 } else { 0.0 }).sum::<f32>() / test_y.len() as f32;
+    println!(
+        "\nheld-out drop-out accuracy: {:.1}% (majority-class baseline {:.1}%)",
+        acc * 100.0,
+        base_rate.max(1.0 - base_rate) * 100.0
+    );
+}

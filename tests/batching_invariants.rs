@@ -1,0 +1,195 @@
+//! Cross-strategy batching invariants, property-tested over generated
+//! streams.
+
+use cascade_baselines::{tgl, Etc, NeutronStream};
+use cascade_core::{BatchingStrategy, CascadeConfig, CascadeScheduler};
+use cascade_tgraph::{Event, EventStream, SynthConfig};
+use proptest::prelude::*;
+
+fn partition(strategy: &mut dyn BatchingStrategy, events: &[Event], num_nodes: usize) -> Vec<usize> {
+    strategy.prepare(events, num_nodes);
+    strategy.reset_epoch();
+    let mut boundaries = Vec::new();
+    let mut start = 0;
+    while start < events.len() {
+        let end = strategy.next_batch_end(start, events.len());
+        assert!(end > start, "{} made no progress", strategy.name());
+        assert!(end <= events.len(), "{} overran the stream", strategy.name());
+        boundaries.push(end);
+        start = end;
+    }
+    boundaries
+}
+
+fn arbitrary_stream() -> impl Strategy<Value = (Vec<Event>, usize)> {
+    (2usize..30, 20usize..200, any::<u64>()).prop_map(|(nodes, events, seed)| {
+        let mut rng = cascade_tgraph::DetRng::new(seed);
+        let evs: Vec<Event> = (0..events)
+            .map(|i| {
+                let s = rng.index(nodes) as u32;
+                let mut d = rng.index(nodes) as u32;
+                if d == s {
+                    d = (d + 1) % nodes as u32;
+                }
+                Event::new(s, d, i as f64)
+            })
+            .collect();
+        (evs, nodes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_strategies_partition_any_stream((events, nodes) in arbitrary_stream()) {
+        let strategies: Vec<Box<dyn BatchingStrategy>> = vec![
+            Box::new(tgl(16)),
+            Box::new(NeutronStream::new(16)),
+            Box::new(Etc::new(16)),
+            Box::new(CascadeScheduler::new(CascadeConfig {
+                preset_batch_size: 16,
+                ..CascadeConfig::default()
+            })),
+            Box::new(CascadeScheduler::new(
+                CascadeConfig {
+                    preset_batch_size: 16,
+                    ..CascadeConfig::default()
+                }
+                .with_chunk_size(37),
+            )),
+        ];
+        for mut s in strategies {
+            let b = partition(s.as_mut(), &events, nodes);
+            prop_assert_eq!(*b.last().unwrap(), events.len());
+            prop_assert!(b.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn cascade_boundaries_repeat_across_epochs((events, nodes) in arbitrary_stream()) {
+        let mut s = CascadeScheduler::new(
+            CascadeConfig {
+                preset_batch_size: 16,
+                ..CascadeConfig::default()
+            }
+            .without_sg_filter(),
+        );
+        let first = partition(&mut s, &events, nodes);
+        s.reset_epoch();
+        let mut second = Vec::new();
+        let mut start = 0;
+        while start < events.len() {
+            let end = s.next_batch_end(start, events.len());
+            second.push(end);
+            start = end;
+        }
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn etc_never_exceeds_detected_loss((events, nodes) in arbitrary_stream()) {
+        let mut s = Etc::new(16);
+        s.prepare(&events, nodes);
+        let threshold = s.threshold();
+        let mut start = 0;
+        while start < events.len() {
+            let end = s.next_batch_end(start, events.len());
+            // Recompute the admitted batch's loss independently.
+            let mut counts = std::collections::HashMap::new();
+            let mut loss = 0usize;
+            for e in &events[start..end] {
+                for n in [e.src, e.dst] {
+                    let c = counts.entry(n).or_insert(0usize);
+                    if *c > 0 {
+                        loss += 1;
+                    }
+                    *c += 1;
+                }
+            }
+            // Single-event batches are always admissible (progress).
+            if end - start > 1 {
+                prop_assert!(
+                    loss <= threshold,
+                    "batch {}..{} loss {} > threshold {}",
+                    start, end, loss, threshold
+                );
+            }
+            start = end;
+        }
+    }
+
+    #[test]
+    fn neutron_extension_is_node_disjoint((events, nodes) in arbitrary_stream()) {
+        let base = 8;
+        let mut s = NeutronStream::new(base);
+        s.prepare(&events, nodes);
+        let mut start = 0;
+        while start < events.len() {
+            let end = s.next_batch_end(start, events.len());
+            let base_end = (start + base).min(events.len());
+            // Every extension event shares no node with the batch prefix
+            // before it.
+            let mut seen = std::collections::HashSet::new();
+            for e in &events[start..base_end] {
+                seen.insert(e.src);
+                seen.insert(e.dst);
+            }
+            for e in &events[base_end..end] {
+                prop_assert!(!seen.contains(&e.src) && !seen.contains(&e.dst));
+                seen.insert(e.src);
+                seen.insert(e.dst);
+            }
+            start = end;
+        }
+    }
+}
+
+#[test]
+fn cascade_average_batch_grows_on_sparse_profile() {
+    let data = SynthConfig::wiki_talk()
+        .with_scale(0.0006)
+        .with_node_scale(0.004)
+        .with_feature_dim(0)
+        .generate(1);
+    let events = data.stream().events();
+    let mut s = CascadeScheduler::new(CascadeConfig {
+        preset_batch_size: 64,
+        ..CascadeConfig::default()
+    });
+    let b = partition(&mut s, events, data.num_nodes());
+    let avg = events.len() as f64 / b.len() as f64;
+    assert!(avg > 64.0 * 1.5, "sparse expansion too small: {:.0}", avg);
+}
+
+#[test]
+fn chunked_and_dense_agree_when_chunk_covers_stream() {
+    let data = SynthConfig::wiki()
+        .with_scale(0.004)
+        .with_node_scale(0.012)
+        .with_feature_dim(0)
+        .generate(5);
+    let events = data.stream().events();
+
+    let cfg = CascadeConfig {
+        preset_batch_size: 32,
+        ..CascadeConfig::default()
+    }
+    .without_sg_filter();
+    let mut dense = CascadeScheduler::new(cfg.clone());
+    let mut chunked = CascadeScheduler::new(cfg.with_chunk_size(events.len() + 10));
+    let a = partition(&mut dense, events, data.num_nodes());
+    let b = partition(&mut chunked, events, data.num_nodes());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn stream_round_trips_through_event_stream() {
+    let data = SynthConfig::mooc()
+        .with_scale(0.002)
+        .with_feature_dim(0)
+        .generate(9);
+    let rebuilt = EventStream::new(data.stream().events().to_vec()).unwrap();
+    assert_eq!(rebuilt.len(), data.num_events());
+    assert_eq!(rebuilt.num_nodes(), data.stream().num_nodes());
+}

@@ -1,0 +1,134 @@
+//! The paper's worked examples (Figures 7, 8, 9) through the public API —
+//! the strongest fidelity check available without the authors' code.
+
+use cascade_core::{max_endurance_profiling, Abs, DependencyTable, SgFilter, TgDiffuser};
+use cascade_models::MemoryDelta;
+use cascade_tgraph::{Event, NodeId};
+
+/// The 12-event stream of Figures 7–9 (nodes a..d are 10..13; event 7 is
+/// the edge a–4, consistent with every table row in the figure).
+fn figure7_events() -> Vec<Event> {
+    let pairs = [
+        (1, 2),
+        (1, 7),
+        (1, 8),
+        (1, 9),
+        (10, 11),
+        (10, 12),
+        (10, 13),
+        (10, 4),
+        (1, 3),
+        (1, 5),
+        (1, 6),
+        (3, 4),
+    ];
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, d))| Event::new(s as u32, d as u32, i as f64))
+        .collect()
+}
+
+#[test]
+fn figure7a_dependency_table() {
+    let t = DependencyTable::build(&figure7_events(), 14);
+    // Every row of the printed table.
+    assert_eq!(t.entry(NodeId(1)), &[0, 1, 2, 3, 8, 9, 10, 11]);
+    assert_eq!(t.entry(NodeId(2)), &[0, 1, 2, 3, 8, 9, 10]);
+    assert_eq!(t.entry(NodeId(3)), &[8, 9, 10, 11]);
+    assert_eq!(t.entry(NodeId(4)), &[7, 11]);
+    assert_eq!(t.entry(NodeId(5)), &[9, 10]);
+    assert_eq!(t.entry(NodeId(7)), &[1, 2, 3, 8, 9, 10]);
+    assert_eq!(t.entry(NodeId(8)), &[2, 3, 8, 9, 10]);
+    assert_eq!(t.entry(NodeId(9)), &[3, 8, 9, 10]);
+    assert_eq!(t.entry(NodeId(10)), &[4, 5, 6, 7, 11]);
+    assert_eq!(t.entry(NodeId(11)), &[4, 5, 6, 7]);
+    assert_eq!(t.entry(NodeId(12)), &[5, 6, 7]);
+    assert_eq!(t.entry(NodeId(13)), &[6, 7]);
+}
+
+#[test]
+fn figure7b_last_tolerable_event() {
+    let t = DependencyTable::build(&figure7_events(), 14);
+    let mut d = TgDiffuser::new(t, 4);
+    // "the batch's last event is e(8) since any events after this one may
+    // use intolerably expired information on node_1 or node_2"
+    assert_eq!(d.next_boundary(0, 12, &vec![false; 14]), 8);
+}
+
+#[test]
+fn figure8b_stable_nodes_relax_the_barrier() {
+    let t = DependencyTable::build(&figure7_events(), 14);
+    let mut d = TgDiffuser::new(t, 4);
+    let mut stable = vec![false; 14];
+    for n in [1, 2, 7] {
+        stable[n] = true;
+    }
+    // "we can further expand batch size from 8 to 10"
+    assert_eq!(d.next_boundary(0, 12, &stable), 10);
+}
+
+#[test]
+fn figure8a_similarity_flags() {
+    // Nodes with cosine similarity above 0.9 are flagged stable.
+    let mut f = SgFilter::new(14, 0.9);
+    f.observe(&[
+        MemoryDelta {
+            node: NodeId(1),
+            pre: vec![1.0, 0.1],
+            post: vec![0.98, 0.12],
+        },
+        MemoryDelta {
+            node: NodeId(3),
+            pre: vec![1.0, 0.0],
+            post: vec![-0.2, 0.9],
+        },
+    ]);
+    assert!(f.flags()[1]);
+    assert!(!f.flags()[3]);
+}
+
+#[test]
+fn figure9_max_endurance_profiling() {
+    let t = DependencyTable::build(&figure7_events(), 14);
+    // Sample batch size 4 over 12 events: 3 batches, each with Max
+    // Endurance 4 (node_1 in batches 0 and 2; nodes a/b in batch 1).
+    let stats = max_endurance_profiling(&t, 12, 4, 0);
+    assert_eq!(stats.batch_count, 3);
+    assert!((stats.mean - 4.0).abs() < 1e-9);
+    assert_eq!(stats.max, 4);
+    assert_eq!(stats.min, 4);
+}
+
+#[test]
+fn equations_5_to_7_decay_schedule() {
+    let stats = max_endurance_profiling(&DependencyTable::build(&figure7_events(), 14), 12, 4, 0);
+    let abs = Abs::from_stats(stats);
+    // Initial Max_r = 2 × mr_mean = 8.
+    assert_eq!(abs.initial_max_r(), 8);
+    // Decay is monotone non-increasing in the batch index and never
+    // drops below mr_min.
+    let mut last = abs.initial_max_r();
+    for i in [1usize, 10, 100, 10_000] {
+        let r = abs.decayed_max_r(i);
+        assert!(r <= last);
+        assert!(r >= stats.min);
+        last = r;
+    }
+}
+
+#[test]
+fn batches_of_figure7_partition_without_stable_flags() {
+    let t = DependencyTable::build(&figure7_events(), 14);
+    let mut d = TgDiffuser::new(t, 4);
+    let stable = vec![false; 14];
+    let mut start = 0;
+    let mut sizes = Vec::new();
+    while start < 12 {
+        let end = d.next_boundary(start, 12, &stable);
+        sizes.push(end - start);
+        start = end;
+    }
+    assert_eq!(sizes.iter().sum::<usize>(), 12);
+    assert_eq!(sizes[0], 8, "first batch must match Figure 7(b)");
+}
