@@ -203,9 +203,7 @@ mod tests {
 
     #[test]
     fn partitions_stream() {
-        let events: Vec<Event> = (0..40)
-            .map(|i| ev(i % 3, 3 + (i % 4), i as f64))
-            .collect();
+        let events: Vec<Event> = (0..40).map(|i| ev(i % 3, 3 + (i % 4), i as f64)).collect();
         let mut s = Etc::new(4);
         s.prepare(&events, 7);
         let mut start = 0;

@@ -120,8 +120,7 @@ impl BatchingStrategy for NeutronStream {
 
     fn space(&self) -> StrategySpace {
         StrategySpace {
-            dependency_bytes: self.dependency_edges.len()
-                * std::mem::size_of::<Option<EventId>>(),
+            dependency_bytes: self.dependency_edges.len() * std::mem::size_of::<Option<EventId>>(),
             flag_bytes: 0,
         }
     }
@@ -129,8 +128,6 @@ impl BatchingStrategy for NeutronStream {
     fn timers(&self) -> StrategyTimers {
         self.timers
     }
-
-
 }
 
 #[cfg(test)]
@@ -182,8 +179,7 @@ mod tests {
 
     #[test]
     fn partitions_stream() {
-        let events: Vec<Event> =
-            (0..20).map(|i| ev(i % 4, 4 + (i % 3), i as f64)).collect();
+        let events: Vec<Event> = (0..20).map(|i| ev(i % 4, 4 + (i % 3), i as f64)).collect();
         let mut n = NeutronStream::new(3);
         n.prepare(&events, 8);
         let mut start = 0;

@@ -1,13 +1,17 @@
 //! End-to-end training benchmarks: the Figure 2 batch-size sweep and the
-//! Figure 10 Cascade-vs-TGL comparison as Criterion targets (compute-only;
-//! the `repro` binary reports the accelerator-modeled latencies).
+//! Figure 10 Cascade-vs-TGL comparison (compute-only; the `repro` binary
+//! reports the accelerator-modeled latencies).
+//!
+//! Runs on the in-repo `cascade-util` micro-bench harness: under
+//! `cargo bench` the report lands in `bench_results/end_to_end.json`;
+//! under `cargo test` each target trains once as a smoke test.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cascade_core::{train, CascadeConfig, CascadeScheduler, FixedBatching, TrainConfig};
 use cascade_models::{MemoryTgnn, ModelConfig};
 use cascade_tgraph::{Dataset, SynthConfig};
+use cascade_util::BenchSuite;
 
 fn bench_data() -> Dataset {
     SynthConfig::wiki()
@@ -27,71 +31,51 @@ fn one_epoch_cfg() -> TrainConfig {
     }
 }
 
-fn bench_batch_size_sweep(c: &mut Criterion) {
-    let data = bench_data();
-    let mut g = c.benchmark_group("batch_size_sweep_tgn");
-    g.sample_size(10);
+fn tgn_model(data: &Dataset) -> MemoryTgnn {
+    MemoryTgnn::new(
+        ModelConfig::tgn().with_dims(16, 8).with_neighbors(4),
+        data.num_nodes(),
+        data.features().dim(),
+        1,
+    )
+}
+
+fn bench_batch_size_sweep(suite: &mut BenchSuite, data: &Dataset) {
     for bs in [32usize, 64, 128, 256] {
-        g.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
-            b.iter(|| {
-                let mut model = MemoryTgnn::new(
-                    ModelConfig::tgn().with_dims(16, 8).with_neighbors(4),
-                    data.num_nodes(),
-                    data.features().dim(),
-                    1,
-                );
-                let mut s = FixedBatching::new(bs);
-                black_box(train(&mut model, &data, &mut s, &one_epoch_cfg()))
-            });
+        suite.bench(&format!("batch_size_sweep_tgn/{}", bs), || {
+            let mut model = tgn_model(data);
+            let mut s = FixedBatching::new(bs);
+            black_box(train(&mut model, data, &mut s, &one_epoch_cfg()))
         });
     }
-    g.finish();
 }
 
-fn bench_cascade_vs_tgl(c: &mut Criterion) {
-    let data = bench_data();
-    let mut g = c.benchmark_group("cascade_vs_tgl_tgn");
-    g.sample_size(10);
-    g.bench_function("tgl", |b| {
-        b.iter(|| {
-            let mut model = MemoryTgnn::new(
-                ModelConfig::tgn().with_dims(16, 8).with_neighbors(4),
-                data.num_nodes(),
-                data.features().dim(),
-                1,
-            );
-            let mut s = FixedBatching::new(64);
-            black_box(train(&mut model, &data, &mut s, &one_epoch_cfg()))
-        });
+fn bench_cascade_vs_tgl(suite: &mut BenchSuite, data: &Dataset) {
+    suite.bench("cascade_vs_tgl_tgn/tgl", || {
+        let mut model = tgn_model(data);
+        let mut s = FixedBatching::new(64);
+        black_box(train(&mut model, data, &mut s, &one_epoch_cfg()))
     });
-    g.bench_function("cascade", |b| {
-        b.iter(|| {
-            let mut model = MemoryTgnn::new(
-                ModelConfig::tgn().with_dims(16, 8).with_neighbors(4),
-                data.num_nodes(),
-                data.features().dim(),
-                1,
-            );
-            let mut s = CascadeScheduler::new(CascadeConfig {
-                preset_batch_size: 64,
-                ..CascadeConfig::default()
-            });
-            black_box(train(&mut model, &data, &mut s, &one_epoch_cfg()))
+    suite.bench("cascade_vs_tgl_tgn/cascade", || {
+        let mut model = tgn_model(data);
+        let mut s = CascadeScheduler::new(CascadeConfig {
+            preset_batch_size: 64,
+            ..CascadeConfig::default()
         });
+        black_box(train(&mut model, data, &mut s, &one_epoch_cfg()))
     });
-    g.finish();
 }
 
-fn bench_chunked_preprocessing(c: &mut Criterion) {
+fn bench_chunked_preprocessing(suite: &mut BenchSuite) {
     let data = SynthConfig::gdelt()
         .with_scale(4e-5)
         .with_feature_dim(8)
         .generate(9);
-    let mut g = c.benchmark_group("chunked_preprocessing_jodie");
-    g.sample_size(10);
     for (label, chunk) in [("dense", None), ("chunked", Some(1000usize))] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
+        let data = &data;
+        suite.bench(
+            &format!("chunked_preprocessing_jodie/{}", label),
+            move || {
                 let mut model = MemoryTgnn::new(
                     ModelConfig::jodie().with_dims(16, 8),
                     data.num_nodes(),
@@ -106,16 +90,17 @@ fn bench_chunked_preprocessing(c: &mut Criterion) {
                     cfg = cfg.with_chunk_size(ch);
                 }
                 let mut s = CascadeScheduler::new(cfg);
-                black_box(train(&mut model, &data, &mut s, &one_epoch_cfg()))
-            });
-        });
+                black_box(train(&mut model, data, &mut s, &one_epoch_cfg()))
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    name = end_to_end;
-    config = Criterion::default();
-    targets = bench_batch_size_sweep, bench_cascade_vs_tgl, bench_chunked_preprocessing
-);
-criterion_main!(end_to_end);
+fn main() {
+    let mut suite = BenchSuite::new("end_to_end");
+    let data = bench_data();
+    bench_batch_size_sweep(&mut suite, &data);
+    bench_cascade_vs_tgl(&mut suite, &data);
+    bench_chunked_preprocessing(&mut suite);
+    suite.finish();
+}

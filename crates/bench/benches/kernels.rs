@@ -1,30 +1,31 @@
 //! Kernel microbenchmarks: the primitives whose costs the paper's
 //! latency/space analysis (Figures 13–14) decomposes, plus the matmul
 //! amortization curve the batching argument rests on.
+//!
+//! Runs on the in-repo `cascade-util` micro-bench harness: under
+//! `cargo bench` each target runs warmup + timed iterations and the
+//! median/p10/p90 report lands in `bench_results/kernels.json`; under
+//! `cargo test` each target runs once as a smoke test.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cascade_core::{max_endurance_profiling, DependencyTable, SgFilter, TgDiffuser};
 use cascade_models::MemoryDelta;
 use cascade_tensor::Tensor;
 use cascade_tgraph::{AdjacencyStore, NodeId, SynthConfig};
+use cascade_util::BenchSuite;
 
-fn bench_tensor_matmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tensor_matmul");
+fn bench_tensor_matmul(suite: &mut BenchSuite) {
     // The amortization curve: one [B, 64] × [64, 64] product per batch —
     // per-event cost falls as B grows.
     for b in [16usize, 64, 256, 1024] {
         let x = Tensor::randn([b, 64], 1);
         let w = Tensor::randn([64, 64], 2);
-        g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
-            bench.iter(|| black_box(x.matmul(&w)));
-        });
+        suite.bench(&format!("tensor_matmul/{}", b), || black_box(x.matmul(&w)));
     }
-    g.finish();
 }
 
-fn bench_dependency_table(c: &mut Criterion) {
+fn bench_dependency_table(suite: &mut BenchSuite) {
     let data = SynthConfig::wiki()
         .with_scale(0.05)
         .with_node_scale(0.1)
@@ -33,21 +34,17 @@ fn bench_dependency_table(c: &mut Criterion) {
     let events = data.stream().events();
     let n = data.num_nodes();
 
-    let mut g = c.benchmark_group("dependency_table");
-    g.bench_function("dense_build", |b| {
-        b.iter(|| black_box(DependencyTable::build(events, n)));
+    suite.bench("dependency_table/dense_build", || {
+        black_box(DependencyTable::build(events, n))
     });
-    g.bench_function("chunked_build", |b| {
-        b.iter(|| {
-            for (i, chunk) in events.chunks(1000).enumerate() {
-                black_box(DependencyTable::build_range(chunk, n, i * 1000));
-            }
-        });
+    suite.bench("dependency_table/chunked_build", || {
+        for (i, chunk) in events.chunks(1000).enumerate() {
+            black_box(DependencyTable::build_range(chunk, n, i * 1000));
+        }
     });
-    g.finish();
 }
 
-fn bench_diffuser_lookup(c: &mut Criterion) {
+fn bench_diffuser_lookup(suite: &mut BenchSuite) {
     let data = SynthConfig::wiki()
         .with_scale(0.05)
         .with_node_scale(0.1)
@@ -57,19 +54,17 @@ fn bench_diffuser_lookup(c: &mut Criterion) {
     let table = DependencyTable::build(events, data.num_nodes());
     let stable = vec![false; data.num_nodes()];
 
-    c.bench_function("diffuser_full_partition", |b| {
-        b.iter(|| {
-            let mut d = TgDiffuser::new(table.clone(), 32);
-            let mut start = 0;
-            while start < events.len() {
-                start = d.next_boundary(start, events.len(), &stable);
-            }
-            black_box(start)
-        });
+    suite.bench("diffuser_full_partition", || {
+        let mut d = TgDiffuser::new(table.clone(), 32);
+        let mut start = 0;
+        while start < events.len() {
+            start = d.next_boundary(start, events.len(), &stable);
+        }
+        black_box(start)
     });
 }
 
-fn bench_sgfilter_kernel(c: &mut Criterion) {
+fn bench_sgfilter_kernel(suite: &mut BenchSuite) {
     let deltas: Vec<MemoryDelta> = (0..512)
         .map(|i| MemoryDelta {
             node: NodeId((i % 100) as u32),
@@ -77,16 +72,14 @@ fn bench_sgfilter_kernel(c: &mut Criterion) {
             post: (0..100).map(|j| (i * j) as f32 * 0.011).collect(),
         })
         .collect();
-    c.bench_function("sgfilter_observe_512x100d", |b| {
-        b.iter(|| {
-            let mut f = SgFilter::new(100, 0.9);
-            f.observe(black_box(&deltas));
-            black_box(f.stable_count())
-        });
+    suite.bench("sgfilter_observe_512x100d", || {
+        let mut f = SgFilter::new(100, 0.9);
+        f.observe(black_box(&deltas));
+        black_box(f.stable_count())
     });
 }
 
-fn bench_sampler(c: &mut Criterion) {
+fn bench_sampler(suite: &mut BenchSuite) {
     let data = SynthConfig::wiki()
         .with_scale(0.02)
         .with_node_scale(0.05)
@@ -98,45 +91,37 @@ fn bench_sampler(c: &mut Criterion) {
     }
     let nodes: Vec<NodeId> = (0..data.num_nodes() as u32).map(NodeId).collect();
 
-    let mut g = c.benchmark_group("neighbor_sampler");
-    g.bench_function("most_recent_10", |b| {
-        b.iter(|| {
-            for &n in &nodes {
-                black_box(adj.most_recent(n, 10));
-            }
-        });
+    suite.bench("neighbor_sampler/most_recent_10", || {
+        for &n in &nodes {
+            black_box(adj.most_recent(n, 10));
+        }
     });
-    g.bench_function("uniform_10", |b| {
-        b.iter(|| {
-            for &n in &nodes {
-                black_box(adj.uniform(n, 10));
-            }
-        });
+    suite.bench("neighbor_sampler/uniform_10", || {
+        for &n in &nodes {
+            black_box(adj.uniform(n, 10));
+        }
     });
-    g.finish();
 }
 
-fn bench_endurance_profiling(c: &mut Criterion) {
+fn bench_endurance_profiling(suite: &mut BenchSuite) {
     let data = SynthConfig::wiki()
         .with_scale(0.05)
         .with_node_scale(0.1)
         .with_feature_dim(0)
         .generate(7);
     let table = DependencyTable::build(data.stream().events(), data.num_nodes());
-    c.bench_function("abs_max_endurance_profiling", |b| {
-        b.iter(|| black_box(max_endurance_profiling(&table, data.num_events(), 64, 0)));
+    suite.bench("abs_max_endurance_profiling", || {
+        black_box(max_endurance_profiling(&table, data.num_events(), 64, 0))
     });
 }
 
-criterion_group!(
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets =
-        bench_tensor_matmul,
-        bench_dependency_table,
-        bench_diffuser_lookup,
-        bench_sgfilter_kernel,
-        bench_sampler,
-        bench_endurance_profiling
-);
-criterion_main!(kernels);
+fn main() {
+    let mut suite = BenchSuite::new("kernels");
+    bench_tensor_matmul(&mut suite);
+    bench_dependency_table(&mut suite);
+    bench_diffuser_lookup(&mut suite);
+    bench_sgfilter_kernel(&mut suite);
+    bench_sampler(&mut suite);
+    bench_endurance_profiling(&mut suite);
+    suite.finish();
+}

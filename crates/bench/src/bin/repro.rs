@@ -51,7 +51,11 @@ fn main() {
             Ok(text) => {
                 println!("================ {} ================", id);
                 println!("{}", text);
-                eprintln!("[repro] {} finished in {:.1}s", id, t0.elapsed().as_secs_f64());
+                eprintln!(
+                    "[repro] {} finished in {:.1}s",
+                    id,
+                    t0.elapsed().as_secs_f64()
+                );
                 if let Ok(mut f) = std::fs::File::create(out_dir.join(format!("{}.txt", id))) {
                     let _ = f.write_all(text.as_bytes());
                 }

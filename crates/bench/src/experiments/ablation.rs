@@ -22,7 +22,12 @@ use super::session::Session;
 pub fn ablation(session: &Session) -> String {
     let h = session.harness();
     let mut t = TextTable::new(&[
-        "Dataset", "Variant", "AvgBatch", "Speedup vs TGL", "ValLoss", "Loss vs TGL",
+        "Dataset",
+        "Variant",
+        "AvgBatch",
+        "Speedup vs TGL",
+        "ValLoss",
+        "Loss vs TGL",
     ]);
 
     for name in ["WIKI", "REDDIT"] {

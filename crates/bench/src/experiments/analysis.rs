@@ -25,7 +25,8 @@ pub fn fig13a(session: &Session) -> String {
                     name.to_string(),
                     model.name.to_string(),
                     format!("{:.2}", theta),
-                    f2(out.report.modeled_time.as_secs_f64() / tgl.report.modeled_time.as_secs_f64()),
+                    f2(out.report.modeled_time.as_secs_f64()
+                        / tgl.report.modeled_time.as_secs_f64()),
                     f2(out.report.val_loss as f64 / tgl.report.val_loss as f64),
                 ]);
             }
@@ -42,9 +43,19 @@ pub fn fig13a(session: &Session) -> String {
 /// Figure 13(b): latency breakdown of Cascade — table building, batch
 /// lookup & pointer updates, and model training.
 pub fn fig13b(session: &Session) -> String {
-    let mut t = TextTable::new(&["Dataset", "Model", "BuildTable", "Lookup&Update", "ModelTraining"]);
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "Model",
+        "BuildTable",
+        "Lookup&Update",
+        "ModelTraining",
+    ]);
     for name in ["WIKI", "REDDIT", "WIKI-TALK"] {
-        for model in [ModelConfig::apan(), ModelConfig::jodie(), ModelConfig::tgn()] {
+        for model in [
+            ModelConfig::apan(),
+            ModelConfig::jodie(),
+            ModelConfig::tgn(),
+        ] {
             let cas = session.run(name, model.clone(), &StrategyKind::Cascade);
             let r = &cas.report;
             let total = r.modeled_time.as_secs_f64().max(1e-12);
@@ -54,8 +65,7 @@ pub fn fig13b(session: &Session) -> String {
                 pct(r.build_time.as_secs_f64() / total),
                 pct(r.lookup_time.as_secs_f64() / total),
                 pct(
-                    (total - r.build_time.as_secs_f64() - r.lookup_time.as_secs_f64())
-                        .max(0.0)
+                    (total - r.build_time.as_secs_f64() - r.lookup_time.as_secs_f64()).max(0.0)
                         / total,
                 ),
             ]);
@@ -76,7 +86,11 @@ pub fn fig13c(session: &Session) -> String {
         "Dataset", "Model", "DT", "SF", "Graph", "EdgeFeat", "Model", "Mailbox", "Memory",
     ]);
     for name in ["WIKI", "REDDIT", "WIKI-TALK"] {
-        for model in [ModelConfig::apan(), ModelConfig::jodie(), ModelConfig::tgn()] {
+        for model in [
+            ModelConfig::apan(),
+            ModelConfig::jodie(),
+            ModelConfig::tgn(),
+        ] {
             let cas = session.run(name, model.clone(), &StrategyKind::Cascade);
             let s = cas.report.space;
             let fr = s.fractions();
@@ -98,7 +112,14 @@ pub fn fig13c(session: &Session) -> String {
     // Restate the same measurements with features at each profile's true
     // width so the relative shape is comparable.
     let mut tp = TextTable::new(&[
-        "Dataset", "Model", "DT", "SF", "Graph", "EdgeFeat(paper width)", "Model", "Mailbox",
+        "Dataset",
+        "Model",
+        "DT",
+        "SF",
+        "Graph",
+        "EdgeFeat(paper width)",
+        "Model",
+        "Mailbox",
         "Memory",
     ]);
     for name in ["WIKI", "REDDIT", "WIKI-TALK"] {
@@ -106,7 +127,11 @@ pub fn fig13c(session: &Session) -> String {
             .expect("known profile")
             .feature_dim;
         let events = session.dataset(name).num_events();
-        for model in [ModelConfig::apan(), ModelConfig::jodie(), ModelConfig::tgn()] {
+        for model in [
+            ModelConfig::apan(),
+            ModelConfig::jodie(),
+            ModelConfig::tgn(),
+        ] {
             let cas = session.run(name, model.clone(), &StrategyKind::Cascade);
             let mut sp = cas.report.space;
             sp.edge_features = events * paper_dim * 4;
@@ -129,6 +154,8 @@ pub fn fig13c(session: &Session) -> String {
          Paper: DT + SF below 3% combined; edge features dominate.\n\n\
          (as measured, runtime feature width {})\n{}\n\
          (same run, edge features restated at the paper's per-dataset width)\n{}",
-        session.harness().feature_dim, t, tp
+        session.harness().feature_dim,
+        t,
+        tp
     )
 }

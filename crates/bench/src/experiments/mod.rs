@@ -48,6 +48,10 @@ pub fn run(session: &Session, id: &str) -> Result<String, String> {
         "fig16" => Ok(prior::fig16(session)),
         "ablation" => Ok(ablation::ablation(session)),
         "summary" => Ok(summary::summary(session)),
-        other => Err(format!("unknown experiment '{}'; known: {}", other, ALL.join(", "))),
+        other => Err(format!(
+            "unknown experiment '{}'; known: {}",
+            other,
+            ALL.join(", ")
+        )),
     }
 }

@@ -138,7 +138,11 @@ pub fn utilization(session: &Session) -> String {
     let preset = session.harness().preset_batch as f64;
     let mut t = TextTable::new(&["Batch (paper-equivalent)", "SM util", "Mem util"]);
     for (label, b) in [("900", 900.0), ("6000", 6000.0), ("preset", preset)] {
-        t.row(&[label.to_string(), f3(u.sm_utilization(b)), f3(u.mem_utilization(b))]);
+        t.row(&[
+            label.to_string(),
+            f3(u.sm_utilization(b)),
+            f3(u.mem_utilization(b)),
+        ]);
     }
     format!(
         "§3.1 utilization proxy (calibrated to the paper's measurements:\n\

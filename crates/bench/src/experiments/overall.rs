@@ -32,7 +32,8 @@ pub fn fig10(session: &Session) -> String {
             let lite = session.run(name, model.clone(), &StrategyKind::TgLite);
             let clite = session.run(name, model.clone(), &StrategyKind::CascadeLite);
             let s = tgl.report.modeled_time.as_secs_f64() / cas.report.modeled_time.as_secs_f64();
-            let sl = lite.report.modeled_time.as_secs_f64() / clite.report.modeled_time.as_secs_f64();
+            let sl =
+                lite.report.modeled_time.as_secs_f64() / clite.report.modeled_time.as_secs_f64();
             speedups.push(s);
             t.row(&[
                 name.to_string(),
@@ -58,7 +59,14 @@ pub fn fig10(session: &Session) -> String {
 
 /// Figure 11: validation losses normalized to the TGL baseline.
 pub fn fig11(session: &Session) -> String {
-    let mut t = TextTable::new(&["Dataset", "Model", "TGL", "Cascade", "Norm", "Cascade-Lite norm"]);
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "Model",
+        "TGL",
+        "Cascade",
+        "Norm",
+        "Cascade-Lite norm",
+    ]);
     let mut norms = Vec::new();
     for name in MODERATE {
         for model in models() {
@@ -90,7 +98,13 @@ pub fn fig11(session: &Session) -> String {
 
 /// Figure 12(a): achieved batch sizes, TGL vs Cascade.
 pub fn fig12a(session: &Session) -> String {
-    let mut t = TextTable::new(&["Dataset", "Model", "TGL batch", "Cascade avg batch", "Cascade max"]);
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "Model",
+        "TGL batch",
+        "Cascade avg batch",
+        "Cascade max",
+    ]);
     for name in ["WIKI", "REDDIT", "WIKI-TALK"] {
         for model in [ModelConfig::jodie(), ModelConfig::tgn()] {
             let tgl = session.run(name, model.clone(), &StrategyKind::Tgl);
@@ -113,9 +127,21 @@ pub fn fig12a(session: &Session) -> String {
 /// Figure 12(b): validation loss of TGL, TGL-LB (fixed batching at the
 /// batch size Cascade achieved), and Cascade.
 pub fn fig12b(session: &Session) -> String {
-    let mut t = TextTable::new(&["Dataset", "Model", "TGL", "TGL-LB", "Cascade", "LB/TGL", "Cascade/TGL"]);
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "Model",
+        "TGL",
+        "TGL-LB",
+        "Cascade",
+        "LB/TGL",
+        "Cascade/TGL",
+    ]);
     for name in ["WIKI", "REDDIT"] {
-        for model in [ModelConfig::apan(), ModelConfig::jodie(), ModelConfig::tgn()] {
+        for model in [
+            ModelConfig::apan(),
+            ModelConfig::jodie(),
+            ModelConfig::tgn(),
+        ] {
             let tgl = session.run(name, model.clone(), &StrategyKind::Tgl);
             let cas = session.run(name, model.clone(), &StrategyKind::Cascade);
             let lb_size = (cas.report.avg_batch_size.round() as usize).max(1);
@@ -142,7 +168,11 @@ pub fn fig12b(session: &Session) -> String {
 pub fn fig12c(session: &Session) -> String {
     let mut t = TextTable::new(&["Dataset", "Model", "TB speedup", "Cascade speedup"]);
     for name in ["WIKI", "REDDIT"] {
-        for model in [ModelConfig::apan(), ModelConfig::jodie(), ModelConfig::tgn()] {
+        for model in [
+            ModelConfig::apan(),
+            ModelConfig::jodie(),
+            ModelConfig::tgn(),
+        ] {
             let tgl = session.run(name, model.clone(), &StrategyKind::Tgl);
             let tb = session.run(name, model.clone(), &StrategyKind::CascadeTb);
             let cas = session.run(name, model.clone(), &StrategyKind::Cascade);
@@ -171,7 +201,11 @@ pub fn fig12c(session: &Session) -> String {
 pub fn fig12d(session: &Session) -> String {
     let mut t = TextTable::new(&["Dataset", "Model", "TB/TGL loss", "Cascade/TGL loss"]);
     for name in ["WIKI", "REDDIT"] {
-        for model in [ModelConfig::apan(), ModelConfig::jodie(), ModelConfig::tgn()] {
+        for model in [
+            ModelConfig::apan(),
+            ModelConfig::jodie(),
+            ModelConfig::tgn(),
+        ] {
             let tgl = session.run(name, model.clone(), &StrategyKind::Tgl);
             let tb = session.run(name, model.clone(), &StrategyKind::CascadeTb);
             let cas = session.run(name, model.clone(), &StrategyKind::Cascade);

@@ -14,7 +14,13 @@ fn prior_models() -> Vec<ModelConfig> {
 /// Figure 15: speedups of NeutronStream, ETC, and Cascade over TGL.
 pub fn fig15(session: &Session) -> String {
     let mut t = TextTable::new(&[
-        "Dataset", "Model", "NeutronStream", "ETC", "Cascade", "Cascade avg batch", "ETC avg batch",
+        "Dataset",
+        "Model",
+        "NeutronStream",
+        "ETC",
+        "Cascade",
+        "Cascade avg batch",
+        "ETC avg batch",
     ]);
     for name in MODERATE {
         for model in prior_models() {

@@ -16,7 +16,11 @@ fn chunk_size(session: &Session) -> usize {
 }
 
 fn scale_models() -> Vec<ModelConfig> {
-    vec![ModelConfig::jodie(), ModelConfig::tgn(), ModelConfig::dysat()]
+    vec![
+        ModelConfig::jodie(),
+        ModelConfig::tgn(),
+        ModelConfig::dysat(),
+    ]
 }
 
 /// Figure 14(a): speedups of Cascade and Cascade_EX over TGL on the
@@ -75,7 +79,12 @@ pub fn fig14b(session: &Session) -> String {
 pub fn fig14c(session: &Session) -> String {
     let chunk = chunk_size(session);
     let mut t = TextTable::new(&[
-        "Dataset", "Model", "Variant", "BuildTable", "Lookup&Update", "ModelTraining",
+        "Dataset",
+        "Model",
+        "Variant",
+        "BuildTable",
+        "Lookup&Update",
+        "ModelTraining",
     ]);
     for name in LARGE {
         for model in scale_models() {
@@ -90,8 +99,7 @@ pub fn fig14c(session: &Session) -> String {
                     pct(r.build_time.as_secs_f64() / total),
                     pct(r.lookup_time.as_secs_f64() / total),
                     pct(
-                        (total - r.build_time.as_secs_f64() - r.lookup_time.as_secs_f64())
-                            .max(0.0)
+                        (total - r.build_time.as_secs_f64() - r.lookup_time.as_secs_f64()).max(0.0)
                             / total,
                     ),
                 ]);

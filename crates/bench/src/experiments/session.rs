@@ -40,8 +40,8 @@ impl Session {
         if let Some(d) = self.datasets.borrow().get(name) {
             return d.clone();
         }
-        let profile = profile_by_name(name)
-            .unwrap_or_else(|| panic!("unknown dataset profile '{}'", name));
+        let profile =
+            profile_by_name(name).unwrap_or_else(|| panic!("unknown dataset profile '{}'", name));
         let d = self.harness.dataset(profile);
         self.datasets
             .borrow_mut()

@@ -2,7 +2,9 @@
 //! single-run execution.
 
 use cascade_baselines::{tgl, tgl_lb, tglite, Etc, NeutronStream};
-use cascade_core::{train, BatchingStrategy, CascadeConfig, CascadeScheduler, TrainConfig, TrainReport};
+use cascade_core::{
+    train, BatchingStrategy, CascadeConfig, CascadeScheduler, TrainConfig, TrainReport,
+};
 use cascade_models::{MemoryTgnn, ModelConfig};
 use cascade_tgraph::{Dataset, SynthConfig};
 
@@ -66,9 +68,7 @@ impl StrategyKind {
             StrategyKind::Cascade | StrategyKind::CascadeLite => {
                 Box::new(CascadeScheduler::new(cascade))
             }
-            StrategyKind::CascadeTb => {
-                Box::new(CascadeScheduler::new(cascade.without_sg_filter()))
-            }
+            StrategyKind::CascadeTb => Box::new(CascadeScheduler::new(cascade.without_sg_filter())),
             StrategyKind::CascadeTheta(t) => {
                 Box::new(CascadeScheduler::new(cascade.with_theta(*t)))
             }

@@ -36,7 +36,8 @@ impl TextTable {
     /// Panics if the cell count differs from the header.
     pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
     }
 
     /// Number of data rows.
@@ -60,7 +61,14 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

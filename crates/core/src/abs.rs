@@ -107,7 +107,7 @@ impl Abs {
             return None;
         }
         self.batches_since_improvement += 1;
-        let at_checkpoint = batch_idx > 0 && batch_idx % self.decay_period == 0;
+        let at_checkpoint = batch_idx > 0 && batch_idx.is_multiple_of(self.decay_period);
         if at_checkpoint && self.batches_since_improvement >= self.patience {
             self.batches_since_improvement = 0;
             Some(self.decayed_max_r(batch_idx))
@@ -118,8 +118,8 @@ impl Abs {
 
     /// Equation 5 evaluated at batch `i`, clamped by Equation 7.
     pub fn decayed_max_r(&self, i: usize) -> usize {
-        let alpha = (self.stats.min as f64 * self.stats.min as f64)
-            / (self.stats.max as f64).max(1.0);
+        let alpha =
+            (self.stats.min as f64 * self.stats.min as f64) / (self.stats.max as f64).max(1.0);
         let beta = self.stats.batch_count as f64 / alpha.max(1e-9);
         let raw = 2.0 * self.stats.mean - alpha * ((i as f64 / beta.max(1e-9)) + 1.0).ln();
         self.clamp(raw)
@@ -274,7 +274,7 @@ mod tests {
         for i in [0, 10, 100, 1000, 100000] {
             let r = abs.decayed_max_r(i);
             assert!(r <= last, "decay increased at {}", i);
-            assert!(r >= 3 && r <= 30, "out of clamp range: {}", r);
+            assert!((3..=30).contains(&r), "out of clamp range: {}", r);
             last = r;
         }
     }

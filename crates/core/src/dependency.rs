@@ -68,7 +68,10 @@ impl DependencyTable {
     /// the paper's design protects against (`repro ablation` quantifies
     /// the trade-off).
     pub fn build_incident_only(events: &[Event], num_nodes: usize) -> Self {
-        assert!(events.len() <= u32::MAX as usize, "chunk exceeds u32 event ids");
+        assert!(
+            events.len() <= u32::MAX as usize,
+            "chunk exceeds u32 event ids"
+        );
         let mut entries: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
         for (i, e) in events.iter().enumerate() {
             entries[e.src.index()].push(i as u32);
@@ -97,7 +100,10 @@ impl DependencyTable {
             }
         }
 
-        assert!(events.len() <= u32::MAX as usize, "chunk exceeds u32 event ids");
+        assert!(
+            events.len() <= u32::MAX as usize,
+            "chunk exceeds u32 event ids"
+        );
         let mut entries: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
         for (n, entry) in entries.iter_mut().enumerate() {
             if incident[n].is_empty() {
@@ -232,8 +238,16 @@ mod tests {
         let events = figure7_events();
         let t = DependencyTable::build(&events, 14);
         for (i, e) in events.iter().enumerate() {
-            assert!(t.entry(e.src).contains(&i), "event {} missing from src entry", i);
-            assert!(t.entry(e.dst).contains(&i), "event {} missing from dst entry", i);
+            assert!(
+                t.entry(e.src).contains(&i),
+                "event {} missing from src entry",
+                i
+            );
+            assert!(
+                t.entry(e.dst).contains(&i),
+                "event {} missing from dst entry",
+                i
+            );
         }
     }
 
@@ -254,7 +268,11 @@ mod tests {
         let t = DependencyTable::build(&events, 14);
         for n in 0..t.num_nodes() {
             let e = t.entry(NodeId(n as u32));
-            assert!(e.windows(2).all(|w| w[0] < w[1]), "entry {} not strictly sorted", n);
+            assert!(
+                e.windows(2).all(|w| w[0] < w[1]),
+                "entry {} not strictly sorted",
+                n
+            );
         }
     }
 
@@ -294,8 +312,11 @@ mod tests {
         let chunked = DependencyTable::build_range(chunk, 14, 4);
         let dense_local = DependencyTable::build(chunk, 14);
         for n in 0..14u32 {
-            let shifted: Vec<EventId> =
-                dense_local.entry(NodeId(n)).iter().map(|&i| i + 4).collect();
+            let shifted: Vec<EventId> = dense_local
+                .entry(NodeId(n))
+                .iter()
+                .map(|&i| i + 4)
+                .collect();
             assert_eq!(chunked.entry(NodeId(n)), shifted, "node {}", n);
         }
     }

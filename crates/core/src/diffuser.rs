@@ -141,7 +141,7 @@ impl TgDiffuser {
             let pointers = &self.pointers;
             let max_r = self.max_r;
             let chunk = n_nodes.div_ceil(self.threads);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for t in 0..self.threads {
                     let lo = t * chunk;
@@ -149,9 +149,9 @@ impl TgDiffuser {
                     if lo >= hi {
                         break;
                     }
-                    handles.push(scope.spawn(move |_| {
-                        scan_min(table, pointers, stable, max_r, lo, hi)
-                    }));
+                    handles.push(
+                        scope.spawn(move || scan_min(table, pointers, stable, max_r, lo, hi)),
+                    );
                 }
                 handles
                     .into_iter()
@@ -159,7 +159,6 @@ impl TgDiffuser {
                     .min()
                     .unwrap_or(EventId::MAX)
             })
-            .expect("diffuser scan scope failed")
         } else {
             scan_min(&self.table, &self.pointers, stable, self.max_r, 0, n_nodes)
         };
@@ -170,11 +169,11 @@ impl TgDiffuser {
         let table = Arc::clone(&self.table);
         if self.threads > 1 && n_nodes > 256 {
             let chunk = n_nodes.div_ceil(self.threads);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (t, slot) in self.pointers.chunks_mut(chunk).enumerate() {
                     let lo = t * chunk;
                     let table = &table;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (off, p) in slot.iter_mut().enumerate() {
                             let n = lo + off;
                             if *p < table.entry_len(n) {
@@ -183,8 +182,7 @@ impl TgDiffuser {
                         }
                     });
                 }
-            })
-            .expect("diffuser advance scope failed");
+            });
         } else {
             for n in 0..n_nodes {
                 let p = &mut self.pointers[n];
@@ -260,7 +258,7 @@ mod tests {
     #[test]
     fn figure7b_boundary_is_8() {
         let mut d = diffuser(4);
-        assert_eq!(d.next_boundary(0, 12, &vec![false; 14]), 8);
+        assert_eq!(d.next_boundary(0, 12, &[false; 14]), 8);
     }
 
     #[test]
@@ -281,7 +279,7 @@ mod tests {
     #[test]
     fn all_stable_runs_to_limit() {
         let mut d = diffuser(1);
-        assert_eq!(d.next_boundary(0, 12, &vec![true; 14]), 12);
+        assert_eq!(d.next_boundary(0, 12, &[true; 14]), 12);
     }
 
     #[test]
@@ -307,7 +305,14 @@ mod tests {
             let stable = vec![false; 14];
             let b_small = small.next_boundary(0, 12, &stable);
             let b_large = large.next_boundary(0, 12, &stable);
-            assert!(b_large >= b_small, "Max_r {} -> {}: {} < {}", r, r + 1, b_large, b_small);
+            assert!(
+                b_large >= b_small,
+                "Max_r {} -> {}: {} < {}",
+                r,
+                r + 1,
+                b_large,
+                b_small
+            );
         }
     }
 

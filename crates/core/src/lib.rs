@@ -67,4 +67,6 @@ pub use diffuser::TgDiffuser;
 pub use instrument::{SpaceBreakdown, UtilizationProxy};
 pub use scheduler::{CascadeConfig, CascadeScheduler};
 pub use sgfilter::SgFilter;
-pub use trainer::{evaluate, evaluate_range, train, train_with_observer, EvalReport, TrainConfig, TrainReport};
+pub use trainer::{
+    evaluate, evaluate_range, train, train_with_observer, EvalReport, TrainConfig, TrainReport,
+};

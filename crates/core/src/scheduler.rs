@@ -2,10 +2,9 @@
 //! [`BatchingStrategy`], with optional chunk-based pipelined preprocessing
 //! (Cascade_EX, §4.2 / §5.5).
 
+use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{bounded, Receiver};
 
 use cascade_models::MemoryDelta;
 use cascade_tgraph::{Event, EventId};
@@ -248,10 +247,11 @@ impl BatchingStrategy for CascadeScheduler {
             table
         } else {
             // Chunked mode: a builder thread streams tables through a
-            // bounded channel, overlapping construction with training.
+            // bounded (rendezvous + 2 slots) channel, overlapping
+            // construction with training.
             let bounds = self.chunk_bounds.clone();
             let events: Arc<[Event]> = events.into();
-            let (tx, rx) = bounded(2);
+            let (tx, rx) = sync_channel(2);
             std::thread::spawn(move || {
                 for (idx, &(s, e)) in bounds.iter().enumerate() {
                     let t0 = Instant::now();
@@ -280,9 +280,8 @@ impl BatchingStrategy for CascadeScheduler {
         stats.batch_count = events.len().div_ceil(self.cfg.preset_batch_size);
         let abs = Abs::from_stats(stats);
         let max_r = abs.initial_max_r();
-        self.diffuser = Some(
-            TgDiffuser::new(first_table, max_r).with_threads(self.cfg.lookup_threads),
-        );
+        self.diffuser =
+            Some(TgDiffuser::new(first_table, max_r).with_threads(self.cfg.lookup_threads));
         self.abs = Some(abs);
     }
 
@@ -358,12 +357,7 @@ impl BatchingStrategy for CascadeScheduler {
 
     fn space(&self) -> StrategySpace {
         StrategySpace {
-            dependency_bytes: self
-                .tables
-                .iter()
-                .flatten()
-                .map(|t| t.size_bytes())
-                .sum(),
+            dependency_bytes: self.tables.iter().flatten().map(|t| t.size_bytes()).sum(),
             flag_bytes: self.sg.as_ref().map_or(0, SgFilter::size_bytes),
         }
     }

@@ -214,9 +214,8 @@ pub fn train_with_observer(
     // event-equivalents of measured per-event model compute.
     let events_processed = (n_train * cfg.epochs) as f64;
     let per_event = model_time.as_secs_f64() / events_processed.max(1.0);
-    let overhead = Duration::from_secs_f64(
-        per_event * cfg.sim_batch_overhead_events * num_batches as f64,
-    );
+    let overhead =
+        Duration::from_secs_f64(per_event * cfg.sim_batch_overhead_events * num_batches as f64);
     // Pipelined background table building shares this test machine's one
     // core with training (inflating measured time), but runs on otherwise
     // idle CPU in the modeled CPU-preprocess/GPU-train deployment: credit
@@ -247,7 +246,7 @@ pub fn train_with_observer(
     let space = SpaceBreakdown {
         dependency_table: strat_space.dependency_bytes,
         stable_flags: strat_space.flag_bytes,
-        graph: events.len() * std::mem::size_of::<cascade_tgraph::Event>(),
+        graph: std::mem::size_of_val(events),
         edge_features: data.features().size_bytes(),
         model: model.parameter_count() * std::mem::size_of::<f32>(),
         mailbox: model.mailbox_size_bytes(),
@@ -331,9 +330,9 @@ pub fn evaluate_range(
         let out = model.process_batch(&events[start..end], start, data.features());
         loss_sum += out.loss.item() as f64 * (end - start) as f64;
         n += end - start;
-        labels.extend(std::iter::repeat(1.0).take(out.pos_logits.len()));
+        labels.extend(std::iter::repeat_n(1.0, out.pos_logits.len()));
         logits.extend(out.pos_logits);
-        labels.extend(std::iter::repeat(0.0).take(out.neg_logits.len()));
+        labels.extend(std::iter::repeat_n(0.0, out.neg_logits.len()));
         logits.extend(out.neg_logits);
         start = end;
     }

@@ -1,24 +1,24 @@
-//! Property-based tests for the dependency table, diffuser, and ABS.
+//! Property-based tests for the dependency table, diffuser, and ABS,
+//! running on the in-repo `cascade-util` harness (seeded cases,
+//! `CASCADE_PROP_CASES` controls the count, default 64).
 
-use cascade_core::{
-    max_endurance_profiling, Abs, DependencyTable, SgFilter, TgDiffuser,
-};
+use cascade_core::{max_endurance_profiling, Abs, DependencyTable, SgFilter, TgDiffuser};
 use cascade_models::MemoryDelta;
 use cascade_tgraph::{DetRng, Event, NodeId};
-use proptest::prelude::*;
+use cascade_util::{check, prop_assert, prop_assert_eq, Gen};
 
-fn random_events() -> impl Strategy<Value = (Vec<Event>, usize)> {
-    (2usize..20, 10usize..120, any::<u64>()).prop_map(|(nodes, events, seed)| {
-        let mut rng = DetRng::new(seed);
-        let evs: Vec<Event> = (0..events)
-            .map(|i| {
-                let s = rng.index(nodes) as u32;
-                let d = rng.index(nodes) as u32;
-                Event::new(s, d, i as f64)
-            })
-            .collect();
-        (evs, nodes)
-    })
+fn random_events(g: &mut Gen) -> (Vec<Event>, usize) {
+    let nodes = g.usize_in(2..20);
+    let events = g.usize_in(10..120);
+    let mut rng = DetRng::new(g.u64());
+    let evs: Vec<Event> = (0..events)
+        .map(|i| {
+            let s = rng.index(nodes) as u32;
+            let d = rng.index(nodes) as u32;
+            Event::new(s, d, i as f64)
+        })
+        .collect();
+    (evs, nodes)
 }
 
 /// Reference (slow, obviously correct) dependency entry for one node.
@@ -40,23 +40,27 @@ fn reference_entry(events: &[Event], n: NodeId) -> Vec<usize> {
     out.into_iter().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn dependency_table_matches_reference((events, nodes) in random_events()) {
+#[test]
+fn dependency_table_matches_reference() {
+    check("dependency_table_matches_reference", |g| {
+        let (events, nodes) = random_events(g);
         let table = DependencyTable::build(&events, nodes);
         for n in 0..nodes as u32 {
             prop_assert_eq!(
                 table.entry(NodeId(n)),
                 reference_entry(&events, NodeId(n)),
-                "node {}", n
+                "node {}",
+                n
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn chunked_tables_match_per_chunk_reference((events, nodes) in random_events()) {
+#[test]
+fn chunked_tables_match_per_chunk_reference() {
+    check("chunked_tables_match_per_chunk_reference", |g| {
+        let (events, nodes) = random_events(g);
         let chunk = 17usize;
         for (c, slice) in events.chunks(chunk).enumerate() {
             let t = DependencyTable::build_range(slice, nodes, c * chunk);
@@ -65,18 +69,20 @@ proptest! {
                     .into_iter()
                     .map(|i| i + c * chunk)
                     .collect();
-                prop_assert_eq!(t.entry(NodeId(n)), local);
+                prop_assert_eq!(t.entry(NodeId(n)), local, "chunk {} node {}", c, n);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The core Cascade invariant: within any produced batch, every
-    /// non-stable node has at most `Max_r` relevant events.
-    #[test]
-    fn no_node_exceeds_its_endurance_budget(
-        (events, nodes) in random_events(),
-        max_r in 1usize..8,
-    ) {
+/// The core Cascade invariant: within any produced batch, every
+/// non-stable node has at most `Max_r` relevant events.
+#[test]
+fn no_node_exceeds_its_endurance_budget() {
+    check("no_node_exceeds_its_endurance_budget", |g| {
+        let (events, nodes) = random_events(g);
+        let max_r = g.usize_in(1..8);
         let table = DependencyTable::build(&events, nodes);
         let mut d = TgDiffuser::new(table.clone(), max_r);
         let stable = vec![false; nodes];
@@ -93,19 +99,25 @@ proptest! {
                 prop_assert!(
                     inside <= slack,
                     "node {} saw {} relevant events in {}..{} (Max_r {})",
-                    n, inside, start, end, max_r
+                    n,
+                    inside,
+                    start,
+                    end,
+                    max_r
                 );
             }
             start = end;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn stable_flags_only_ever_widen_batches(
-        (events, nodes) in random_events(),
-        max_r in 1usize..6,
-        stable_node in 0usize..20,
-    ) {
+#[test]
+fn stable_flags_only_ever_widen_batches() {
+    check("stable_flags_only_ever_widen_batches", |g| {
+        let (events, nodes) = random_events(g);
+        let max_r = g.usize_in(1..6);
+        let stable_node = g.usize_in(0..20);
         let table = DependencyTable::build(&events, nodes);
         let mut plain = TgDiffuser::new(table.clone(), max_r);
         let mut relaxed = TgDiffuser::new(table, max_r);
@@ -116,10 +128,15 @@ proptest! {
         let a = plain.next_boundary(0, events.len(), &none);
         let b = relaxed.next_boundary(0, events.len(), &some);
         prop_assert!(b >= a, "stabilizing a node shrank the batch: {} < {}", b, a);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn profiling_stats_are_ordered((events, nodes) in random_events(), bs in 2usize..32) {
+#[test]
+fn profiling_stats_are_ordered() {
+    check("profiling_stats_are_ordered", |g| {
+        let (events, nodes) = random_events(g);
+        let bs = g.usize_in(2..32);
         let table = DependencyTable::build(&events, nodes);
         let stats = max_endurance_profiling(&table, events.len(), bs, 1);
         prop_assert!(stats.min <= stats.max);
@@ -132,17 +149,21 @@ proptest! {
         prop_assert!(init >= stats.min.max(1));
         for i in [0usize, 7, 100, 5000] {
             let r = abs.decayed_max_r(i);
-            prop_assert!(r >= stats.min.max(1));
-            prop_assert!(r <= init);
+            prop_assert!(r >= stats.min.max(1), "batch {}: {} below floor", i, r);
+            prop_assert!(r <= init, "batch {}: {} above initial", i, r);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sgfilter_flags_reflect_last_update(
-        sims in proptest::collection::vec((0u32..10, -1.0f32..1.0), 1..40)
-    ) {
+#[test]
+fn sgfilter_flags_reflect_last_update() {
+    check("sgfilter_flags_reflect_last_update", |g| {
         // Drive the filter with synthetic cosine values via constructed
         // vectors: v = [1, 0], post = [c, sqrt(1-c^2)] has cosine c.
+        let sims: Vec<(u32, f32)> = (0..g.usize_in(1..40))
+            .map(|_| (g.usize_in(0..10) as u32, g.f32_in(-1.0..1.0)))
+            .collect();
         let mut filter = SgFilter::new(10, 0.9);
         let mut last: std::collections::HashMap<u32, f32> = Default::default();
         for &(node, c) in &sims {
@@ -156,7 +177,14 @@ proptest! {
             last.insert(node, c);
         }
         for (node, c) in last {
-            prop_assert_eq!(filter.flags()[node as usize], c >= 0.9 - 1e-4);
+            prop_assert_eq!(
+                filter.flags()[node as usize],
+                c >= 0.9 - 1e-4,
+                "node {} cosine {}",
+                node,
+                c
+            );
         }
-    }
+        Ok(())
+    });
 }

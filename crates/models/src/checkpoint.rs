@@ -222,8 +222,7 @@ mod tests {
         let mut wrong_arch = MemoryTgnn::new(ModelConfig::jodie().with_dims(8, 4), 6, 4, 1);
         assert!(matches!(
             load_parameters(&mut wrong_arch, &path),
-            Err(CheckpointError::CountMismatch { .. })
-                | Err(CheckpointError::ShapeMismatch { .. })
+            Err(CheckpointError::CountMismatch { .. }) | Err(CheckpointError::ShapeMismatch { .. })
         ));
     }
 

@@ -19,9 +19,7 @@ use cascade_nn::{
     bce_with_logits, EdgePredictor, GatLayer, GruCell, Linear, Module, RnnCell, TimeEncode,
 };
 use cascade_tensor::Tensor;
-use cascade_tgraph::{
-    AdjacencyStore, EdgeFeatures, Event, EventId, NegativeSampler, NodeId,
-};
+use cascade_tgraph::{AdjacencyStore, EdgeFeatures, Event, EventId, NegativeSampler, NodeId};
 
 use crate::config::{EmbedderKind, ModelConfig, Sampling, UpdaterKind};
 use crate::memory::{Mailbox, NodeMemory};
@@ -263,10 +261,7 @@ impl MemoryTgnn {
 
         // Base representations: src/dst rows come from the updated tensor
         // (gradients flow into the updater), negatives from stored memory.
-        let sd_indices: Vec<usize> = all_nodes[..2 * b]
-            .iter()
-            .map(|n| center_idx[n])
-            .collect();
+        let sd_indices: Vec<usize> = all_nodes[..2 * b].iter().map(|n| center_idx[n]).collect();
         let sd_base = updated.index_select(&sd_indices); // [2B, d]
         let neg_base = self.memory.gather(&all_nodes[2 * b..]); // [B, d] leaf
         let base = Tensor::concat_rows(&[&sd_base, &neg_base]); // [3B, d]
@@ -441,15 +436,21 @@ impl MemoryTgnn {
         let c = centers.len();
         let d = self.config.memory_dim;
         let f = self.edge_feat_dim;
-        let has_msg: Vec<bool> = centers.iter().map(|&n| self.mailbox.has_messages(n)).collect();
+        let has_msg: Vec<bool> = centers
+            .iter()
+            .map(|&n| self.mailbox.has_messages(n))
+            .collect();
         if !has_msg.iter().any(|&m| m) {
             return (stored.clone(), has_msg);
         }
 
         let upd = match &self.updater {
-            Updater::Attention { query, key, value, out } => {
-                self.attention_update(centers, stored, query, key, value, out)
-            }
+            Updater::Attention {
+                query,
+                key,
+                value,
+                out,
+            } => self.attention_update(centers, stored, query, key, value, out),
             _ => {
                 // Mean-aggregate raw messages, then encode time.
                 let mut agg = vec![0.0f32; c * (2 * d + f)];
@@ -527,7 +528,7 @@ impl MemoryTgnn {
         let v = value.forward(&msgs); // [C*cap, d]
 
         // Row-wise grouped dot product q_i · k_{i,j}.
-        let rep: Vec<usize> = (0..c).flat_map(|i| std::iter::repeat(i).take(cap)).collect();
+        let rep: Vec<usize> = (0..c).flat_map(|i| std::iter::repeat_n(i, cap)).collect();
         let q_exp = q.index_select(&rep); // [C*cap, d]
         let scores = q_exp
             .mul(&k)
@@ -542,7 +543,8 @@ impl MemoryTgnn {
             .mul(&alpha.reshape([c * cap, 1]))
             .reshape([c, cap, d])
             .sum_axis(1); // [C, d]
-        out.forward(&Tensor::concat_cols(&[stored, &attended])).tanh()
+        out.forward(&Tensor::concat_cols(&[stored, &attended]))
+            .tanh()
     }
 
     /// Applies the configured embedder to `base` representations of
@@ -697,7 +699,6 @@ impl MemoryTgnn {
             Tensor::concat_cols(&[base, &phi])
         }
     }
-
 }
 
 impl Module for MemoryTgnn {
@@ -706,7 +707,12 @@ impl Module for MemoryTgnn {
         match &self.updater {
             Updater::Rnn(c) => ps.extend(c.parameters()),
             Updater::Gru(c) => ps.extend(c.parameters()),
-            Updater::Attention { query, key, value, out } => {
+            Updater::Attention {
+                query,
+                key,
+                value,
+                out,
+            } => {
                 ps.extend(query.parameters());
                 ps.extend(key.parameters());
                 ps.extend(value.parameters());
@@ -820,12 +826,21 @@ mod tests {
             }
             last = l;
         }
-        assert!(last < first.unwrap(), "loss did not decrease: {} -> {}", first.unwrap(), last);
+        assert!(
+            last < first.unwrap(),
+            "loss did not decrease: {} -> {}",
+            first.unwrap(),
+            last
+        );
     }
 
     #[test]
     fn lite_mode_trains_like_full_mode() {
-        for base_cfg in [ModelConfig::tgn(), ModelConfig::jodie(), ModelConfig::apan()] {
+        for base_cfg in [
+            ModelConfig::tgn(),
+            ModelConfig::jodie(),
+            ModelConfig::apan(),
+        ] {
             let cfg = base_cfg.with_dims(8, 4).with_lite();
             let mut model = MemoryTgnn::new(cfg, 6, 4, 1);
             let feats = synth_features(6, 4, 2);

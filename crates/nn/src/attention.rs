@@ -70,7 +70,11 @@ impl GatLayer {
     /// Panics on any dimension inconsistency.
     pub fn forward(&self, center: &Tensor, neighbors: &Tensor, mask: &[f32], k: usize) -> Tensor {
         let b = center.dims()[0];
-        assert_eq!(center.dims()[1], self.in_dim, "GatLayer center width mismatch");
+        assert_eq!(
+            center.dims()[1],
+            self.in_dim,
+            "GatLayer center width mismatch"
+        );
         assert_eq!(
             neighbors.dims(),
             &[b * k, self.in_dim],
@@ -103,10 +107,7 @@ impl GatLayer {
         let alpha_n = alpha.slice_cols(1, k + 1).reshape([b * k, 1]); // [B*K, 1]
 
         let self_part = wh_c.mul(&alpha_self); // [B, out]
-        let neigh_part = wh_n
-            .mul(&alpha_n)
-            .reshape([b, k, self.out_dim])
-            .sum_axis(1); // [B, out]
+        let neigh_part = wh_n.mul(&alpha_n).reshape([b, k, self.out_dim]).sum_axis(1); // [B, out]
         self_part.add(&neigh_part).relu()
     }
 
@@ -123,7 +124,11 @@ impl GatLayer {
 
 impl Module for GatLayer {
     fn parameters(&self) -> Vec<Tensor> {
-        vec![self.weight.clone(), self.attn_src.clone(), self.attn_dst.clone()]
+        vec![
+            self.weight.clone(),
+            self.attn_src.clone(),
+            self.attn_dst.clone(),
+        ]
     }
 }
 

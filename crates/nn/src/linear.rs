@@ -97,7 +97,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new(dims: &[usize], seed: u64) -> Self {
-        assert!(dims.len() >= 2, "Mlp needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "Mlp needs at least input and output widths"
+        );
         let layers = dims
             .windows(2)
             .enumerate()

@@ -28,7 +28,7 @@ use cascade_tensor::Tensor;
 /// ```
 pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> Tensor {
     assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
-    assert!(logits.len() > 0, "bce on empty batch");
+    assert!(!logits.is_empty(), "bce on empty batch");
     let pos = logits.relu();
     let xz = logits.mul(targets);
     let softplus = logits.abs().neg().exp().add_scalar(1.0).log();
@@ -62,7 +62,11 @@ pub fn average_precision(logits: &[f32], targets: &[f32]) -> f32 {
     assert_eq!(logits.len(), targets.len(), "ap length mismatch");
     assert!(!logits.is_empty(), "ap on empty batch");
     let mut order: Vec<usize> = (0..logits.len()).collect();
-    order.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        logits[b]
+            .partial_cmp(&logits[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let total_pos = targets.iter().filter(|&&t| t > 0.5).count();
     if total_pos == 0 {
         return 0.0;
@@ -91,7 +95,10 @@ mod tests {
         // BCE(x=0, z=1) = ln 2
         let l = Tensor::from_vec(vec![0.0], [1]);
         let t = Tensor::from_vec(vec![1.0], [1]);
-        assert!(close(bce_with_logits(&l, &t).item(), std::f32::consts::LN_2));
+        assert!(close(
+            bce_with_logits(&l, &t).item(),
+            std::f32::consts::LN_2
+        ));
     }
 
     #[test]
@@ -124,12 +131,18 @@ mod tests {
 
     #[test]
     fn accuracy_counts() {
-        assert_eq!(binary_accuracy(&[1.0, -1.0, 1.0], &[1.0, 0.0, 0.0]), 2.0 / 3.0);
+        assert_eq!(
+            binary_accuracy(&[1.0, -1.0, 1.0], &[1.0, 0.0, 0.0]),
+            2.0 / 3.0
+        );
     }
 
     #[test]
     fn ap_perfect_ranking_is_one() {
-        assert!(close(average_precision(&[3.0, 2.0, -1.0, -2.0], &[1.0, 1.0, 0.0, 0.0]), 1.0));
+        assert!(close(
+            average_precision(&[3.0, 2.0, -1.0, -2.0], &[1.0, 1.0, 0.0, 0.0]),
+            1.0
+        ));
     }
 
     #[test]

@@ -201,7 +201,7 @@ mod tests {
     fn clip_caps_norm() {
         let p = Tensor::from_vec(vec![3.0, 4.0], [2]).requires_grad();
         p.square().sum().backward(); // grad = [6, 8], norm 10
-        let pre = clip_grad_norm(&[p.clone()], 5.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 5.0);
         assert!((pre - 10.0).abs() < 1e-4);
         let g = p.grad().unwrap();
         let norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
@@ -212,7 +212,7 @@ mod tests {
     fn clip_leaves_small_grads() {
         let p = Tensor::from_vec(vec![0.3], [1]).requires_grad();
         p.square().sum().backward(); // grad 0.6
-        clip_grad_norm(&[p.clone()], 5.0);
+        clip_grad_norm(std::slice::from_ref(&p), 5.0);
         assert!((p.grad().unwrap()[0] - 0.6).abs() < 1e-5);
     }
 }

@@ -41,8 +41,16 @@ impl EdgePredictor {
     ///
     /// Panics if the inputs disagree in shape or width.
     pub fn forward(&self, src: &Tensor, dst: &Tensor) -> Tensor {
-        assert_eq!(src.shape(), dst.shape(), "EdgePredictor input shapes differ");
-        assert_eq!(src.dims()[1], self.embed_dim, "EdgePredictor width mismatch");
+        assert_eq!(
+            src.shape(),
+            dst.shape(),
+            "EdgePredictor input shapes differ"
+        );
+        assert_eq!(
+            src.dims()[1],
+            self.embed_dim,
+            "EdgePredictor width mismatch"
+        );
         self.mlp.forward(&Tensor::concat_cols(&[src, dst]))
     }
 }

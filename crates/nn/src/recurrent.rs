@@ -72,7 +72,11 @@ impl GruCell {
     /// their batch sizes differ.
     pub fn forward(&self, x: &Tensor, h: &Tensor) -> Tensor {
         assert_eq!(x.dims()[1], self.in_dim, "GruCell input width mismatch");
-        assert_eq!(h.dims()[1], self.hidden_dim, "GruCell hidden width mismatch");
+        assert_eq!(
+            h.dims()[1],
+            self.hidden_dim,
+            "GruCell hidden width mismatch"
+        );
         assert_eq!(x.dims()[0], h.dims()[0], "GruCell batch mismatch");
         let r = x
             .matmul(&self.w_xr)
@@ -146,9 +150,16 @@ impl RnnCell {
     /// Panics on width or batch mismatches.
     pub fn forward(&self, x: &Tensor, h: &Tensor) -> Tensor {
         assert_eq!(x.dims()[1], self.in_dim, "RnnCell input width mismatch");
-        assert_eq!(h.dims()[1], self.hidden_dim, "RnnCell hidden width mismatch");
+        assert_eq!(
+            h.dims()[1],
+            self.hidden_dim,
+            "RnnCell hidden width mismatch"
+        );
         assert_eq!(x.dims()[0], h.dims()[0], "RnnCell batch mismatch");
-        x.matmul(&self.w_x).add(&h.matmul(&self.w_h)).add(&self.b).tanh()
+        x.matmul(&self.w_x)
+            .add(&h.matmul(&self.w_h))
+            .add(&self.b)
+            .tanh()
     }
 
     /// Hidden width.

@@ -113,7 +113,9 @@ fn input_gradients_flow_through_stacked_layers() {
     let x0 = vec![0.3f32, -0.8, 1.1, 0.5, 0.2, -0.4];
     let f = |v: &[f32]| {
         let x = Tensor::from_vec(v.to_vec(), [2, 3]);
-        ln.forward(&gru.forward(&x, &lin.forward(&x))).square().mean()
+        ln.forward(&gru.forward(&x, &lin.forward(&x)))
+            .square()
+            .mean()
     };
 
     let x = Tensor::from_vec(x0.clone(), [2, 3]).requires_grad();

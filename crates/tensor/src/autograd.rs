@@ -32,7 +32,11 @@ impl Tensor {
     ///
     /// Panics if `upstream.len()` differs from the element count.
     pub fn backward_with(&self, upstream: &[f32]) {
-        assert_eq!(upstream.len(), self.len(), "upstream gradient length mismatch");
+        assert_eq!(
+            upstream.len(),
+            self.len(),
+            "upstream gradient length mismatch"
+        );
         if !self.is_requires_grad() {
             return;
         }

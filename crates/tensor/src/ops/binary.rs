@@ -80,7 +80,7 @@ fn binary(a: &Tensor, b: &Tensor, op: BinOp) -> Tensor {
         let a_dims = a.dims().to_vec();
         let b_dims = b.dims().to_vec();
         let mut out = Vec::with_capacity(out_shape.len());
-        if out_shape.len() > 0 {
+        if !out_shape.is_empty() {
             let mut idx = vec![0usize; out_dims.len()];
             loop {
                 let ai = broadcast_offset(&idx, &a_dims, &a_strides);
@@ -166,7 +166,10 @@ fn broadcast_map(
     f: impl Fn(f32, f32) -> f32,
 ) -> Vec<f32> {
     let vals = expand(src, out_dims);
-    grad.iter().zip(vals.iter()).map(|(&g, &v)| f(g, v)).collect()
+    grad.iter()
+        .zip(vals.iter())
+        .map(|(&g, &v)| f(g, v))
+        .collect()
 }
 
 /// Materializes `src` broadcast to `out_dims`.

@@ -69,12 +69,23 @@ impl Tensor {
     /// Panics if either operand is not rank-2 or the inner dimensions
     /// disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.dims().len(), 2, "matmul lhs must be rank-2, got {}", self.shape());
-        assert_eq!(other.dims().len(), 2, "matmul rhs must be rank-2, got {}", other.shape());
+        assert_eq!(
+            self.dims().len(),
+            2,
+            "matmul lhs must be rank-2, got {}",
+            self.shape()
+        );
+        assert_eq!(
+            other.dims().len(),
+            2,
+            "matmul rhs must be rank-2, got {}",
+            other.shape()
+        );
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul inner dimensions disagree: {} vs {}",
             self.shape(),
             other.shape()

@@ -10,4 +10,3 @@ mod reduce;
 mod select;
 mod shape_ops;
 mod unary;
-

@@ -40,7 +40,12 @@ impl Tensor {
     /// Panics if `axis` is out of range.
     pub fn sum_axis(&self, axis: usize) -> Tensor {
         let dims = self.dims();
-        assert!(axis < dims.len(), "sum_axis axis {} out of range for {}", axis, self.shape());
+        assert!(
+            axis < dims.len(),
+            "sum_axis axis {} out of range for {}",
+            axis,
+            self.shape()
+        );
         let axis_len = dims[axis];
         let outer: usize = dims[..axis].iter().product();
         let inner: usize = dims[axis + 1..].iter().product();
@@ -75,9 +80,7 @@ impl Tensor {
                     for a in 0..axis_len {
                         let base = (o * axis_len + a) * inner;
                         let src_base = o * inner;
-                        for i in 0..inner {
-                            g[base + i] = grad[src_base + i];
-                        }
+                        g[base..base + inner].copy_from_slice(&grad[src_base..src_base + inner]);
                     }
                 }
                 p.accumulate_grad(&g);
@@ -142,8 +145,10 @@ impl Tensor {
                     let ys = &y[r * cols..(r + 1) * cols];
                     let gs = &grad[r * cols..(r + 1) * cols];
                     let dot: f32 = ys.iter().zip(gs.iter()).map(|(&a, &b)| a * b).sum();
-                    for ((o, &yi), &gi) in
-                        g[r * cols..(r + 1) * cols].iter_mut().zip(ys.iter()).zip(gs.iter())
+                    for ((o, &yi), &gi) in g[r * cols..(r + 1) * cols]
+                        .iter_mut()
+                        .zip(ys.iter())
+                        .zip(gs.iter())
                     {
                         *o = yi * (gi - dot);
                     }
@@ -156,7 +161,10 @@ impl Tensor {
 
     /// Largest element (no autograd).
     pub fn max_value(&self) -> f32 {
-        self.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Smallest element (no autograd).

@@ -14,7 +14,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank-2 or any index is out of bounds.
     pub fn index_select(&self, indices: &[usize]) -> Tensor {
-        assert_eq!(self.dims().len(), 2, "index_select requires rank-2, got {}", self.shape());
+        assert_eq!(
+            self.dims().len(),
+            2,
+            "index_select requires rank-2, got {}",
+            self.shape()
+        );
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         let data = self.data();
         let mut out = Vec::with_capacity(indices.len() * cols);

@@ -38,7 +38,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank-2.
     pub fn transpose(&self) -> Tensor {
-        assert_eq!(self.dims().len(), 2, "transpose requires rank-2, got {}", self.shape());
+        assert_eq!(
+            self.dims().len(),
+            2,
+            "transpose requires rank-2, got {}",
+            self.shape()
+        );
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let data = self.data();
         let mut out = vec![0.0; m * n];
@@ -107,9 +112,8 @@ impl Tensor {
                     if p.is_requires_grad() {
                         let mut g = vec![0.0; rows * w];
                         for r in 0..rows {
-                            g[r * w..(r + 1) * w].copy_from_slice(
-                                &grad[r * total_w + col..r * total_w + col + w],
-                            );
+                            g[r * w..(r + 1) * w]
+                                .copy_from_slice(&grad[r * total_w + col..r * total_w + col + w]);
                         }
                         p.accumulate_grad(&g);
                     }
@@ -191,8 +195,7 @@ impl Tensor {
                 }
                 let mut g = vec![0.0; rows * cols];
                 for r in 0..rows {
-                    g[r * cols + start..r * cols + end]
-                        .copy_from_slice(&grad[r * w..(r + 1) * w]);
+                    g[r * cols + start..r * cols + end].copy_from_slice(&grad[r * w..(r + 1) * w]);
                 }
                 p.accumulate_grad(&g);
             }),
@@ -207,7 +210,13 @@ impl Tensor {
     pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
         assert_eq!(self.dims().len(), 2, "slice_rows requires rank-2");
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
-        assert!(start <= end && end <= rows, "slice_rows range {}..{} out of {} rows", start, end, rows);
+        assert!(
+            start <= end && end <= rows,
+            "slice_rows range {}..{} out of {} rows",
+            start,
+            end,
+            rows
+        );
         let data = self.data()[start * cols..end * cols].to_vec();
         Tensor::from_op(
             data,

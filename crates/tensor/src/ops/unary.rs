@@ -83,11 +83,7 @@ impl Tensor {
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
-        unary(
-            self,
-            |x| 1.0 / (1.0 + (-x).exp()),
-            |_, y| y * (1.0 - y),
-        )
+        unary(self, |x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
     }
 
     /// Elementwise rectified linear unit.
@@ -116,11 +112,7 @@ impl Tensor {
 
     /// Elementwise power with constant exponent.
     pub fn powf(&self, e: f32) -> Tensor {
-        unary(
-            self,
-            move |x| x.powf(e),
-            move |x, _| e * x.powf(e - 1.0),
-        )
+        unary(self, move |x| x.powf(e), move |x, _| e * x.powf(e - 1.0))
     }
 
     /// Clamps every element into `[lo, hi]` (zero gradient outside).

@@ -6,8 +6,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cascade_util::DetRng;
 
 use crate::shape::Shape;
 
@@ -139,10 +138,8 @@ impl Tensor {
     /// deterministically seeded.
     pub fn uniform(shape: impl Into<Shape>, low: f32, high: f32, seed: u64) -> Tensor {
         let shape = shape.into();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..shape.len())
-            .map(|_| rng.random_range(low..high))
-            .collect();
+        let mut rng = DetRng::new(seed);
+        let data = (0..shape.len()).map(|_| rng.range_f32(low, high)).collect();
         Tensor::leaf(data, shape, false)
     }
 
@@ -150,12 +147,13 @@ impl Tensor {
     /// deterministically seeded.
     pub fn randn(shape: impl Into<Shape>, seed: u64) -> Tensor {
         let shape = shape.into();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::new(seed);
         let n = shape.len();
         let mut data = Vec::with_capacity(n);
         while data.len() < n {
-            let u1: f32 = rng.random_range(f32::EPSILON..1.0);
-            let u2: f32 = rng.random_range(0.0..1.0);
+            // 1 - f32() lies in (0, 1], keeping ln() finite.
+            let u1: f32 = (1.0 - rng.f32()).max(f32::EPSILON);
+            let u2: f32 = rng.f32();
             let r = (-2.0f32 * u1.ln()).sqrt();
             let theta = 2.0 * std::f32::consts::PI * u2;
             data.push(r * theta.cos());
@@ -199,7 +197,11 @@ impl Tensor {
     /// Cascade detaches node memories at batch boundaries, matching the
     /// stop-gradient semantics of memory-based TGNNs.
     pub fn detach(&self) -> Tensor {
-        Tensor::leaf(self.inner.data.borrow().clone(), self.inner.shape.clone(), false)
+        Tensor::leaf(
+            self.inner.data.borrow().clone(),
+            self.inner.shape.clone(),
+            false,
+        )
     }
 
     /// Unique autograd node id (monotonic creation order).
@@ -244,7 +246,12 @@ impl Tensor {
     /// Panics if the tensor holds more than one element.
     pub fn item(&self) -> f32 {
         let data = self.inner.data.borrow();
-        assert_eq!(data.len(), 1, "item() on tensor with {} elements", data.len());
+        assert_eq!(
+            data.len(),
+            1,
+            "item() on tensor with {} elements",
+            data.len()
+        );
         data[0]
     }
 

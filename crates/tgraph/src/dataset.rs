@@ -21,7 +21,11 @@ impl EdgeFeatures {
     /// Panics if `data.len()` is not a multiple of `dim` (for `dim > 0`).
     pub fn new(data: Vec<f32>, dim: usize) -> Self {
         if dim > 0 {
-            assert_eq!(data.len() % dim, 0, "edge feature buffer not a multiple of dim");
+            assert_eq!(
+                data.len() % dim,
+                0,
+                "edge feature buffer not a multiple of dim"
+            );
         } else {
             assert!(data.is_empty(), "dim 0 features must be empty");
         }
@@ -40,11 +44,7 @@ impl EdgeFeatures {
 
     /// Number of feature rows.
     pub fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// `true` if no features are stored.
@@ -172,7 +172,12 @@ impl Dataset {
     /// # Errors
     ///
     /// Returns an error on I/O failure or malformed rows.
-    pub fn from_csv(name: &str, path: &Path, feature_dim: usize, seed: u64) -> Result<Self, CsvError> {
+    pub fn from_csv(
+        name: &str,
+        path: &Path,
+        feature_dim: usize,
+        seed: u64,
+    ) -> Result<Self, CsvError> {
         let text = std::fs::read_to_string(path).map_err(CsvError::Io)?;
         let mut events = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -189,9 +194,15 @@ impl Dataset {
             if lineno == 0 && fields[0].parse::<u32>().is_err() {
                 continue;
             }
-            let src: u32 = fields[0].parse().map_err(|_| CsvError::Malformed { line: lineno })?;
-            let dst: u32 = fields[1].parse().map_err(|_| CsvError::Malformed { line: lineno })?;
-            let time: f64 = fields[2].parse().map_err(|_| CsvError::Malformed { line: lineno })?;
+            let src: u32 = fields[0]
+                .parse()
+                .map_err(|_| CsvError::Malformed { line: lineno })?;
+            let dst: u32 = fields[1]
+                .parse()
+                .map_err(|_| CsvError::Malformed { line: lineno })?;
+            let time: f64 = fields[2]
+                .parse()
+                .map_err(|_| CsvError::Malformed { line: lineno })?;
             events.push(Event::new(src, dst, time));
         }
         let stream = EventStream::from_unsorted(events);

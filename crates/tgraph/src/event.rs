@@ -1,10 +1,11 @@
 //! Events and event streams — the CTDG representation of §2.1.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use cascade_util::Json;
+
 /// Identifies a node of the dynamic graph.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -39,7 +40,7 @@ pub type EventId = usize;
 ///
 /// In the CTDG formulation `G = {e(t₁), e(t₂), …}` (Equation 1), each
 /// event is "typically represented as an edge with a timestamp".
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Event {
     /// Source node.
     pub src: NodeId,
@@ -63,7 +64,64 @@ impl Event {
     pub fn touches(&self, node: NodeId) -> bool {
         self.src == node || self.dst == node
     }
+
+    /// This event as a compact JSON triple `[src, dst, time]`.
+    pub fn to_json_value(&self) -> Json {
+        Json::Arr(vec![
+            Json::from(self.src.0),
+            Json::from(self.dst.0),
+            Json::from(self.time),
+        ])
+    }
+
+    /// Parses an event from the `[src, dst, time]` triple form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamDecodeError`] if the value is not a triple of two
+    /// node ids and a finite timestamp.
+    pub fn from_json_value(v: &Json) -> Result<Event, StreamDecodeError> {
+        let arr = v
+            .as_arr()
+            .filter(|a| a.len() == 3)
+            .ok_or_else(|| StreamDecodeError::new("event must be a [src, dst, time] triple"))?;
+        let node = |j: &Json, which: &str| -> Result<NodeId, StreamDecodeError> {
+            j.as_usize()
+                .filter(|&id| id <= u32::MAX as usize)
+                .map(|id| NodeId(id as u32))
+                .ok_or_else(|| StreamDecodeError::new(format!("{} is not a node id", which)))
+        };
+        let time = arr[2]
+            .as_f64()
+            .filter(|t| t.is_finite())
+            .ok_or_else(|| StreamDecodeError::new("time is not a finite number"))?;
+        Ok(Event {
+            src: node(&arr[0], "src")?,
+            dst: node(&arr[1], "dst")?,
+            time,
+        })
+    }
 }
+
+/// Error decoding an [`EventStream`] (or [`Event`]) from JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamDecodeError {
+    msg: String,
+}
+
+impl StreamDecodeError {
+    fn new(msg: impl Into<String>) -> Self {
+        StreamDecodeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for StreamDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid event-stream JSON: {}", self.msg)
+    }
+}
+
+impl std::error::Error for StreamDecodeError {}
 
 /// A chronologically ordered sequence of events.
 ///
@@ -79,7 +137,7 @@ impl Event {
 /// assert_eq!(stream.len(), 2);
 /// assert_eq!(stream.num_nodes(), 3);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct EventStream {
     events: Vec<Event>,
     num_nodes: usize,
@@ -122,7 +180,11 @@ impl EventStream {
 
     /// Creates a stream, sorting the events by timestamp first (stable).
     pub fn from_unsorted(mut events: Vec<Event>) -> Self {
-        events.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal));
+        events.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         EventStream::new(events).expect("sorted events are ordered")
     }
 
@@ -184,6 +246,65 @@ impl EventStream {
             return 0.0;
         }
         2.0 * self.events.len() as f64 / self.num_nodes as f64
+    }
+
+    /// Serializes the stream as compact JSON:
+    /// `{"num_nodes": N, "events": [[src, dst, time], …]}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cascade_tgraph::{Event, EventStream};
+    ///
+    /// let stream = EventStream::new(vec![Event::new(0u32, 1u32, 0.5)]).unwrap();
+    /// let restored = EventStream::from_json(&stream.to_json()).unwrap();
+    /// assert_eq!(restored.events(), stream.events());
+    /// assert_eq!(restored.num_nodes(), stream.num_nodes());
+    /// ```
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("num_nodes".into(), Json::from(self.num_nodes)),
+            (
+                "events".into(),
+                Json::Arr(self.events.iter().map(Event::to_json_value).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses a stream written by [`EventStream::to_json`], revalidating
+    /// chronological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamDecodeError`] on malformed JSON, out-of-order
+    /// events, or a stored `num_nodes` smaller than the events imply
+    /// (the stored value may be larger: restricted sub-streams keep the
+    /// parent's node count).
+    pub fn from_json(text: &str) -> Result<EventStream, StreamDecodeError> {
+        let v = Json::parse(text).map_err(|e| StreamDecodeError::new(e.to_string()))?;
+        let num_nodes = v
+            .get("num_nodes")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| StreamDecodeError::new("missing integer field 'num_nodes'"))?;
+        let events = v
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| StreamDecodeError::new("missing array field 'events'"))?
+            .iter()
+            .map(Event::from_json_value)
+            .collect::<Result<Vec<Event>, StreamDecodeError>>()?;
+        let stream = EventStream::new(events).map_err(|e| StreamDecodeError::new(e.to_string()))?;
+        if num_nodes < stream.num_nodes {
+            return Err(StreamDecodeError::new(format!(
+                "num_nodes {} is smaller than the {} the events imply",
+                num_nodes, stream.num_nodes
+            )));
+        }
+        Ok(EventStream {
+            events: stream.events,
+            num_nodes,
+        })
     }
 }
 
@@ -309,12 +430,8 @@ mod snapshot_tests {
 
     #[test]
     fn snapshots_partition_events() {
-        let s = EventStream::new(
-            (0..10)
-                .map(|i| Event::new(0u32, 1u32, i as f64))
-                .collect(),
-        )
-        .unwrap();
+        let s =
+            EventStream::new((0..10).map(|i| Event::new(0u32, 1u32, i as f64)).collect()).unwrap();
         let snaps = s.snapshots(3.0);
         assert_eq!(snaps.len(), 4);
         let total: usize = snaps.iter().map(EventStream::len).sum();

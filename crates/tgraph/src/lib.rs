@@ -22,14 +22,16 @@
 
 mod dataset;
 mod event;
-mod rng;
 mod sampler;
 mod stats;
 mod synth;
 
 pub use dataset::{synth_features, CsvError, Dataset, EdgeFeatures};
-pub use event::{Event, EventId, EventStream, NodeId, OrderError};
-pub use rng::DetRng;
+pub use event::{Event, EventId, EventStream, NodeId, OrderError, StreamDecodeError};
+// `DetRng` lives in `cascade-util` (so `cascade-tensor` can seed without
+// depending on this crate) and is re-exported here for its historical
+// users.
+pub use cascade_util::DetRng;
 pub use sampler::{AdjacencyStore, NegativeSampler, NeighborRef};
 pub use stats::{batch_degree_histogram, max_batch_degree, DatasetStats, TemporalStats};
 pub use synth::SynthConfig;

@@ -6,7 +6,7 @@
 //! TGN, APAN) and `uniform` (DySAT, TGAT).
 
 use crate::event::{Event, EventId, NodeId};
-use crate::rng::DetRng;
+use cascade_util::DetRng;
 
 /// One sampled neighbor: the partner node, the event that connected it,
 /// and the event timestamp.
@@ -85,9 +85,7 @@ impl AdjacencyStore {
         if list.is_empty() {
             return Vec::new();
         }
-        (0..k)
-            .map(|_| list[self.rng.index(list.len())])
-            .collect()
+        (0..k).map(|_| list[self.rng.index(list.len())]).collect()
     }
 
     /// Number of recorded adjacencies of `node`.

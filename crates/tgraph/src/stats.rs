@@ -87,7 +87,10 @@ pub fn batch_degree_histogram(
         }
         for &node in &touched {
             let d = degree[node] as usize;
-            let bucket = bucket_edges.iter().position(|&edge| d < edge).unwrap_or(bucket_edges.len());
+            let bucket = bucket_edges
+                .iter()
+                .position(|&edge| d < edge)
+                .unwrap_or(bucket_edges.len());
             counts[bucket] += 1;
             total += 1;
             degree[node] = 0;

@@ -15,8 +15,8 @@
 //! shrink to laptop size while preserving relative shape.
 
 use crate::dataset::{synth_features, Dataset};
-use crate::rng::DetRng;
 use crate::event::{Event, EventStream};
+use cascade_util::DetRng;
 
 /// Configuration of a synthetic dynamic-graph generator.
 ///
@@ -257,7 +257,10 @@ impl SynthConfig {
     ///
     /// Panics if `scale` is not positive and finite.
     pub fn with_node_scale(mut self, scale: f64) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "node scale must be positive");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "node scale must be positive"
+        );
         self.node_scale = Some(scale);
         self
     }
@@ -300,8 +303,8 @@ impl SynthConfig {
         let items = n - items_start;
 
         // Activity-window widths (nodes simultaneously active).
-        let user_span = ((users as f64 * self.pool_fraction.max(0.01) * 4.0) as usize)
-            .clamp(1, users);
+        let user_span =
+            ((users as f64 * self.pool_fraction.max(0.01) * 4.0) as usize).clamp(1, users);
         let item_span = if items > 0 {
             ((items as f64 * self.pool_fraction.max(0.01) * 8.0) as usize).clamp(1, items)
         } else {
@@ -325,27 +328,26 @@ impl SynthConfig {
 
             // Sliding frontier: the population in play at event i.
             let progress = i as f64 / m as f64;
-            let user_frontier =
-                user_span + ((users - user_span) as f64 * progress) as usize;
-            let src =
-                (user_frontier - 1 - skewed_index(&mut rng, user_span, self.skew)) as u32;
+            let user_frontier = user_span + ((users - user_span) as f64 * progress) as usize;
+            let src = (user_frontier - 1 - skewed_index(&mut rng, user_span, self.skew)) as u32;
 
             let dst = if !recent[src as usize].is_empty() && rng.chance(self.repeat_prob) {
                 let hist = &recent[src as usize];
                 hist[rng.index(hist.len())]
             } else if items > 0 {
-                let item_frontier =
-                    item_span + ((items - item_span) as f64 * progress) as usize;
+                let item_frontier = item_span + ((items - item_span) as f64 * progress) as usize;
                 let local = item_frontier - 1 - skewed_index(&mut rng, item_span, self.skew);
                 (items_start + local) as u32
             } else {
                 // Unipartite: another node from the active window.
-                let mut d = (user_frontier
-                    - 1
-                    - skewed_index(&mut rng, user_span, self.skew))
-                    as u32;
+                let mut d =
+                    (user_frontier - 1 - skewed_index(&mut rng, user_span, self.skew)) as u32;
                 if d == src {
-                    d = if d + 1 < users as u32 { d + 1 } else { d.saturating_sub(1) };
+                    d = if d + 1 < users as u32 {
+                        d + 1
+                    } else {
+                        d.saturating_sub(1)
+                    };
                 }
                 d
             };
@@ -436,8 +438,7 @@ mod tests {
     fn bipartite_destinations_in_item_range() {
         let cfg = SynthConfig::reddit().with_scale(0.02);
         let d = cfg.generate(5);
-        let items_start =
-            ((cfg.scaled_nodes() as f64) * (1.0 - cfg.item_fraction)) as usize;
+        let items_start = ((cfg.scaled_nodes() as f64) * (1.0 - cfg.item_fraction)) as usize;
         // Destinations are items or recent partners (which are items too).
         for e in d.stream() {
             assert!(e.dst.index() >= items_start || e.dst.index() < items_start);

@@ -1,0 +1,81 @@
+//! Round-trip tests for the std-only JSON (de)serialization of
+//! [`Event`] and [`EventStream`] that replaced the serde derives.
+
+use cascade_tgraph::{DetRng, Event, EventStream, SynthConfig};
+use cascade_util::{check, prop_assert_eq};
+
+#[test]
+fn event_round_trips_through_json_value() {
+    let e = Event::new(3u32, 7u32, 1.25);
+    let v = e.to_json_value();
+    assert_eq!(Event::from_json_value(&v), Ok(e));
+}
+
+#[test]
+fn empty_stream_round_trips() {
+    let s = EventStream::new(vec![]).unwrap();
+    let restored = EventStream::from_json(&s.to_json()).unwrap();
+    assert!(restored.is_empty());
+    assert_eq!(restored.num_nodes(), 0);
+}
+
+#[test]
+fn restricted_stream_keeps_parent_node_count_through_json() {
+    let s = EventStream::new(vec![
+        Event::new(0u32, 9u32, 0.0),
+        Event::new(1u32, 2u32, 1.0),
+    ])
+    .unwrap();
+    let r = s.restricted(1..2);
+    let restored = EventStream::from_json(&r.to_json()).unwrap();
+    assert_eq!(restored.events(), r.events());
+    assert_eq!(restored.num_nodes(), 10);
+}
+
+#[test]
+fn synthetic_stream_round_trips_exactly() {
+    let data = SynthConfig::wiki().with_scale(0.003).generate(11);
+    let stream = data.stream();
+    let restored = EventStream::from_json(&stream.to_json()).unwrap();
+    assert_eq!(restored.events(), stream.events());
+    assert_eq!(restored.num_nodes(), stream.num_nodes());
+}
+
+#[test]
+fn random_streams_round_trip() {
+    check("random_streams_round_trip", |g| {
+        let nodes = g.usize_in(1..50);
+        let n_events = g.usize_in(0..200);
+        let mut rng = DetRng::new(g.u64());
+        let mut time = 0.0f64;
+        let events: Vec<Event> = (0..n_events)
+            .map(|_| {
+                time += rng.f64() * 3.0;
+                Event::new(rng.index(nodes) as u32, rng.index(nodes) as u32, time)
+            })
+            .collect();
+        let stream = EventStream::new(events).expect("monotone times");
+        let restored = EventStream::from_json(&stream.to_json())
+            .map_err(|e| format!("decode failed: {}", e))?;
+        prop_assert_eq!(restored.events(), stream.events());
+        prop_assert_eq!(restored.num_nodes(), stream.num_nodes());
+        Ok(())
+    });
+}
+
+#[test]
+fn from_json_rejects_malformed_input() {
+    assert!(EventStream::from_json("not json").is_err());
+    assert!(EventStream::from_json("{}").is_err());
+    assert!(EventStream::from_json("{\"num_nodes\": 2}").is_err());
+    // Wrong triple arity.
+    assert!(EventStream::from_json("{\"num_nodes\": 2, \"events\": [[0, 1]]}").is_err());
+    // Non-finite / non-numeric time.
+    assert!(EventStream::from_json("{\"num_nodes\": 2, \"events\": [[0, 1, \"x\"]]}").is_err());
+    // Out-of-order events must be rejected, as EventStream::new would.
+    let err = EventStream::from_json("{\"num_nodes\": 2, \"events\": [[0, 1, 5.0], [1, 0, 1.0]]}")
+        .unwrap_err();
+    assert!(err.to_string().contains("earlier"), "{}", err);
+    // num_nodes smaller than the events imply.
+    assert!(EventStream::from_json("{\"num_nodes\": 1, \"events\": [[0, 7, 0.0]]}").is_err());
+}

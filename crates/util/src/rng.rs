@@ -9,7 +9,7 @@
 /// # Examples
 ///
 /// ```
-/// use cascade_tgraph::DetRng;
+/// use cascade_util::DetRng;
 ///
 /// let mut a = DetRng::new(42);
 /// let mut b = DetRng::new(42);
@@ -50,6 +50,16 @@ impl DetRng {
     /// Uniform `f32` in `[0, 1)`.
     pub fn f32(&mut self) -> f32 {
         (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn range_f32(&mut self, low: f32, high: f32) -> f32 {
+        assert!(low < high, "range_f32 requires low < high");
+        low + self.f32() * (high - low)
     }
 
     /// Uniform index in `[0, n)`.
@@ -94,6 +104,15 @@ mod tests {
         for _ in 0..1000 {
             let v = r.f64();
             assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_f32_bounded() {
+        let mut r = DetRng::new(11);
+        for _ in 0..1000 {
+            let v = r.range_f32(-0.5, 0.5);
+            assert!((-0.5..0.5).contains(&v));
         }
     }
 

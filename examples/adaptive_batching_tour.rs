@@ -13,8 +13,18 @@ use cascade_tgraph::{Event, NodeId, SynthConfig};
 fn main() {
     // ---- 1. The Figure 7 example -------------------------------------
     let pairs = [
-        (1, 2), (1, 7), (1, 8), (1, 9), (10, 11), (10, 12),
-        (10, 13), (10, 4), (1, 3), (1, 5), (1, 6), (3, 4),
+        (1, 2),
+        (1, 7),
+        (1, 8),
+        (1, 9),
+        (10, 11),
+        (10, 12),
+        (10, 13),
+        (10, 4),
+        (1, 3),
+        (1, 5),
+        (1, 6),
+        (3, 4),
     ];
     let events: Vec<Event> = pairs
         .iter()
@@ -100,8 +110,16 @@ fn main() {
     // SG-Filter on synthetic memory transitions.
     let mut filter = SgFilter::new(4, 0.9);
     filter.observe(&[
-        MemoryDelta { node: NodeId(0), pre: vec![1.0, 0.0], post: vec![0.98, 0.05] },
-        MemoryDelta { node: NodeId(1), pre: vec![1.0, 0.0], post: vec![0.0, 1.0] },
+        MemoryDelta {
+            node: NodeId(0),
+            pre: vec![1.0, 0.0],
+            post: vec![0.98, 0.05],
+        },
+        MemoryDelta {
+            node: NodeId(1),
+            pre: vec![1.0, 0.0],
+            post: vec![0.0, 1.0],
+        },
     ]);
     println!(
         "\nSG-Filter: node 0 stable = {}, node 1 stable = {} (θ = {})",

@@ -76,7 +76,13 @@ fn main() {
         .collect();
     let labels: Vec<f32> = students
         .iter()
-        .map(|n| if last_seen[n.index()] < horizon { 1.0 } else { 0.0 })
+        .map(|n| {
+            if last_seen[n.index()] < horizon {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect();
     let dropouts = labels.iter().filter(|&&l| l > 0.5).count();
     println!(
@@ -110,15 +116,22 @@ fn main() {
         loss.backward();
         opt.step();
         if epoch % 40 == 0 {
-            println!("  classifier epoch {:>2}: train loss {:.4}", epoch, loss.item());
+            println!(
+                "  classifier epoch {:>2}: train loss {:.4}",
+                epoch,
+                loss.item()
+            );
         }
     }
 
     let emb = model.embed_nodes(&test_s, now, data.features());
     let logits = head.forward(&emb.detach()).to_vec();
     let acc = binary_accuracy(&logits, &test_y);
-    let base_rate =
-        test_y.iter().map(|&l| if l > 0.5 { 1.0 } else { 0.0 }).sum::<f32>() / test_y.len() as f32;
+    let base_rate = test_y
+        .iter()
+        .map(|&l| if l > 0.5 { 1.0 } else { 0.0 })
+        .sum::<f32>()
+        / test_y.len() as f32;
     println!(
         "\nheld-out drop-out accuracy: {:.1}% (majority-class baseline {:.1}%)",
         acc * 100.0,

@@ -1,12 +1,17 @@
 //! Cross-strategy batching invariants, property-tested over generated
-//! streams.
+//! streams via the in-repo `cascade-util` harness (seeded cases,
+//! `CASCADE_PROP_CASES` controls the count, default 64).
 
 use cascade_baselines::{tgl, Etc, NeutronStream};
 use cascade_core::{BatchingStrategy, CascadeConfig, CascadeScheduler};
-use cascade_tgraph::{Event, EventStream, SynthConfig};
-use proptest::prelude::*;
+use cascade_tgraph::{DetRng, Event, EventStream, SynthConfig};
+use cascade_util::{check, prop_assert, prop_assert_eq, Gen};
 
-fn partition(strategy: &mut dyn BatchingStrategy, events: &[Event], num_nodes: usize) -> Vec<usize> {
+fn partition(
+    strategy: &mut dyn BatchingStrategy,
+    events: &[Event],
+    num_nodes: usize,
+) -> Vec<usize> {
     strategy.prepare(events, num_nodes);
     strategy.reset_epoch();
     let mut boundaries = Vec::new();
@@ -14,35 +19,38 @@ fn partition(strategy: &mut dyn BatchingStrategy, events: &[Event], num_nodes: u
     while start < events.len() {
         let end = strategy.next_batch_end(start, events.len());
         assert!(end > start, "{} made no progress", strategy.name());
-        assert!(end <= events.len(), "{} overran the stream", strategy.name());
+        assert!(
+            end <= events.len(),
+            "{} overran the stream",
+            strategy.name()
+        );
         boundaries.push(end);
         start = end;
     }
     boundaries
 }
 
-fn arbitrary_stream() -> impl Strategy<Value = (Vec<Event>, usize)> {
-    (2usize..30, 20usize..200, any::<u64>()).prop_map(|(nodes, events, seed)| {
-        let mut rng = cascade_tgraph::DetRng::new(seed);
-        let evs: Vec<Event> = (0..events)
-            .map(|i| {
-                let s = rng.index(nodes) as u32;
-                let mut d = rng.index(nodes) as u32;
-                if d == s {
-                    d = (d + 1) % nodes as u32;
-                }
-                Event::new(s, d, i as f64)
-            })
-            .collect();
-        (evs, nodes)
-    })
+fn arbitrary_stream(g: &mut Gen) -> (Vec<Event>, usize) {
+    let nodes = g.usize_in(2..30);
+    let events = g.usize_in(20..200);
+    let mut rng = DetRng::new(g.u64());
+    let evs: Vec<Event> = (0..events)
+        .map(|i| {
+            let s = rng.index(nodes) as u32;
+            let mut d = rng.index(nodes) as u32;
+            if d == s {
+                d = (d + 1) % nodes as u32;
+            }
+            Event::new(s, d, i as f64)
+        })
+        .collect();
+    (evs, nodes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_strategies_partition_any_stream((events, nodes) in arbitrary_stream()) {
+#[test]
+fn all_strategies_partition_any_stream() {
+    check("all_strategies_partition_any_stream", |g| {
+        let (events, nodes) = arbitrary_stream(g);
         let strategies: Vec<Box<dyn BatchingStrategy>> = vec![
             Box::new(tgl(16)),
             Box::new(NeutronStream::new(16)),
@@ -64,10 +72,14 @@ proptest! {
             prop_assert_eq!(*b.last().unwrap(), events.len());
             prop_assert!(b.windows(2).all(|w| w[0] < w[1]));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cascade_boundaries_repeat_across_epochs((events, nodes) in arbitrary_stream()) {
+#[test]
+fn cascade_boundaries_repeat_across_epochs() {
+    check("cascade_boundaries_repeat_across_epochs", |g| {
+        let (events, nodes) = arbitrary_stream(g);
         let mut s = CascadeScheduler::new(
             CascadeConfig {
                 preset_batch_size: 16,
@@ -85,10 +97,14 @@ proptest! {
             start = end;
         }
         prop_assert_eq!(first, second);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn etc_never_exceeds_detected_loss((events, nodes) in arbitrary_stream()) {
+#[test]
+fn etc_never_exceeds_detected_loss() {
+    check("etc_never_exceeds_detected_loss", |g| {
+        let (events, nodes) = arbitrary_stream(g);
         let mut s = Etc::new(16);
         s.prepare(&events, nodes);
         let threshold = s.threshold();
@@ -112,15 +128,22 @@ proptest! {
                 prop_assert!(
                     loss <= threshold,
                     "batch {}..{} loss {} > threshold {}",
-                    start, end, loss, threshold
+                    start,
+                    end,
+                    loss,
+                    threshold
                 );
             }
             start = end;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn neutron_extension_is_node_disjoint((events, nodes) in arbitrary_stream()) {
+#[test]
+fn neutron_extension_is_node_disjoint() {
+    check("neutron_extension_is_node_disjoint", |g| {
+        let (events, nodes) = arbitrary_stream(g);
         let base = 8;
         let mut s = NeutronStream::new(base);
         s.prepare(&events, nodes);
@@ -136,13 +159,19 @@ proptest! {
                 seen.insert(e.dst);
             }
             for e in &events[base_end..end] {
-                prop_assert!(!seen.contains(&e.src) && !seen.contains(&e.dst));
+                prop_assert!(
+                    !seen.contains(&e.src) && !seen.contains(&e.dst),
+                    "event ({:?}, {:?}) overlaps the batch prefix",
+                    e.src,
+                    e.dst
+                );
                 seen.insert(e.src);
                 seen.insert(e.dst);
             }
             start = end;
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]

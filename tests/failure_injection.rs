@@ -43,15 +43,19 @@ fn two_node_graph_trains() {
 fn self_loop_events_are_handled() {
     let data = Dataset::new(
         "selfloop",
-        stream(&[(0, 0), (1, 1), (0, 1), (1, 0), (0, 0), (1, 1), (0, 1), (1, 0)]),
+        stream(&[
+            (0, 0),
+            (1, 1),
+            (0, 1),
+            (1, 0),
+            (0, 0),
+            (1, 1),
+            (0, 1),
+            (1, 0),
+        ]),
         EdgeFeatures::none(),
     );
-    let mut model = MemoryTgnn::new(
-        ModelConfig::jodie().with_dims(4, 2),
-        data.num_nodes(),
-        0,
-        1,
-    );
+    let mut model = MemoryTgnn::new(ModelConfig::jodie().with_dims(4, 2), data.num_nodes(), 0, 1);
     let out = model.process_batch(data.stream().events(), 0, data.features());
     assert!(out.loss.item().is_finite());
 }
@@ -144,13 +148,17 @@ fn huge_max_r_takes_whole_stream() {
     let events = stream(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
     let t = DependencyTable::build(events.events(), 4);
     let mut d = TgDiffuser::new(t, usize::MAX / 2);
-    assert_eq!(d.next_boundary(0, 4, &vec![false; 4]), 4);
+    assert_eq!(d.next_boundary(0, 4, &[false; 4]), 4);
 }
 
 #[test]
 fn evaluate_on_empty_validation_range_is_nan() {
     // 4 events: train 0..2, val 3..3 (empty).
-    let data = Dataset::new("tiny", stream(&[(0, 1), (1, 2), (2, 0), (0, 2)]), EdgeFeatures::none());
+    let data = Dataset::new(
+        "tiny",
+        stream(&[(0, 1), (1, 2), (2, 0), (0, 2)]),
+        EdgeFeatures::none(),
+    );
     assert!(data.val_range().is_empty() || !data.val_range().is_empty());
     let mut model = MemoryTgnn::new(ModelConfig::jodie().with_dims(4, 2), 3, 0, 1);
     let v = evaluate(&mut model, &data, 2);
@@ -162,10 +170,26 @@ fn evaluate_on_empty_validation_range_is_nan() {
 fn single_event_batches_everywhere() {
     let data = Dataset::new(
         "drip",
-        stream(&[(0, 1), (1, 2), (2, 0), (0, 2), (1, 0), (2, 1), (0, 1), (1, 2), (2, 0), (0, 2)]),
+        stream(&[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (0, 2),
+            (1, 0),
+            (2, 1),
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (0, 2),
+        ]),
         EdgeFeatures::none(),
     );
-    let mut model = MemoryTgnn::new(ModelConfig::tgn().with_dims(4, 2).with_neighbors(1), 3, 0, 1);
+    let mut model = MemoryTgnn::new(
+        ModelConfig::tgn().with_dims(4, 2).with_neighbors(1),
+        3,
+        0,
+        1,
+    );
     let mut strat = FixedBatching::new(1);
     let cfg = TrainConfig {
         epochs: 1,
@@ -179,7 +203,12 @@ fn single_event_batches_everywhere() {
 
 #[test]
 fn score_links_on_cold_model() {
-    let mut model = MemoryTgnn::new(ModelConfig::tgn().with_dims(4, 2).with_neighbors(2), 5, 0, 1);
+    let mut model = MemoryTgnn::new(
+        ModelConfig::tgn().with_dims(4, 2).with_neighbors(2),
+        5,
+        0,
+        1,
+    );
     let feats = EdgeFeatures::none();
     let scores = model.score_links(NodeId(0), &[NodeId(1), NodeId(2)], 10.0, &feats);
     assert_eq!(scores.len(), 2);
@@ -190,7 +219,18 @@ fn score_links_on_cold_model() {
 fn cascade_on_stream_smaller_than_preset() {
     let data = Dataset::new(
         "short",
-        stream(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3), (2, 4), (3, 0), (4, 1)]),
+        stream(&[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+            (3, 0),
+            (4, 1),
+        ]),
         EdgeFeatures::none(),
     );
     let mut model = MemoryTgnn::new(ModelConfig::jodie().with_dims(4, 2), 5, 0, 1);

@@ -1,0 +1,150 @@
+//! Regression test for the zero-dependency policy: every dependency in
+//! every manifest of this workspace must be a path-internal `cascade-*`
+//! crate. Offline CI (and air-gapped checkouts) break the moment a
+//! registry dependency is reintroduced, so this fails fast at `cargo
+//! test` time instead of at the first `cargo build` without a network.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Section headers whose entries are dependency declarations. Dotted
+/// forms like `[dependencies.foo]` are handled separately.
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+fn manifests() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut found = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ directory") {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            found.push(manifest);
+        }
+    }
+    assert!(
+        found.len() >= 8,
+        "expected the workspace root and at least 7 member manifests, found {}",
+        found.len()
+    );
+    found
+}
+
+/// Returns the offending `(line_number, line)` pairs of `manifest`:
+/// dependency entries that are not path-internal `cascade-*` crates.
+fn violations(manifest: &Path) -> Vec<(usize, String)> {
+    let text = fs::read_to_string(manifest)
+        .unwrap_or_else(|e| panic!("read {}: {}", manifest.display(), e));
+    let mut bad = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let header = header.trim_start_matches('[').trim_end_matches(']');
+            // `[dependencies.foo]` / `[target.'cfg(..)'.dependencies.foo]`
+            // declare the dependency `foo` in the header itself.
+            if let Some((section, name)) = header.rsplit_once('.') {
+                if DEP_SECTIONS.iter().any(|s| section.ends_with(s)) && !name.starts_with("cascade")
+                {
+                    bad.push((idx + 1, raw.to_string()));
+                }
+            }
+            in_dep_section = DEP_SECTIONS.iter().any(|s| header.ends_with(s));
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let name = line.split('=').next().unwrap_or("").trim();
+        if !name.starts_with("cascade") {
+            bad.push((idx + 1, raw.to_string()));
+        }
+    }
+    bad
+}
+
+#[test]
+fn every_dependency_is_a_path_internal_cascade_crate() {
+    let mut report = String::new();
+    for manifest in manifests() {
+        for (line_no, line) in violations(&manifest) {
+            report.push_str(&format!(
+                "{}:{}: non-cascade dependency `{}`\n",
+                manifest.display(),
+                line_no,
+                line.trim()
+            ));
+        }
+    }
+    assert!(
+        report.is_empty(),
+        "registry dependencies are not allowed in this workspace \
+         (see DESIGN.md, zero-dependency policy):\n{}",
+        report
+    );
+}
+
+#[test]
+fn workspace_dependency_values_are_path_entries() {
+    // Belt and braces: even a `cascade-*` name could smuggle in a
+    // registry version requirement; the workspace table must map every
+    // dependency to a `path = "crates/..."` entry.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let text = fs::read_to_string(&root).expect("workspace manifest");
+    let mut in_table = false;
+    let mut checked = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_table || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        assert!(
+            line.contains("path = \"crates/"),
+            "workspace dependency is not path-internal: {}",
+            line
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 7,
+        "expected at least 7 workspace path dependencies, saw {}",
+        checked
+    );
+}
+
+#[test]
+fn no_banned_crate_names_anywhere_in_manifests() {
+    // The crates this workspace used to pull from the registry. Substring
+    // match over dependency lines only (comments may mention them).
+    let banned = ["proptest", "criterion", "crossbeam", "parking_lot", "serde"];
+    for manifest in manifests() {
+        let text = fs::read_to_string(&manifest).expect("manifest");
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            for b in banned {
+                assert!(
+                    !line.contains(b),
+                    "{}:{}: mentions banned crate `{}`: {}",
+                    manifest.display(),
+                    idx + 1,
+                    b,
+                    line
+                );
+            }
+        }
+    }
+}

@@ -53,7 +53,7 @@ fn figure7b_last_tolerable_event() {
     let mut d = TgDiffuser::new(t, 4);
     // "the batch's last event is e(8) since any events after this one may
     // use intolerably expired information on node_1 or node_2"
-    assert_eq!(d.next_boundary(0, 12, &vec![false; 14]), 8);
+    assert_eq!(d.next_boundary(0, 12, &[false; 14]), 8);
 }
 
 #[test]
