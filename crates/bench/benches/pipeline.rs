@@ -1,0 +1,162 @@
+//! Pipelined-executor micro-benchmarks: one serial Cascade epoch against
+//! `cascade-exec` at prefetch depths 1, 2, and 4.
+//!
+//! Under `cargo bench` the report lands in `bench_results/pipeline.json`,
+//! extended with an `overlap` object holding the per-stage busy/stall
+//! telemetry of one depth-2 pipelined run — the numbers behind the claim
+//! that the driver's stall time stays below the total stage busy time
+//! (i.e. the pipeline overlaps, rather than serializes, the stages).
+//! Under `cargo test` each target trains once as a smoke test.
+
+use std::hint::black_box;
+
+use cascade_core::{train, CascadeConfig, CascadeScheduler, StageTimings, TrainConfig};
+use cascade_exec::{train_pipelined, PipelineConfig};
+use cascade_models::{MemoryTgnn, ModelConfig};
+use cascade_tgraph::{Dataset, SynthConfig};
+use cascade_util::{BenchSuite, Json};
+
+fn bench_data() -> Dataset {
+    SynthConfig::wiki()
+        .with_scale(0.008)
+        .with_node_scale(0.027)
+        .with_feature_dim(8)
+        .generate(42)
+}
+
+fn one_epoch_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 1,
+        lr: 1e-3,
+        eval_batch_size: 64,
+        clip_norm: Some(5.0),
+        ..TrainConfig::default()
+    }
+}
+
+fn tgn_model(data: &Dataset) -> MemoryTgnn {
+    MemoryTgnn::new(
+        ModelConfig::tgn().with_dims(16, 8).with_neighbors(4),
+        data.num_nodes(),
+        data.features().dim(),
+        1,
+    )
+}
+
+fn scheduler() -> CascadeScheduler {
+    CascadeScheduler::new(CascadeConfig {
+        preset_batch_size: 64,
+        ..CascadeConfig::default()
+    })
+}
+
+fn run_pipelined(data: &Dataset, pcfg: &PipelineConfig) -> StageTimings {
+    let mut model = tgn_model(data);
+    let mut s = scheduler();
+    train_pipelined(&mut model, data, &mut s, &one_epoch_cfg(), pcfg)
+        .expect("pipelined bench run failed")
+        .stages
+}
+
+fn stage_json(name: &str, busy_ns: f64, stall_ns: f64, items: usize) -> (String, Json) {
+    (
+        name.to_string(),
+        Json::Obj(vec![
+            ("busy_ns".into(), Json::from(busy_ns)),
+            ("stall_ns".into(), Json::from(stall_ns)),
+            ("items".into(), Json::from(items)),
+        ]),
+    )
+}
+
+/// The per-stage overlap telemetry of one pipelined run as JSON. The
+/// interesting comparison is `driver_stall_ns` (time stages B/C spent
+/// waiting on queues) against `total_busy_ns` (time all three stages
+/// spent working): overlap means stalls stay a small fraction of work.
+fn overlap_json(stages: &StageTimings, depth: usize, staleness: usize) -> Json {
+    let ns = |d: std::time::Duration| d.as_nanos() as f64;
+    Json::Obj(vec![
+        ("depth".into(), Json::from(depth)),
+        ("staleness".into(), Json::from(staleness)),
+        (
+            "scan".into(),
+            stage_json(
+                "scan",
+                ns(stages.scan.busy),
+                ns(stages.scan.stall),
+                stages.scan.items,
+            )
+            .1,
+        ),
+        (
+            "compute".into(),
+            stage_json(
+                "compute",
+                ns(stages.compute.busy),
+                ns(stages.compute.stall),
+                stages.compute.items,
+            )
+            .1,
+        ),
+        (
+            "update".into(),
+            stage_json(
+                "update",
+                ns(stages.update.busy),
+                ns(stages.update.stall),
+                stages.update.items,
+            )
+            .1,
+        ),
+        ("total_busy_ns".into(), Json::from(ns(stages.total_busy()))),
+        (
+            "driver_stall_ns".into(),
+            Json::from(ns(stages.driver_stall())),
+        ),
+        (
+            "stall_below_busy".into(),
+            Json::from(stages.driver_stall() < stages.total_busy()),
+        ),
+    ])
+}
+
+fn main() {
+    let mut suite = BenchSuite::new("pipeline");
+    let data = bench_data();
+
+    suite.bench("train_tgn_cascade/serial", || {
+        let mut model = tgn_model(&data);
+        let mut s = scheduler();
+        black_box(train(&mut model, &data, &mut s, &one_epoch_cfg()))
+    });
+    for depth in [1usize, 2, 4] {
+        let pcfg = PipelineConfig::default()
+            .with_depth(depth)
+            .with_staleness(depth.saturating_sub(1));
+        suite.bench(
+            &format!("train_tgn_cascade/pipelined_depth{}", depth),
+            || black_box(run_pipelined(&data, &pcfg)),
+        );
+    }
+
+    // One instrumented run at depth 2 supplies the overlap telemetry;
+    // measured only when the suite itself is measuring (finish() returns
+    // the report path), so `cargo test` smoke runs stay fast and
+    // write-free.
+    if let Some(path) = suite.finish() {
+        let pcfg = PipelineConfig::default().with_depth(2).with_staleness(1);
+        let stages = run_pipelined(&data, &pcfg);
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot re-read {}: {}", path.display(), e));
+        let mut report = Json::parse(&raw).expect("suite report is valid JSON");
+        if let Json::Obj(fields) = &mut report {
+            fields.push(("overlap".into(), overlap_json(&stages, 2, 1)));
+        }
+        std::fs::write(&path, report.to_string())
+            .unwrap_or_else(|e| panic!("cannot write {}: {}", path.display(), e));
+        eprintln!(
+            "[bench pipeline] appended overlap telemetry to {}",
+            path.display()
+        );
+    }
+}

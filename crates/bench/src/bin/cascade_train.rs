@@ -12,6 +12,7 @@ use cascade_baselines::{tgl, tglite, Etc, NeutronStream};
 use cascade_core::{
     evaluate_range, train, BatchingStrategy, CascadeConfig, CascadeScheduler, TrainConfig,
 };
+use cascade_exec::{train_pipelined, PipelineConfig};
 use cascade_models::{load_parameters, save_parameters, MemoryTgnn, ModelConfig};
 use cascade_tgraph::{Dataset, SynthConfig};
 
@@ -29,6 +30,9 @@ struct Args {
     save: Option<PathBuf>,
     load: Option<PathBuf>,
     test: bool,
+    pipelined: bool,
+    pipeline_depth: usize,
+    staleness: usize,
 }
 
 impl Args {
@@ -47,6 +51,9 @@ impl Args {
             save: None,
             load: None,
             test: false,
+            pipelined: false,
+            pipeline_depth: 2,
+            staleness: 1,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -68,6 +75,9 @@ impl Args {
                 "--save" => a.save = Some(PathBuf::from(val("--save")?)),
                 "--load" => a.load = Some(PathBuf::from(val("--load")?)),
                 "--test" => a.test = true,
+                "--pipelined" => a.pipelined = true,
+                "--pipeline-depth" => a.pipeline_depth = parse(&val("--pipeline-depth")?)?,
+                "--staleness" => a.staleness = parse(&val("--staleness")?)?,
                 "--help" | "-h" => {
                     print_usage();
                     std::process::exit(0);
@@ -92,7 +102,11 @@ fn print_usage() {
          --epochs N --batch N --dim N --scale F --seed N --theta F\n\
          --chunk N  enable chunked preprocessing (Cascade_EX)\n\
          --save P / --load P  checkpoint parameters\n\
-         --test     also evaluate on the held-out test range"
+         --test     also evaluate on the held-out test range\n\
+         --pipelined          train with the three-stage pipelined executor\n\
+         --pipeline-depth N   scan prefetch depth (default 2)\n\
+         --staleness N        scheduler staleness bound in batches\n\
+                              (default 1; 0 = bit-identical to serial)"
     );
 }
 
@@ -143,7 +157,7 @@ fn build_model(args: &Args, data: &Dataset) -> Result<MemoryTgnn, String> {
     ))
 }
 
-fn build_strategy(args: &Args) -> Result<Box<dyn BatchingStrategy>, String> {
+fn build_strategy(args: &Args) -> Result<Box<dyn BatchingStrategy + Send>, String> {
     let cascade = CascadeConfig {
         preset_batch_size: args.batch,
         theta: args.theta,
@@ -199,7 +213,20 @@ fn run() -> Result<(), String> {
         ..TrainConfig::default()
     };
 
-    let report = train(&mut model, &data, strategy.as_mut(), &cfg);
+    let report = if args.pipelined {
+        let pcfg = PipelineConfig::default()
+            .with_depth(args.pipeline_depth)
+            .with_staleness(args.staleness);
+        println!(
+            "pipelined executor: depth {}, staleness bound {}",
+            pcfg.depth,
+            pcfg.effective_staleness()
+        );
+        train_pipelined(&mut model, &data, strategy.as_mut(), &cfg, &pcfg)
+            .map_err(|e| e.to_string())?
+    } else {
+        train(&mut model, &data, strategy.as_mut(), &cfg)
+    };
     println!(
         "\n[{} / {} / {}]",
         report.dataset, report.model, report.strategy
@@ -211,6 +238,7 @@ fn run() -> Result<(), String> {
         report.avg_batch_size, report.max_batch_size
     );
     println!("  wall time         {:?}", report.total_time);
+    println!("  stages            {}", report.stages);
     println!(
         "  epoch losses      {:?}",
         report

@@ -1,0 +1,70 @@
+//! The pipelined-executor experiment: serial vs. `cascade-exec`'s
+//! three-stage pipeline at several depth/staleness shapes.
+//!
+//! This goes beyond the paper's artifact set: Cascade's scan and
+//! SG-Filter refresh sit on the serial critical path, and the pipeline
+//! moves them onto a scout thread (the same overlap MSPipe obtains from
+//! bounded staleness). The table reports wall time normalized to the
+//! serial Cascade run, plus the stage telemetry backing it.
+
+use cascade_exec::PipelineConfig;
+use cascade_models::ModelConfig;
+
+use crate::harness::StrategyKind;
+use crate::table::{f2, TextTable};
+
+use super::session::Session;
+
+/// Serial vs. pipelined Cascade training across depth/staleness shapes.
+pub fn pipeline(session: &Session) -> String {
+    let shapes: [(usize, usize); 3] = [(1, 0), (2, 1), (4, 2)];
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "Model",
+        "Executor",
+        "Wall(s)",
+        "ScanBusy(s)",
+        "DriverStall(s)",
+        "NormWall",
+    ]);
+    for name in ["WIKI", "REDDIT"] {
+        for model in [ModelConfig::jodie(), ModelConfig::tgn()] {
+            let serial = session.run(name, model.clone(), &StrategyKind::Cascade);
+            let base = serial.report.total_time.as_secs_f64().max(1e-12);
+            let s = &serial.report.stages;
+            t.row(&[
+                name.to_string(),
+                model.name.to_string(),
+                "serial".to_string(),
+                f2(base),
+                f2(s.scan.busy.as_secs_f64()),
+                f2(s.driver_stall().as_secs_f64()),
+                f2(1.0),
+            ]);
+            for (depth, staleness) in shapes {
+                let pcfg = PipelineConfig::default()
+                    .with_depth(depth)
+                    .with_staleness(staleness);
+                let out = session.run_pipelined(name, model.clone(), &StrategyKind::Cascade, &pcfg);
+                let wall = out.report.total_time.as_secs_f64();
+                let s = &out.report.stages;
+                t.row(&[
+                    name.to_string(),
+                    model.name.to_string(),
+                    format!("pipe(d{},s{})", depth, staleness),
+                    f2(wall),
+                    f2(s.scan.busy.as_secs_f64()),
+                    f2(s.driver_stall().as_secs_f64()),
+                    f2(wall / base),
+                ]);
+            }
+        }
+    }
+    format!(
+        "Pipelined executor: serial Cascade vs cascade-exec shapes\n\
+         Expectation: staleness 0 (d1,s0) matches serial results exactly and\n\
+         pays queue overhead; deeper shapes hide scan/SG-Filter time behind\n\
+         model compute, so driver stall stays below serial scan busy.\n{}",
+        t
+    )
+}

@@ -5,6 +5,7 @@ use cascade_baselines::{tgl, tgl_lb, tglite, Etc, NeutronStream};
 use cascade_core::{
     train, BatchingStrategy, CascadeConfig, CascadeScheduler, TrainConfig, TrainReport,
 };
+use cascade_exec::{train_pipelined, PipelineConfig};
 use cascade_models::{MemoryTgnn, ModelConfig};
 use cascade_tgraph::{Dataset, SynthConfig};
 
@@ -55,7 +56,7 @@ impl StrategyKind {
         matches!(self, StrategyKind::TgLite | StrategyKind::CascadeLite)
     }
 
-    fn build(&self, preset: usize, seed: u64) -> Box<dyn BatchingStrategy> {
+    fn build(&self, preset: usize, seed: u64) -> Box<dyn BatchingStrategy + Send> {
         let cascade = CascadeConfig {
             preset_batch_size: preset,
             seed,
@@ -262,6 +263,35 @@ impl Harness {
         let report = train(&mut model, data, strat.as_mut(), &self.train_cfg());
         RunOutcome {
             label: strategy.label(),
+            report,
+        }
+    }
+
+    /// Runs one (dataset, model, strategy) training through the
+    /// three-stage pipelined executor (`cascade-exec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pipeline stage fails; the harness strategies are
+    /// well-formed, so a failure is a bug worth aborting on.
+    pub fn run_pipelined(
+        &self,
+        data: &Dataset,
+        base: ModelConfig,
+        strategy: &StrategyKind,
+        pcfg: &PipelineConfig,
+    ) -> RunOutcome {
+        let mut model = self.build_model(data, base, strategy.lite_model());
+        let mut strat = strategy.build(self.preset_batch, self.seed);
+        let report = train_pipelined(&mut model, data, strat.as_mut(), &self.train_cfg(), pcfg)
+            .unwrap_or_else(|e| panic!("pipelined run failed: {}", e));
+        RunOutcome {
+            label: format!(
+                "{}+pipe(d{},s{})",
+                strategy.label(),
+                pcfg.depth,
+                pcfg.effective_staleness()
+            ),
             report,
         }
     }

@@ -1,7 +1,101 @@
-//! Space accounting (Figure 13(c) / Figure 14) and the hardware-
-//! utilization proxy behind the §3.1 motivation numbers.
+//! Space accounting (Figure 13(c) / Figure 14), the hardware-utilization
+//! proxy behind the §3.1 motivation numbers, and the per-stage pipeline
+//! telemetry shared by the serial trainer and the `cascade-exec`
+//! pipelined executor.
 
 use std::fmt;
+use std::time::Duration;
+
+/// Wall-clock accounting of one pipeline stage.
+///
+/// `busy` is time spent doing the stage's own work, `stall` is time spent
+/// blocked on a neighboring stage (waiting on a queue), and `items` is
+/// the number of batches the stage processed. In the serial trainer the
+/// stalls are zero by construction; in the pipelined executor
+/// `stall < busy` on the driver stages is the signature of successful
+/// overlap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Time spent in the stage's own work.
+    pub busy: Duration,
+    /// Time spent blocked on an adjacent stage's queue.
+    pub stall: Duration,
+    /// Batches processed by the stage.
+    pub items: usize,
+}
+
+impl StageTiming {
+    /// Adds one processed item's busy time.
+    pub fn record(&mut self, busy: Duration) {
+        self.busy += busy;
+        self.items += 1;
+    }
+
+    /// Busy plus stall time — the stage's total wall-clock footprint.
+    pub fn wall(&self) -> Duration {
+        self.busy + self.stall
+    }
+
+    /// Items per second of busy time (0 when nothing ran).
+    pub fn throughput(&self) -> f64 {
+        if self.busy.is_zero() {
+            return 0.0;
+        }
+        self.items as f64 / self.busy.as_secs_f64()
+    }
+}
+
+/// Telemetry of the three-stage batch pipeline (§2.2 / Figure 3):
+/// boundary **scan**, model **compute**, and memory **update**.
+///
+/// Produced by both the serial [`train`](crate::train) loop (stalls are
+/// zero) and `cascade-exec`'s `train_pipelined` (scan runs on a scout
+/// thread, so its busy time overlaps the driver stages).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Stage A: batch-boundary scan (scheduler lookup + feedback ingest).
+    pub scan: StageTiming,
+    /// Stage B: embedding, loss, backward, optimizer step.
+    pub compute: StageTiming,
+    /// Stage C: memory write-back, message generation, adjacency.
+    pub update: StageTiming,
+}
+
+impl StageTimings {
+    /// Sum of all stages' busy time.
+    pub fn total_busy(&self) -> Duration {
+        self.scan.busy + self.compute.busy + self.update.busy
+    }
+
+    /// Sum of all stages' stall time.
+    pub fn total_stall(&self) -> Duration {
+        self.scan.stall + self.compute.stall + self.update.stall
+    }
+
+    /// Stall time of the driver stages (compute + update) — the time the
+    /// critical path actually waited on the pipeline. The scan stage's
+    /// stall is a helper thread idling and does not delay training.
+    pub fn driver_stall(&self) -> Duration {
+        self.compute.stall + self.update.stall
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, s) in [
+            ("scan", &self.scan),
+            ("compute", &self.compute),
+            ("update", &self.update),
+        ] {
+            write!(
+                f,
+                "{} busy {:?} stall {:?} ({} items) | ",
+                label, s.busy, s.stall, s.items
+            )?;
+        }
+        write!(f, "driver stall {:?}", self.driver_stall())
+    }
+}
 
 /// Bytes held by every component of a training run — the stacked bars of
 /// Figure 13(c).
@@ -134,6 +228,38 @@ mod tests {
         assert_eq!(s.total(), 0);
         let sum: f64 = s.fractions().iter().map(|(_, f)| f).sum();
         assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn stage_timing_accumulates_and_reports() {
+        let mut t = StageTiming::default();
+        t.record(Duration::from_millis(10));
+        t.record(Duration::from_millis(30));
+        t.stall += Duration::from_millis(5);
+        assert_eq!(t.items, 2);
+        assert_eq!(t.busy, Duration::from_millis(40));
+        assert_eq!(t.wall(), Duration::from_millis(45));
+        assert!((t.throughput() - 50.0).abs() < 1e-6);
+        assert_eq!(StageTiming::default().throughput(), 0.0);
+    }
+
+    #[test]
+    fn stage_timings_totals() {
+        let mut s = StageTimings::default();
+        s.scan.record(Duration::from_millis(1));
+        s.scan.stall += Duration::from_millis(100);
+        s.compute.record(Duration::from_millis(20));
+        s.compute.stall += Duration::from_millis(2);
+        s.update.record(Duration::from_millis(3));
+        assert_eq!(s.total_busy(), Duration::from_millis(24));
+        assert_eq!(s.total_stall(), Duration::from_millis(102));
+        assert_eq!(s.driver_stall(), Duration::from_millis(2));
+        let text = s.to_string();
+        assert!(
+            text.contains("scan") && text.contains("driver stall"),
+            "{}",
+            text
+        );
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use abs::{max_endurance_profiling, Abs, EnduranceStats};
 pub use batching::{BatchingStrategy, FixedBatching, StrategySpace, StrategyTimers};
 pub use dependency::DependencyTable;
 pub use diffuser::TgDiffuser;
-pub use instrument::{SpaceBreakdown, UtilizationProxy};
+pub use instrument::{SpaceBreakdown, StageTiming, StageTimings, UtilizationProxy};
 pub use scheduler::{CascadeConfig, CascadeScheduler};
 pub use sgfilter::SgFilter;
 pub use trainer::{

@@ -8,7 +8,7 @@ use cascade_nn::{average_precision, binary_accuracy, clip_grad_norm, Adam, Modul
 use cascade_tgraph::Dataset;
 
 use crate::batching::BatchingStrategy;
-use crate::instrument::SpaceBreakdown;
+use crate::instrument::{SpaceBreakdown, StageTimings};
 
 /// Training-run configuration.
 #[derive(Clone, Debug)]
@@ -102,6 +102,10 @@ pub struct TrainReport {
     pub batch_losses: Vec<f32>,
     /// Space accounting at end of run.
     pub space: SpaceBreakdown,
+    /// Per-stage wall-time / stall / throughput telemetry. Serial runs
+    /// report zero stalls; pipelined runs (`cascade-exec`) report the
+    /// scout thread's scan stage overlapping the driver stages.
+    pub stages: StageTimings,
 }
 
 impl TrainReport {
@@ -157,6 +161,7 @@ pub fn train_with_observer(
 
     let mut model_time = Duration::ZERO;
     let mut measured_lookup = Duration::ZERO;
+    let mut stages = StageTimings::default();
     let mut num_batches = 0usize;
     let mut max_batch = 0usize;
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
@@ -174,7 +179,9 @@ pub fn train_with_observer(
         while start < n_train {
             let t0 = Instant::now();
             let end = strategy.next_batch_end(start, n_train);
-            measured_lookup += t0.elapsed();
+            let scan_elapsed = t0.elapsed();
+            measured_lookup += scan_elapsed;
+            stages.scan.record(scan_elapsed);
             debug_assert!(end > start && end <= n_train);
 
             let t1 = Instant::now();
@@ -182,18 +189,26 @@ pub fn train_with_observer(
                 let scale = ((end - start) as f32 / cfg.eval_batch_size as f32).sqrt();
                 opt.set_lr(cfg.lr * scale);
             }
-            let out = model.process_batch(&events[start..end], start, data.features());
-            let loss = out.loss.item();
-            out.loss.backward();
+            let fwd = model.forward_batch(&events[start..end], start, data.features());
+            let loss = fwd.loss.item();
+            fwd.loss.backward();
             if let Some(c) = cfg.clip_norm {
                 clip_grad_norm(&params, c);
             }
             opt.step();
-            model_time += t1.elapsed();
+            let compute_elapsed = t1.elapsed();
+            stages.compute.record(compute_elapsed);
+
+            let t2 = Instant::now();
+            let deltas =
+                model.apply_batch(&events[start..end], start, data.features(), fwd.pending);
+            let update_elapsed = t2.elapsed();
+            stages.update.record(update_elapsed);
+            model_time += compute_elapsed + update_elapsed;
 
             strategy.after_batch(batch_idx, loss);
-            strategy.observe_updates(&out.deltas);
-            observer(epoch, &out.deltas);
+            strategy.observe_updates(&deltas);
+            observer(epoch, &deltas);
 
             let size = end - start;
             batch_sizes.push(size as u32);
@@ -274,6 +289,7 @@ pub fn train_with_observer(
         batch_sizes,
         batch_losses,
         space,
+        stages,
     }
 }
 
@@ -413,6 +429,22 @@ mod tests {
         );
         assert!(cascade_r.num_batches < fixed_r.num_batches);
         assert!(cascade_r.space.dependency_table > 0);
+    }
+
+    #[test]
+    fn serial_report_records_stage_timings() {
+        let data = tiny_dataset();
+        let mut model = tiny_model(&data);
+        let mut strat = FixedBatching::new(64);
+        let r = train(&mut model, &data, &mut strat, &tiny_cfg());
+        assert_eq!(r.stages.scan.items, r.num_batches);
+        assert_eq!(r.stages.compute.items, r.num_batches);
+        assert_eq!(r.stages.update.items, r.num_batches);
+        assert!(r.stages.compute.busy > Duration::ZERO);
+        // Serial execution never waits on a queue.
+        assert_eq!(r.stages.total_stall(), Duration::ZERO);
+        // The coarse model_time is exactly the two driver stages.
+        assert_eq!(r.stages.compute.busy + r.stages.update.busy, r.model_time);
     }
 
     #[test]

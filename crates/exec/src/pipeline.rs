@@ -1,0 +1,604 @@
+//! The three-stage pipelined training loop: a scout thread runs the
+//! batch-boundary scan (Stage A) ahead of the driver thread's model
+//! compute (Stage B) and memory update (Stage C), connected by bounded
+//! queues and throttled by a staleness bound.
+//!
+//! ```text
+//!            plans (sync_channel, capacity = depth)
+//!   ┌───────┐ ────────────────────────────────────► ┌──────────────┐
+//!   │ scout │                                       │    driver    │
+//!   │ stage │                                       │ stage B: fwd │
+//!   │ A:    │                                       │  loss, bwd,  │
+//!   │ scan  │                                       │  optimizer   │
+//!   │ + SG/ │                                       │ stage C: mem │
+//!   │ ABS   │ ◄──────────────────────────────────── │  write, msgs │
+//!   └───────┘   feedback (loss + memory deltas)     └──────────────┘
+//! ```
+//!
+//! The scout consumes batch *j*'s feedback immediately before scanning
+//! batch *j + staleness_bound + 1*, so the scheduler state a boundary is
+//! computed from is never more than `staleness_bound` batches behind the
+//! training frontier, and the batch partition is a deterministic function
+//! of the configuration (no dependence on thread timing). At
+//! `staleness_bound = 0` the schedule degenerates to the serial trainer's
+//! scan → compute → update → feedback order and the run is bit-identical
+//! to [`cascade_core::train`].
+//!
+//! Shutdown is panic-safe by construction: each side only ever blocks on
+//! a channel whose other end is owned by the peer, so when either side
+//! dies (panic or early error) the channel disconnects, the survivor
+//! drains and exits, and [`train_pipelined`] reports a [`PipelineError`]
+//! naming the failed stage instead of deadlocking.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::sync_channel;
+use std::time::{Duration, Instant};
+
+use cascade_core::{
+    evaluate, BatchingStrategy, SpaceBreakdown, StageTiming, StageTimings, StrategySpace,
+    StrategyTimers, TrainConfig, TrainReport,
+};
+use cascade_models::{MemoryDelta, MemoryTgnn};
+use cascade_nn::{clip_grad_norm, Adam, Module};
+use cascade_tgraph::Dataset;
+
+/// Overlap policy of the pipelined executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Prefetch depth: how many scanned-but-unprocessed batch plans the
+    /// scout may queue ahead of the driver (the plan channel's capacity).
+    /// Clamped to at least 1.
+    pub depth: usize,
+    /// Maximum scheduler staleness, in batches: the boundary of batch
+    /// `i` is computed from scheduler state (SG-Filter flags, ABS
+    /// `Max_r`) that has absorbed feedback from at least batch
+    /// `i - staleness_bound - 1`. `0` reproduces serial training
+    /// bit for bit; higher bounds buy more overlap at the price of
+    /// slightly stale boundary decisions (never stale *memories* — the
+    /// driver applies every update before the next forward pass).
+    pub staleness_bound: usize,
+    /// Force `staleness_bound = 0` regardless of its setting, pinning the
+    /// run to the serial trainer's exact schedule.
+    pub deterministic: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            depth: 2,
+            staleness_bound: 1,
+            deterministic: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Sets the prefetch depth.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Sets the staleness bound.
+    pub fn with_staleness(mut self, bound: usize) -> Self {
+        self.staleness_bound = bound;
+        self
+    }
+
+    /// Pins the pipeline to the serial schedule (bit-identical results).
+    pub fn deterministic(mut self) -> Self {
+        self.deterministic = true;
+        self
+    }
+
+    /// The staleness bound actually enforced.
+    pub fn effective_staleness(&self) -> usize {
+        if self.deterministic {
+            0
+        } else {
+            self.staleness_bound
+        }
+    }
+}
+
+/// The pipeline stage a failure originated in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineStage {
+    /// Stage A: boundary scan / scheduler feedback (scout thread).
+    Scan,
+    /// Stage B: forward, loss, backward, optimizer.
+    Compute,
+    /// Stage C: memory write-back, message generation.
+    Update,
+}
+
+impl fmt::Display for PipelineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PipelineStage::Scan => "scan",
+            PipelineStage::Compute => "compute",
+            PipelineStage::Update => "update",
+        })
+    }
+}
+
+/// A stage failure, reported instead of a deadlock or an abort: the
+/// surviving stages drained their queues and shut down cleanly.
+#[derive(Clone, Debug)]
+pub struct PipelineError {
+    /// The stage that failed.
+    pub stage: PipelineStage,
+    /// The failure's panic payload or diagnostic message.
+    pub message: String,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipeline stage '{}' failed: {}",
+            self.stage, self.message
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// One scanned batch, flowing scout → driver.
+struct BatchPlan {
+    epoch: usize,
+    batch_idx: usize,
+    start: usize,
+    end: usize,
+}
+
+/// One processed batch's feedback, flowing driver → scout.
+struct Feedback {
+    batch_idx: usize,
+    loss: f32,
+    deltas: Vec<MemoryDelta>,
+}
+
+/// What the scout hands back when it retires (it owns the strategy for
+/// the whole run, so strategy-derived accounting must travel with it).
+struct ScoutReport {
+    scan: StageTiming,
+    prepare: Duration,
+    timers: StrategyTimers,
+    space: StrategySpace,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "stage panicked".to_string()
+    }
+}
+
+/// Trains `model` on `data`'s training range with the three-stage
+/// pipeline, then evaluates on the validation range — the pipelined
+/// counterpart of [`cascade_core::train`].
+///
+/// With [`PipelineConfig::deterministic`] (or `staleness_bound = 0`) the
+/// result is bit-identical to the serial trainer: same batch partition,
+/// same losses, same final memory and parameter state. With a positive
+/// staleness bound the scout overlaps boundary scans and SG-Filter/ABS
+/// refreshes with model compute; the partition may then differ from the
+/// serial one, but it is still deterministic for a given configuration,
+/// and node memories are never read stale.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] naming the failed stage if the strategy
+/// or a model stage panics, or if the strategy produces an invalid
+/// boundary. Queues are drained and the scout thread joined before
+/// returning — the call never deadlocks and never leaks the thread.
+///
+/// # Panics
+///
+/// Panics if the dataset's training range is empty or `cfg.epochs == 0`
+/// (the same contract as the serial trainer).
+pub fn train_pipelined(
+    model: &mut MemoryTgnn,
+    data: &Dataset,
+    strategy: &mut (dyn BatchingStrategy + Send),
+    cfg: &TrainConfig,
+    pcfg: &PipelineConfig,
+) -> Result<TrainReport, PipelineError> {
+    assert!(cfg.epochs > 0, "need at least one epoch");
+    let train_range = data.train_range();
+    assert!(!train_range.is_empty(), "empty training range");
+    let events = data.stream().events();
+    let n_train = train_range.end;
+    let num_nodes = data.num_nodes();
+    let epochs = cfg.epochs;
+    let staleness = pcfg.effective_staleness();
+    let depth = pcfg.depth.max(1);
+    let strategy_name = strategy.name();
+
+    let t_total = Instant::now();
+
+    let params = model.parameters();
+    let mut opt = Adam::new(params.clone(), cfg.lr);
+
+    // Driver-side bookkeeping (mirrors the serial trainer).
+    let mut stage_b = StageTiming::default();
+    let mut stage_c = StageTiming::default();
+    let mut num_batches = 0usize;
+    let mut max_batch = 0usize;
+    let mut epoch_losses: Vec<f32> = Vec::with_capacity(epochs);
+    let mut batch_sizes: Vec<u32> = Vec::new();
+    let mut batch_losses: Vec<f32> = Vec::new();
+
+    let scout_outcome = std::thread::scope(|s| {
+        // Plans prefetch up to `depth` ahead; the feedback queue is sized
+        // so the driver's send can never block (at most
+        // `depth + staleness + 1` batches are ever in flight), which
+        // breaks the only possible send/send deadlock cycle.
+        let (plan_tx, plan_rx) = sync_channel::<BatchPlan>(depth);
+        let (fb_tx, fb_rx) = sync_channel::<Feedback>(depth + staleness + 2);
+
+        let strategy = &mut *strategy;
+        let scout = s.spawn(move || -> Result<ScoutReport, ()> {
+            let mut scan = StageTiming::default();
+            let t_prep = Instant::now();
+            strategy.prepare(&events[..n_train], num_nodes);
+            let prepare = t_prep.elapsed();
+
+            // Scanned-but-not-fed-back batches. The gate below keeps it
+            // within `staleness` before every scan, which fixes the
+            // feedback-consumption schedule independently of timing.
+            let mut in_flight = 0usize;
+            for _epoch in 0..epochs {
+                // The scout drains the feedback queue at every epoch end,
+                // so by this point the whole previous epoch is absorbed.
+                strategy.reset_epoch();
+                let mut start = 0usize;
+                let mut batch_idx = 0usize;
+                while start < n_train {
+                    while in_flight > staleness {
+                        let t0 = Instant::now();
+                        let fb = fb_rx.recv().map_err(drop)?;
+                        scan.stall += t0.elapsed();
+                        let t1 = Instant::now();
+                        strategy.after_batch(fb.batch_idx, fb.loss);
+                        strategy.observe_updates(&fb.deltas);
+                        scan.busy += t1.elapsed();
+                        in_flight -= 1;
+                    }
+                    let t0 = Instant::now();
+                    let end = strategy.next_batch_end(start, n_train);
+                    scan.record(t0.elapsed());
+                    let t1 = Instant::now();
+                    plan_tx
+                        .send(BatchPlan {
+                            epoch: _epoch,
+                            batch_idx,
+                            start,
+                            end,
+                        })
+                        .map_err(drop)?;
+                    scan.stall += t1.elapsed();
+                    in_flight += 1;
+                    batch_idx += 1;
+                    // A bogus boundary is reported by the driver; stop
+                    // scanning rather than loop forever on `end <= start`.
+                    if end <= start || end > n_train {
+                        return Err(());
+                    }
+                    start = end;
+                }
+                // Epoch barrier: absorb the rest of the epoch's feedback
+                // so SG-Filter/ABS resets see a fully observed epoch (and
+                // cross-epoch state matches the serial trainer's).
+                while in_flight > 0 {
+                    let t0 = Instant::now();
+                    let fb = fb_rx.recv().map_err(drop)?;
+                    scan.stall += t0.elapsed();
+                    let t1 = Instant::now();
+                    strategy.after_batch(fb.batch_idx, fb.loss);
+                    strategy.observe_updates(&fb.deltas);
+                    scan.busy += t1.elapsed();
+                    in_flight -= 1;
+                }
+            }
+            Ok(ScoutReport {
+                scan,
+                prepare,
+                timers: strategy.timers(),
+                space: strategy.space(),
+            })
+        });
+
+        // ---- Driver: stages B and C over incoming plans. ----
+        let mut error: Option<PipelineError> = None;
+        let mut cur_epoch = usize::MAX;
+        let mut loss_sum = 0.0f64;
+        let mut event_sum = 0usize;
+        loop {
+            let t0 = Instant::now();
+            let plan = match plan_rx.recv() {
+                Ok(p) => p,
+                Err(_) => break, // scout retired (or died; join tells)
+            };
+            stage_b.stall += t0.elapsed();
+            if plan.start >= plan.end || plan.end > n_train {
+                error = Some(PipelineError {
+                    stage: PipelineStage::Scan,
+                    message: format!(
+                        "invalid batch boundary {}..{} (stream length {})",
+                        plan.start, plan.end, n_train
+                    ),
+                });
+                break;
+            }
+            if plan.epoch != cur_epoch {
+                if cur_epoch != usize::MAX {
+                    epoch_losses.push((loss_sum / event_sum.max(1) as f64) as f32);
+                    loss_sum = 0.0;
+                    event_sum = 0;
+                }
+                model.reset_state();
+                cur_epoch = plan.epoch;
+            }
+
+            // Stage B: forward, loss, backward, optimizer step.
+            let t1 = Instant::now();
+            let step = catch_unwind(AssertUnwindSafe(|| {
+                if cfg.scale_lr_with_batch {
+                    let scale =
+                        ((plan.end - plan.start) as f32 / cfg.eval_batch_size as f32).sqrt();
+                    opt.set_lr(cfg.lr * scale);
+                }
+                let fwd =
+                    model.forward_batch(&events[plan.start..plan.end], plan.start, data.features());
+                let loss = fwd.loss.item();
+                fwd.loss.backward();
+                if let Some(c) = cfg.clip_norm {
+                    clip_grad_norm(&params, c);
+                }
+                opt.step();
+                (fwd.pending, loss)
+            }));
+            let (pending, loss) = match step {
+                Ok(x) => x,
+                Err(payload) => {
+                    error = Some(PipelineError {
+                        stage: PipelineStage::Compute,
+                        message: panic_message(payload),
+                    });
+                    break;
+                }
+            };
+            stage_b.record(t1.elapsed());
+
+            // Stage C: memory write-back, messages, adjacency.
+            let t2 = Instant::now();
+            let applied = catch_unwind(AssertUnwindSafe(|| {
+                model.apply_batch(
+                    &events[plan.start..plan.end],
+                    plan.start,
+                    data.features(),
+                    pending,
+                )
+            }));
+            let deltas = match applied {
+                Ok(d) => d,
+                Err(payload) => {
+                    error = Some(PipelineError {
+                        stage: PipelineStage::Update,
+                        message: panic_message(payload),
+                    });
+                    break;
+                }
+            };
+            stage_c.record(t2.elapsed());
+
+            let size = plan.end - plan.start;
+            batch_sizes.push(size as u32);
+            batch_losses.push(loss);
+            loss_sum += loss as f64 * size as f64;
+            event_sum += size;
+            max_batch = max_batch.max(size);
+            num_batches += 1;
+
+            let t3 = Instant::now();
+            if fb_tx
+                .send(Feedback {
+                    batch_idx: plan.batch_idx,
+                    loss,
+                    deltas,
+                })
+                .is_err()
+            {
+                break; // scout died; join reports the real failure
+            }
+            stage_c.stall += t3.elapsed();
+        }
+        if error.is_none() && cur_epoch != usize::MAX {
+            epoch_losses.push((loss_sum / event_sum.max(1) as f64) as f32);
+        }
+
+        // Unblock and retire the scout: closing our channel ends makes
+        // every scout-side send/recv fail fast, so join cannot hang.
+        drop(plan_rx);
+        drop(fb_tx);
+        let joined = scout.join();
+        if let Some(e) = error {
+            return Err(e);
+        }
+        match joined {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(())) => Err(PipelineError {
+                stage: PipelineStage::Scan,
+                message: "scan stage exited before the stream was fully scheduled".to_string(),
+            }),
+            Err(payload) => Err(PipelineError {
+                stage: PipelineStage::Scan,
+                message: panic_message(payload),
+            }),
+        }
+    });
+    let scout_report = scout_outcome?;
+
+    let total_time = t_total.elapsed();
+    let model_time = stage_b.busy + stage_c.busy;
+
+    // Simulated accelerator and pipelined-preprocessing credit: identical
+    // formulas to the serial trainer so modeled latencies stay comparable.
+    let events_processed = (n_train * epochs) as f64;
+    let per_event = model_time.as_secs_f64() / events_processed.max(1.0);
+    let overhead =
+        Duration::from_secs_f64(per_event * cfg.sim_batch_overhead_events * num_batches as f64);
+    let background = scout_report.timers.background_build;
+    let stall = scout_report.timers.build_table;
+    let overlap_credit = background.saturating_sub(stall).min(total_time / 2);
+    let modeled_time = (total_time + overhead).saturating_sub(overlap_credit);
+
+    let val = evaluate(model, data, cfg.eval_batch_size);
+
+    let build_time = if scout_report.timers.build_table > Duration::ZERO {
+        scout_report.timers.build_table
+    } else {
+        scout_report.prepare
+    };
+    let lookup_time = if scout_report.timers.lookup > Duration::ZERO {
+        scout_report.timers.lookup
+    } else {
+        scout_report.scan.busy
+    };
+
+    let space = SpaceBreakdown {
+        dependency_table: scout_report.space.dependency_bytes,
+        stable_flags: scout_report.space.flag_bytes,
+        graph: std::mem::size_of_val(events),
+        edge_features: data.features().size_bytes(),
+        model: model.parameter_count() * std::mem::size_of::<f32>(),
+        mailbox: model.mailbox_size_bytes(),
+        memory: model.memory_size_bytes(),
+    };
+
+    Ok(TrainReport {
+        strategy: strategy_name,
+        model: model.name().to_string(),
+        dataset: data.name().to_string(),
+        epochs,
+        total_time,
+        modeled_time,
+        build_time,
+        lookup_time,
+        model_time,
+        num_batches,
+        avg_batch_size: (n_train * epochs) as f64 / num_batches.max(1) as f64,
+        max_batch_size: max_batch,
+        final_train_loss: *epoch_losses.last().unwrap_or(&f32::NAN),
+        val_loss: val.loss,
+        val_ap: val.average_precision,
+        val_accuracy: val.accuracy,
+        epoch_losses,
+        batch_sizes,
+        batch_losses,
+        space,
+        stages: StageTimings {
+            scan: scout_report.scan,
+            compute: stage_b,
+            update: stage_c,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_core::{train, FixedBatching};
+    use cascade_models::ModelConfig;
+    use cascade_tgraph::SynthConfig;
+
+    fn tiny_dataset() -> Dataset {
+        SynthConfig::wiki().with_scale(0.005).generate(9)
+    }
+
+    fn tiny_model(data: &Dataset) -> MemoryTgnn {
+        MemoryTgnn::new(
+            ModelConfig::tgn().with_dims(8, 4).with_neighbors(3),
+            data.num_nodes(),
+            data.features().dim(),
+            3,
+        )
+    }
+
+    fn tiny_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 2,
+            lr: 1e-3,
+            eval_batch_size: 64,
+            clip_norm: Some(5.0),
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipelined_fixed_batching_matches_serial() {
+        let data = tiny_dataset();
+        let mut m1 = tiny_model(&data);
+        let mut s1 = FixedBatching::new(64);
+        let serial = train(&mut m1, &data, &mut s1, &tiny_cfg());
+
+        let mut m2 = tiny_model(&data);
+        let mut s2 = FixedBatching::new(64);
+        let piped = train_pipelined(
+            &mut m2,
+            &data,
+            &mut s2,
+            &tiny_cfg(),
+            &PipelineConfig::default().deterministic(),
+        )
+        .expect("pipeline failed");
+
+        assert_eq!(serial.epoch_losses, piped.epoch_losses);
+        assert_eq!(serial.batch_sizes, piped.batch_sizes);
+        assert_eq!(serial.val_loss, piped.val_loss);
+    }
+
+    #[test]
+    fn stage_items_are_consistent() {
+        let data = tiny_dataset();
+        let mut model = tiny_model(&data);
+        let mut strat = FixedBatching::new(64);
+        let r = train_pipelined(
+            &mut model,
+            &data,
+            &mut strat,
+            &tiny_cfg(),
+            &PipelineConfig::default().with_depth(3).with_staleness(2),
+        )
+        .expect("pipeline failed");
+        assert_eq!(r.stages.scan.items, r.num_batches);
+        assert_eq!(r.stages.compute.items, r.num_batches);
+        assert_eq!(r.stages.update.items, r.num_batches);
+        assert_eq!(
+            r.batch_sizes.iter().map(|&b| b as usize).sum::<usize>(),
+            data.train_range().end * r.epochs
+        );
+    }
+
+    #[test]
+    fn effective_staleness_honors_deterministic() {
+        let p = PipelineConfig::default().with_staleness(7);
+        assert_eq!(p.effective_staleness(), 7);
+        assert_eq!(p.deterministic().effective_staleness(), 0);
+    }
+
+    #[test]
+    fn error_display_names_stage() {
+        let e = PipelineError {
+            stage: PipelineStage::Update,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "pipeline stage 'update' failed: boom");
+    }
+}

@@ -41,4 +41,4 @@ pub use checkpoint::{load_parameters, save_parameters, CheckpointError};
 pub use classifier::NodeClassifier;
 pub use config::{EmbedderKind, ModelConfig, Sampling, UpdaterKind};
 pub use memory::{Mailbox, NodeMemory};
-pub use model::{BatchOutput, MemoryDelta, MemoryTgnn};
+pub use model::{BatchForward, BatchOutput, BatchPending, MemoryDelta, MemoryTgnn};

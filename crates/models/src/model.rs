@@ -50,6 +50,38 @@ pub struct BatchOutput {
     pub neg_logits: Vec<f32>,
 }
 
+/// The forward half of a batch (Figure 1 step 1): loss and logits, plus
+/// the deferred state mutations [`MemoryTgnn::apply_batch`] completes.
+///
+/// Produced by [`MemoryTgnn::forward_batch`]; the embedded
+/// [`BatchPending`] must be handed to `apply_batch` with the same events
+/// before the next batch's forward pass, or memories and mailboxes fall
+/// out of sync with the stream.
+#[derive(Debug)]
+pub struct BatchForward {
+    /// Scalar BCE loss over the batch's positive and negative edges.
+    pub loss: Tensor,
+    /// Logits of the batch's true edges (one per event).
+    pub pos_logits: Vec<f32>,
+    /// Logits of the negative-sampled wrong edges (one per event).
+    pub neg_logits: Vec<f32>,
+    /// The write-back ticket for [`MemoryTgnn::apply_batch`].
+    pub pending: BatchPending,
+}
+
+/// Deferred memory write-backs computed by [`MemoryTgnn::forward_batch`]
+/// (Figure 1 steps 2–3), detached from the autograd graph so it can cross
+/// pipeline-stage boundaries.
+#[derive(Clone, Debug)]
+pub struct BatchPending {
+    /// Distinct batch endpoints, in first-appearance order.
+    centers: Vec<NodeId>,
+    /// Per-center: had pending mailbox messages (i.e. memory moved).
+    has_msg: Vec<bool>,
+    /// Row-major `[centers.len(), memory_dim]` updated memories.
+    post: Vec<f32>,
+}
+
 enum Updater {
     Rnn(RnnCell),
     Gru(GruCell),
@@ -211,6 +243,11 @@ impl MemoryTgnn {
     /// `first_id` is the stream index of `events[0]`, used to look up edge
     /// features and to register adjacency.
     ///
+    /// Thin wrapper over [`forward_batch`](Self::forward_batch) followed
+    /// by [`apply_batch`](Self::apply_batch) — callers that pipeline the
+    /// two steps (the `cascade-exec` executor) invoke the halves
+    /// directly.
+    ///
     /// # Panics
     ///
     /// Panics if `events` is empty or any endpoint is out of range.
@@ -220,6 +257,33 @@ impl MemoryTgnn {
         first_id: EventId,
         feats: &EdgeFeatures,
     ) -> BatchOutput {
+        let fwd = self.forward_batch(events, first_id, feats);
+        let deltas = self.apply_batch(events, first_id, feats, fwd.pending);
+        BatchOutput {
+            loss: fwd.loss,
+            deltas,
+            pos_logits: fwd.pos_logits,
+            neg_logits: fwd.neg_logits,
+        }
+    }
+
+    /// The forward half of [`process_batch`](Self::process_batch): message
+    /// consumption, embedding, link prediction, and the loss (Figure 1
+    /// step 1). Mutates nothing but the negative-sampler and
+    /// neighbor-sampler RNG state; memories, mailboxes, and adjacency are
+    /// untouched until the returned ticket goes through
+    /// [`apply_batch`](Self::apply_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty or any endpoint is out of range.
+    pub fn forward_batch(
+        &mut self,
+        events: &[Event],
+        first_id: EventId,
+        feats: &EdgeFeatures,
+    ) -> BatchForward {
+        let _ = first_id;
         assert!(!events.is_empty(), "process_batch on empty batch");
         let b = events.len();
         let d = self.config.memory_dim;
@@ -313,21 +377,67 @@ impl MemoryTgnn {
         let labels = Tensor::from_vec(labels, [2 * b, 1]);
         let loss = bce_with_logits(&logits, &labels);
 
+        // Updated memories leave the autograd graph here: `post` holds the
+        // detached rows apply_batch writes back (Figure 1 step 3).
+        let post = updated.data()[..centers.len() * d].to_vec();
+
+        BatchForward {
+            loss,
+            pos_logits: pos_vec,
+            neg_logits: neg_vec,
+            pending: BatchPending {
+                centers,
+                has_msg,
+                post,
+            },
+        }
+    }
+
+    /// The state half of [`process_batch`](Self::process_batch): writes
+    /// back updated memories (Figure 1 step 3), drops consumed mailbox
+    /// messages, generates this batch's messages (step 2), and registers
+    /// the events in the temporal adjacency store.
+    ///
+    /// `events`, `first_id`, and `feats` must be exactly the arguments of
+    /// the [`forward_batch`](Self::forward_batch) call that produced
+    /// `pending`, and no other forward pass may run in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pending`'s shape does not match this model's memory
+    /// width or any endpoint is out of range.
+    pub fn apply_batch(
+        &mut self,
+        events: &[Event],
+        first_id: EventId,
+        feats: &EdgeFeatures,
+        pending: BatchPending,
+    ) -> Vec<MemoryDelta> {
+        let d = self.config.memory_dim;
+        let BatchPending {
+            centers,
+            has_msg,
+            post,
+        } = pending;
+        assert_eq!(centers.len(), has_msg.len(), "pending shape mismatch");
+        assert_eq!(post.len(), centers.len() * d, "pending width mismatch");
+
         // ---- Step 3: write back updated memories (detached). ----
         let mut deltas = Vec::new();
-        {
-            let upd_data = updated.data();
-            for (c, &node) in centers.iter().enumerate() {
-                if !has_msg[c] {
-                    continue;
-                }
-                let pre = self.memory.snapshot(node);
-                let post = upd_data[c * d..(c + 1) * d].to_vec();
-                // The node is now fresh as of its newest consumed message.
-                let t = self.newest_message_time(node);
-                self.memory.write(node, &post, t);
-                deltas.push(MemoryDelta { node, pre, post });
+        for (c, &node) in centers.iter().enumerate() {
+            if !has_msg[c] {
+                continue;
             }
+            let pre = self.memory.snapshot(node);
+            let row = post[c * d..(c + 1) * d].to_vec();
+            // The node is now fresh as of its newest consumed message.
+            let t = self.newest_message_time(node);
+            self.memory.write(node, &row, t);
+            deltas.push(MemoryDelta {
+                node,
+                pre,
+                post: row,
+            });
         }
         // Consumed messages are dropped.
         for (c, &node) in centers.iter().enumerate() {
@@ -361,12 +471,7 @@ impl MemoryTgnn {
             self.adjacency.insert_event(e, first_id + i);
         }
 
-        BatchOutput {
-            loss,
-            deltas,
-            pos_logits: pos_vec,
-            neg_logits: neg_vec,
-        }
+        deltas
     }
 
     /// Scores candidate edges `(src, dst)` for each `dst` in `dsts` at
@@ -849,6 +954,36 @@ mod tests {
             out.loss.backward();
             let second = model.process_batch(&toy_events(), 3, &feats);
             assert!(!second.deltas.is_empty());
+        }
+    }
+
+    #[test]
+    fn split_halves_equal_combined_step() {
+        // forward_batch + apply_batch must be bit-identical to
+        // process_batch: same losses, same deltas, same memory state.
+        let feats = synth_features(6, 4, 2);
+        let mut combined = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 1);
+        let mut split = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 1);
+        for first_id in [0usize, 3] {
+            let events = toy_events();
+            let out = combined.process_batch(&events, first_id, &feats);
+            let fwd = split.forward_batch(&events, first_id, &feats);
+            let deltas = split.apply_batch(&events, first_id, &feats, fwd.pending);
+            assert_eq!(out.loss.item(), fwd.loss.item());
+            assert_eq!(out.pos_logits, fwd.pos_logits);
+            assert_eq!(out.neg_logits, fwd.neg_logits);
+            assert_eq!(out.deltas.len(), deltas.len());
+            for (a, b) in out.deltas.iter().zip(&deltas) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.pre, b.pre);
+                assert_eq!(a.post, b.post);
+            }
+        }
+        for n in 0..6u32 {
+            assert_eq!(
+                combined.memory().read(NodeId(n)),
+                split.memory().read(NodeId(n))
+            );
         }
     }
 

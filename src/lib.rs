@@ -15,6 +15,7 @@
 //! | [`tgraph`] | `cascade-tgraph` | event streams, datasets, samplers |
 //! | [`models`] | `cascade-models` | JODIE / TGN / APAN / DySAT / TGAT |
 //! | [`core`] | `cascade-core` | the Cascade scheduler + trainer |
+//! | [`exec`] | `cascade-exec` | staleness-aware pipelined executor |
 //! | [`baselines`] | `cascade-baselines` | TGL, TGLite, NeutronStream, ETC |
 //!
 //! The [`prelude`] collects the handful of types a typical training
@@ -47,6 +48,7 @@
 
 pub use cascade_baselines as baselines;
 pub use cascade_core as core;
+pub use cascade_exec as exec;
 pub use cascade_models as models;
 pub use cascade_nn as nn;
 pub use cascade_tensor as tensor;
@@ -58,6 +60,7 @@ pub mod prelude {
         evaluate, train, BatchingStrategy, CascadeConfig, CascadeScheduler, FixedBatching,
         TrainConfig, TrainReport,
     };
+    pub use cascade_exec::{train_pipelined, PipelineConfig};
     pub use cascade_models::{MemoryTgnn, ModelConfig};
     pub use cascade_nn::{Adam, Module};
     pub use cascade_tgraph::{Dataset, Event, EventStream, NodeId, SynthConfig};
