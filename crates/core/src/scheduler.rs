@@ -2,6 +2,7 @@
 //! [`BatchingStrategy`], with optional chunk-based pipelined preprocessing
 //! (Cascade_EX, §4.2 / §5.5).
 
+// cascade-lint: allow-file(det-wallclock): timings feed StrategyTimers telemetry only; chunk boundaries and batch contents are derived purely from event data.
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -199,7 +200,11 @@ impl CascadeScheduler {
         }
         // Pipeline stall counts as table-building latency.
         self.timers.build_table += start.elapsed();
-        Arc::clone(self.tables[chunk].as_ref().unwrap())
+        Arc::clone(
+            self.tables[chunk]
+                .as_ref()
+                .expect("receive loop above inserted this chunk's table before breaking"),
+        )
     }
 }
 

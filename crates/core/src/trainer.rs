@@ -1,6 +1,7 @@
 //! The strategy-agnostic training loop (Algorithm 1's outer structure)
 //! and its measurement report.
 
+// cascade-lint: allow-file(det-wallclock): stage timings land in EpochReport/StageTimings telemetry only; no Duration ever feeds batching, scheduling, or learning decisions.
 use std::time::{Duration, Instant};
 
 use cascade_models::{MemoryDelta, MemoryTgnn};

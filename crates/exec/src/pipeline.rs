@@ -30,6 +30,7 @@
 //! drains and exits, and [`train_pipelined`] reports a [`PipelineError`]
 //! naming the failed stage instead of deadlocking.
 
+// cascade-lint: allow-file(det-wallclock): per-stage Instant readings fill PipelineReport timing telemetry only; batch plans and staleness throttling depend solely on queue occupancy and event data.
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::sync_channel;

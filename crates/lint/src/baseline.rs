@@ -1,0 +1,225 @@
+//! Checked-in baseline support: CI fails only on *new* violations.
+//!
+//! A baseline entry is keyed by `(rule, file, snippet)` — deliberately
+//! **not** by line number, so unrelated edits that shift a baselined
+//! finding up or down the file do not break CI. A finding is *new* when
+//! more instances of its key exist in the tree than the baseline
+//! records; fixing a baselined finding never fails the gate (the stale
+//! entry is reported so the baseline can be re-tightened with
+//! `--write-baseline`).
+
+use cascade_util::Json;
+
+use crate::engine::Finding;
+
+/// One baselined finding class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Normalized source line.
+    pub snippet: String,
+    /// How many identical instances are tolerated.
+    pub count: usize,
+}
+
+/// A parsed baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Tolerated finding classes.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// The result of diffing current findings against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Diff {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by baseline entries.
+    pub baselined: usize,
+    /// Baseline entries (rule/file/snippet) with fewer live instances
+    /// than recorded — candidates for `--write-baseline` re-tightening.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {}", e))?;
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("baseline is missing the \"entries\" array")?;
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            let field = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry missing string field \"{}\"", k))
+            };
+            out.push(BaselineEntry {
+                rule: field("rule")?,
+                file: field("file")?,
+                snippet: field("snippet")?,
+                count: e.get("count").and_then(Json::as_usize).unwrap_or(1),
+            });
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Renders the baseline as pretty-stable JSON (one entry per line,
+    /// sorted), so diffs of the checked-in file stay reviewable.
+    pub fn render(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| (&a.file, &a.rule, &a.snippet).cmp(&(&b.file, &b.rule, &b.snippet)));
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            let obj = Json::Obj(vec![
+                ("rule".into(), Json::from(e.rule.as_str())),
+                ("file".into(), Json::from(e.file.as_str())),
+                ("snippet".into(), Json::from(e.snippet.as_str())),
+                ("count".into(), Json::from(e.count)),
+            ]);
+            out.push_str("    ");
+            out.push_str(&obj.to_string());
+            out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Builds a baseline that exactly covers `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        for f in findings {
+            match entries
+                .iter_mut()
+                .find(|e| e.rule == f.rule && e.file == f.file && e.snippet == f.snippet)
+            {
+                Some(e) => e.count += 1,
+                None => entries.push(BaselineEntry {
+                    rule: f.rule.to_string(),
+                    file: f.file.clone(),
+                    snippet: f.snippet.clone(),
+                    count: 1,
+                }),
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// Splits `findings` into baselined and new, and reports stale
+    /// entries. Findings beyond an entry's `count` are new (the first
+    /// `count` instances, in file order, are absorbed).
+    pub fn diff(&self, findings: &[Finding]) -> Diff {
+        let mut remaining: Vec<(usize, &BaselineEntry)> =
+            self.entries.iter().map(|e| (e.count, e)).collect();
+        let mut diff = Diff::default();
+        for f in findings {
+            let slot = remaining.iter_mut().find(|(left, e)| {
+                *left > 0 && e.rule == f.rule && e.file == f.file && e.snippet == f.snippet
+            });
+            match slot {
+                Some((left, _)) => {
+                    *left -= 1;
+                    diff.baselined += 1;
+                }
+                None => diff.new.push(f.clone()),
+            }
+        }
+        for (left, e) in remaining {
+            if left > 0 {
+                let mut stale = e.clone();
+                stale.count = left;
+                diff.stale.push(stale);
+            }
+        }
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            col: 1,
+            snippet: snippet.into(),
+            why: "",
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let b = Baseline::from_findings(&[
+            finding("panic-unwrap", "crates/core/src/a.rs", "x.unwrap()"),
+            finding("panic-unwrap", "crates/core/src/a.rs", "x.unwrap()"),
+            finding(
+                "det-hash-iter",
+                "crates/nn/src/b.rs",
+                "use std::collections::HashMap;",
+            ),
+        ]);
+        let parsed = Baseline::parse(&b.render()).expect("render emits valid baseline JSON");
+        assert_eq!(parsed.entries.len(), 2);
+        let uw = parsed
+            .entries
+            .iter()
+            .find(|e| e.rule == "panic-unwrap")
+            .expect("unwrap entry survives the round trip");
+        assert_eq!(uw.count, 2);
+    }
+
+    #[test]
+    fn diff_flags_only_excess_findings() {
+        let b = Baseline::from_findings(&[finding("panic-unwrap", "f.rs", "x.unwrap()")]);
+        let current = [
+            finding("panic-unwrap", "f.rs", "x.unwrap()"),
+            finding("panic-unwrap", "f.rs", "x.unwrap()"),
+            finding("panic-macro", "f.rs", "panic!(\"no\")"),
+        ];
+        let d = b.diff(&current);
+        assert_eq!(d.baselined, 1);
+        assert_eq!(d.new.len(), 2);
+        assert!(d.stale.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_stale_entries_without_failing() {
+        let b = Baseline::from_findings(&[
+            finding("panic-unwrap", "f.rs", "x.unwrap()"),
+            finding("panic-unwrap", "f.rs", "x.unwrap()"),
+        ]);
+        let d = b.diff(&[finding("panic-unwrap", "f.rs", "x.unwrap()")]);
+        assert!(d.new.is_empty());
+        assert_eq!(d.baselined, 1);
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].count, 1);
+    }
+
+    #[test]
+    fn line_moves_do_not_create_new_findings() {
+        let b = Baseline::from_findings(&[finding("panic-unwrap", "f.rs", "x.unwrap()")]);
+        let mut moved = finding("panic-unwrap", "f.rs", "x.unwrap()");
+        moved.line = 999;
+        assert!(b.diff(&[moved]).new.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"version\":1}").is_err());
+        assert!(Baseline::parse("{\"entries\":[{\"rule\":1}]}").is_err());
+    }
+}

@@ -1,0 +1,446 @@
+//! A hand-rolled, panic-free lexer for Rust-ish source text.
+//!
+//! The rule engine only needs a faithful *token stream* — identifiers,
+//! punctuation, literals, and comments with exact source spans — not a
+//! parse tree. The lexer therefore accepts arbitrary byte soup: on
+//! malformed input (unterminated strings or block comments, stray
+//! characters) it degrades to best-effort tokens instead of failing,
+//! because a linter that crashes on the code it is judging is worse than
+//! useless. Two properties are load-bearing and covered by seeded
+//! property tests:
+//!
+//! * **No panics**, ever, on any input string.
+//! * **Exact spans**: every token's `text` is exactly
+//!   `source[offset..offset + text.len()]`, and offsets are strictly
+//!   monotone, so findings can always be mapped back to file:line spans.
+//!
+//! String/char literals and comments are tokenized as single units, which
+//! is what makes the downstream rules trustworthy: a `HashMap` mentioned
+//! inside a string literal or a doc comment is *not* a determinism
+//! violation.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unwrap`, `static`, `r#mod`).
+    Ident,
+    /// Numeric literal (`0`, `1.5e-3`, `0xff_u32`).
+    Number,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'static`, `'a`).
+    Lifetime,
+    /// `//` line comment or `/* … */` block comment (doc or not).
+    Comment,
+    /// A single punctuation byte (`.`, `(`, `!`, …).
+    Punct,
+}
+
+/// One source token with its exact span.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The exact source slice of the token.
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+    /// Byte offset of the token's first byte.
+    pub offset: usize,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation byte `p`.
+    pub fn is_punct(&self, p: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == p as u8
+    }
+}
+
+/// Tokenizes `source`. Total: every byte lands either in a token or in
+/// inter-token whitespace; the function never panics.
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run(source)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line/column. UTF-8 continuation bytes
+    /// do not advance the column, so columns count whole characters for
+    /// ASCII and are merely consistent for multi-byte text.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else if b & 0xC0 != 0x80 {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn run(mut self, source: &str) -> Vec<Tok> {
+        let mut toks = Vec::new();
+        while let Some(b) = self.peek() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_string() => TokKind::Str,
+                b'b' if self.peek_at(1) == Some(b'\'') => {
+                    self.bump(); // `b`
+                    self.char_literal();
+                    TokKind::Char
+                }
+                b'"' => {
+                    self.string_literal();
+                    TokKind::Str
+                }
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                _ if b >= 0x80 => self.ident(), // non-ASCII identifier-ish run
+                _ => {
+                    self.bump();
+                    TokKind::Punct
+                }
+            };
+            // `start < self.pos` always holds (every arm bumps at least
+            // once), so the loop terminates and spans are monotone.
+            debug_assert!(self.pos > start);
+            toks.push(Tok {
+                kind,
+                text: source
+                    .get(start..self.pos)
+                    .unwrap_or_default() // unreachable: bump respects char boundaries
+                    .to_string(),
+                line,
+                col,
+                offset: start,
+            });
+        }
+        toks
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokKind::Comment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.bump(); // `/`
+        self.bump(); // `*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: comment runs to EOF
+            }
+        }
+        TokKind::Comment
+    }
+
+    /// If positioned at `r"`, `r#"`, `br"`, `b"`-style raw/byte string
+    /// openers (excluding plain `b'…'`), consumes the literal and returns
+    /// true. `r#ident` raw identifiers return false and are lexed as
+    /// identifiers.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut i = 0usize;
+        if self.peek_at(i) == Some(b'b') {
+            i += 1;
+        }
+        let raw = self.peek_at(i) == Some(b'r');
+        if raw {
+            i += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek_at(i + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if !raw && hashes > 0 {
+            return false; // `b#` is not a string opener
+        }
+        if self.peek_at(i + hashes) != Some(b'"') || (!raw && hashes > 0) {
+            return false;
+        }
+        if !raw && i == 0 {
+            return false; // plain `"` is handled by string_literal
+        }
+        // Consume prefix, hashes, and opening quote.
+        for _ in 0..(i + hashes + 1) {
+            self.bump();
+        }
+        if raw {
+            // Raw string: ends at `"` followed by `hashes` hashes, no
+            // escape processing.
+            'scan: while let Some(b) = self.peek() {
+                self.bump();
+                if b == b'"' {
+                    for h in 0..hashes {
+                        if self.peek_at(h) != Some(b'#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        } else {
+            self.string_body();
+        }
+        true
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening `"`
+        self.string_body();
+    }
+
+    /// Consumes an escaped string body up to and including the closing
+    /// quote (or EOF when unterminated).
+    fn string_body(&mut self) {
+        while let Some(b) = self.peek() {
+            self.bump();
+            match b {
+                b'"' => break,
+                b'\\' => self.bump(), // skip the escaped byte
+                _ => {}
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` / `'\n'` (char literals) from `'a` /
+    /// `'static` (lifetimes): after the quote, an identifier run *not*
+    /// followed by a closing quote is a lifetime.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        let is_ident_byte = |b: u8| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80;
+        if self.peek_at(1).is_some_and(is_ident_byte) && self.peek_at(1) != Some(b'\\') {
+            // Scan the identifier run after the quote.
+            let mut n = 1usize;
+            while self.peek_at(n).is_some_and(is_ident_byte) {
+                n += 1;
+            }
+            if self.peek_at(n) != Some(b'\'') {
+                // Lifetime: consume quote + identifier run.
+                for _ in 0..n {
+                    self.bump();
+                }
+                return TokKind::Lifetime;
+            }
+        }
+        self.char_literal();
+        TokKind::Char
+    }
+
+    /// Consumes a char literal starting at `'`, tolerating escapes and
+    /// unterminated input (stops at EOL so a stray quote cannot swallow
+    /// the rest of the file).
+    fn char_literal(&mut self) {
+        self.bump(); // opening `'`
+        while let Some(b) = self.peek() {
+            self.bump();
+            match b {
+                b'\'' => break,
+                b'\\' => self.bump(),
+                b'\n' => break, // stray quote: don't eat the next line
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokKind {
+        // Digits, underscores, type suffixes, hex letters, exponents; a
+        // `.` joins only when followed by a digit (so `0..n` stays three
+        // tokens and `1.5` stays one).
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    let is_exp = b == b'e' || b == b'E';
+                    self.bump();
+                    if is_exp && matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                b'.' if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => self.bump(),
+                _ => break,
+            }
+        }
+        TokKind::Number
+    }
+
+    fn ident(&mut self) -> TokKind {
+        // `r#ident` raw identifiers keep their prefix.
+        if self.peek() == Some(b'r') && self.peek_at(1) == Some(b'#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(b) = self.peek() {
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("foo.bar()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "foo".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "bar".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_swallow_contents() {
+        let toks = kinds(r#"let s = "HashMap::unwrap() // not code";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || (t != "HashMap" && t != "unwrap")));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = kinds(r#""a\"b" x"#);
+        assert_eq!(toks[0], (TokKind::Str, r#""a\"b""#.into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"r#"inner "quoted" text"# tail"###);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let toks = kinds("r#mod x");
+        assert_eq!(toks[0], (TokKind::Ident, "r#mod".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("'a' 'static '\\n' &'a str");
+        assert_eq!(toks[0].0, TokKind::Char);
+        assert_eq!(toks[1], (TokKind::Lifetime, "'static".into()));
+        assert_eq!(toks[2].0, TokKind::Char);
+        assert_eq!(toks[4], (TokKind::Lifetime, "'a".into()));
+    }
+
+    #[test]
+    fn comments_are_single_tokens() {
+        let toks = kinds("a // unwrap() here\nb /* HashMap\nnested /* deep */ */ c");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Comment).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "'x", "r#\"open", "b\"xyz", "\\"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("0..n 1.5 0xff_u32");
+        assert_eq!(toks[0], (TokKind::Number, "0".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "n".into()));
+        assert_eq!(toks[4], (TokKind::Number, "1.5".into()));
+        assert_eq!(toks[5], (TokKind::Number, "0xff_u32".into()));
+    }
+
+    #[test]
+    fn spans_match_source() {
+        let src = "fn main() { let x = \"s\"; } // done";
+        for t in lex(src) {
+            assert_eq!(&src[t.offset..t.offset + t.text.len()], t.text);
+        }
+    }
+
+    #[test]
+    fn lines_and_cols_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,89 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # cascade-lint
+//!
+//! A zero-dependency static-analysis gate for the Cascade workspace.
+//!
+//! The compiler cannot check the invariants Cascade's correctness claims
+//! rest on: the pipelined executor must stay **bit-identical** to serial
+//! training at staleness 0 (DESIGN.md §6), and the TG-Diffuser /
+//! SG-Filter / ABS loop is only reproducible if no nondeterministic API
+//! leaks into a compute path. Regressions there are silent data
+//! corruption, not crashes — so this crate walks the whole workspace at
+//! CI time and enforces the project invariants as named, suppressible
+//! rules (see [`rules::RULES`]):
+//!
+//! * **determinism** — no `HashMap`/`HashSet`, `Instant::now` /
+//!   `SystemTime`, or hash-ordered float accumulation in the compute
+//!   crates (`core`, `exec`, `models`, `nn`); telemetry is allowlisted.
+//! * **panic-safety** — no bare `unwrap()` / one-word `expect()` /
+//!   `panic!`-family macros in hot paths; unchecked indexing is banned
+//!   in the executor.
+//! * **concurrency** — in `exec`: no detached `thread::spawn` outside
+//!   the pipeline module, no lock guard held across a channel
+//!   send/recv, no `static mut` anywhere.
+//! * **policy** — no unexplained `#[allow(clippy::…)]`, no registry
+//!   dependencies in any manifest, no suppression without a reason.
+//!
+//! Findings are diffed against a checked-in [`baseline`] so CI fails
+//! only on *new* violations, and every finding can be silenced in place
+//! with `// cascade-lint: allow(<rule>): <reason>` — the reason is
+//! mandatory and audited.
+//!
+//! # Examples
+//!
+//! Lint a source fragment as if it lived in a compute crate:
+//!
+//! ```
+//! use cascade_lint::check_source;
+//!
+//! let report = check_source(
+//!     "crates/exec/src/worker.rs",
+//!     "fn f(v: &[u32]) -> u32 { v.first().copied().unwrap() }",
+//! );
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule, "panic-unwrap");
+//! ```
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::{Baseline, BaselineEntry, Diff};
+pub use engine::{check_source, FileReport, Finding};
+pub use lexer::{lex, Tok, TokKind};
+pub use manifest::check_manifest;
+pub use report::RunSummary;
+pub use rules::{RuleSpec, RULES};
+pub use walk::{find_root, workspace_files, SourceFile};
+
+use std::path::Path;
+
+/// Scans every workspace file under `root` and returns all findings
+/// (pre-baseline) plus the suppressed count and the file count.
+///
+/// # Errors
+///
+/// Returns a description of the first unreadable file or directory.
+pub fn scan_workspace(root: &Path) -> Result<(Vec<Finding>, usize, usize), String> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let count = files.len();
+    for file in &files {
+        let text = std::fs::read_to_string(&file.disk_path)
+            .map_err(|e| format!("read {}: {}", file.disk_path.display(), e))?;
+        if file.is_manifest {
+            findings.extend(check_manifest(&file.rel_path, &text));
+        } else {
+            let report = check_source(&file.rel_path, &text);
+            findings.extend(report.findings);
+            suppressed += report.suppressed;
+        }
+    }
+    Ok((findings, suppressed, count))
+}

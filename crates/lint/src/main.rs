@@ -1,0 +1,158 @@
+//! The `cascade-lint` binary: scans the workspace, diffs against the
+//! checked-in baseline, and exits non-zero on new findings.
+//!
+//! ```text
+//! cargo run -p cascade-lint -- [--root DIR] [--format text|json]
+//!                              [--baseline FILE] [--write-baseline]
+//!                              [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` new findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cascade_lint::{scan_workspace, Baseline, RunSummary, RULES};
+
+struct Options {
+    root: Option<PathBuf>,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: cascade-lint [--root DIR] [--format text|json] [--baseline FILE] \
+     [--write-baseline] [--list-rules]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        format: Format::Text,
+        baseline: None,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a directory argument")?,
+                ))
+            }
+            "--format" => {
+                opts.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format must be `text` or `json`, got {:?}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                }
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a file argument")?,
+                ))
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{}`\n{}", other, usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    if opts.list_rules {
+        for r in RULES {
+            println!("{}", r.id);
+            println!(
+                "    scope: {}",
+                if r.scopes.is_empty() {
+                    "whole workspace".to_string()
+                } else {
+                    r.scopes.join(", ")
+                }
+            );
+            println!(
+                "    {}",
+                r.why.split_whitespace().collect::<Vec<_>>().join(" ")
+            );
+        }
+        return Ok(true);
+    }
+
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("current_dir: {}", e))?;
+            cascade_lint::find_root(&cwd)
+                .ok_or("no workspace root found above the current directory; pass --root")?
+        }
+    };
+
+    let (findings, suppressed, files_scanned) = scan_workspace(&root)?;
+
+    let baseline_path = opts.baseline.as_ref().map(|p| {
+        if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        }
+    });
+
+    if opts.write_baseline {
+        let path = baseline_path.ok_or("--write-baseline needs --baseline FILE")?;
+        let rendered = Baseline::from_findings(&findings).render();
+        std::fs::write(&path, rendered).map_err(|e| format!("write {}: {}", path.display(), e))?;
+        eprintln!(
+            "cascade-lint: wrote baseline covering {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = match &baseline_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read baseline {}: {}", path.display(), e))?;
+            Baseline::parse(&text).map_err(|e| format!("{}: {}", path.display(), e))?
+        }
+        None => Baseline::default(),
+    };
+
+    let summary = RunSummary::new(baseline.diff(&findings), suppressed, files_scanned);
+    match opts.format {
+        Format::Text => print!("{}", summary.render_text()),
+        Format::Json => println!("{}", summary.render_json()),
+    }
+    Ok(summary.clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("cascade-lint: {}", msg);
+            ExitCode::from(2)
+        }
+    }
+}

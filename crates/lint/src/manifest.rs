@@ -1,0 +1,102 @@
+//! The `policy-registry-dep` rule: every dependency in every manifest
+//! must be a path-internal `cascade-*` crate (the zero-dependency
+//! policy; see DESIGN.md). This duplicates `tests/no_registry_deps.rs`
+//! on purpose — the lint gate runs as one CI step with one report,
+//! whereas the test belongs to the root crate's suite; both must agree.
+
+use crate::engine::Finding;
+use crate::rules::rule;
+
+/// TOML section headers whose entries declare dependencies.
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// Checks one `Cargo.toml` for non-cascade, non-path dependencies.
+pub fn check_manifest(path: &str, text: &str) -> Vec<Finding> {
+    let Some(spec) = rule("policy-registry-dep") else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+    let mut flag = |line_no: usize, raw: &str| {
+        let mut snippet = raw.split_whitespace().collect::<Vec<_>>().join(" ");
+        if snippet.len() > 120 {
+            snippet.truncate(117);
+            snippet.push_str("...");
+        }
+        findings.push(Finding {
+            rule: spec.id,
+            file: path.to_string(),
+            line: line_no as u32,
+            col: 1,
+            snippet,
+            why: spec.why,
+        });
+    };
+    let mut in_dep_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let header = header.trim_start_matches('[').trim_end_matches(']');
+            // `[dependencies.foo]` / `[target.'cfg(..)'.dependencies.foo]`
+            // name the dependency in the header itself.
+            if let Some((section, name)) = header.rsplit_once('.') {
+                if DEP_SECTIONS.iter().any(|s| section.ends_with(s)) && !name.starts_with("cascade")
+                {
+                    flag(idx + 1, raw);
+                }
+            }
+            in_dep_section = DEP_SECTIONS.iter().any(|s| header.ends_with(s));
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let name = line.split('=').next().unwrap_or("").trim();
+        if !name.starts_with("cascade") {
+            flag(idx + 1, raw);
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_internal_cascade_deps_pass() {
+        let toml = "[package]\nname = \"x\"\n\n[dependencies]\ncascade-util.workspace = true\n\
+                    cascade-core = { path = \"../core\" }\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn registry_deps_are_flagged() {
+        let toml = "[dependencies]\nrand = \"0.8\"\ncascade-util.workspace = true\n";
+        let f = check_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "policy-registry-dep");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn dotted_section_headers_are_flagged() {
+        let toml = "[dependencies.serde_like]\nversion = \"1\"\n";
+        let f = check_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn dev_dependencies_are_covered_and_comments_ignored() {
+        let toml =
+            "[dev-dependencies]\n# proptest would be handy here\ncascade-util.workspace = true\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml).is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Rendering: human-readable text (with the per-rule summary table CI
+//! prints on failure) and machine-readable JSON findings.
+
+use cascade_util::Json;
+
+use crate::baseline::Diff;
+use crate::engine::Finding;
+use crate::rules::RULES;
+
+/// Everything one lint run produced, ready to render.
+#[derive(Clone, Debug, Default)]
+pub struct RunSummary {
+    /// Findings that fail the gate (new vs the baseline).
+    pub new: Vec<Finding>,
+    /// Findings absorbed by the baseline.
+    pub baselined: usize,
+    /// Findings silenced by in-source suppressions.
+    pub suppressed: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Stale baseline classes: `(rule, file, surplus count)`.
+    pub stale: Vec<(String, String, usize)>,
+}
+
+impl RunSummary {
+    /// Assembles a summary from the baseline diff and scan counters.
+    pub fn new(diff: Diff, suppressed: usize, files_scanned: usize) -> RunSummary {
+        RunSummary {
+            new: diff.new,
+            baselined: diff.baselined,
+            suppressed,
+            files_scanned,
+            stale: diff
+                .stale
+                .into_iter()
+                .map(|e| (e.rule, e.file, e.count))
+                .collect(),
+        }
+    }
+
+    /// Whether the gate passes.
+    pub fn clean(&self) -> bool {
+        self.new.is_empty()
+    }
+
+    /// The text report: one line per new finding with its rationale,
+    /// then the per-rule summary table, then stale-baseline notes.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.new {
+            out.push_str(&format!(
+                "{}:{}:{}: [{}] {}\n    > {}\n",
+                f.file, f.line, f.col, f.rule, f.snippet, f.why
+            ));
+        }
+        if !self.new.is_empty() {
+            out.push('\n');
+            out.push_str(&self.rule_table());
+            out.push('\n');
+        }
+        for (rule, file, count) in &self.stale {
+            out.push_str(&format!(
+                "note: baseline entry no longer matches anything: {} in {} (surplus {}) — \
+                 re-run with --write-baseline to tighten\n",
+                rule, file, count
+            ));
+        }
+        out.push_str(&format!(
+            "cascade-lint: {} file(s) scanned, {} new finding(s), {} baselined, {} suppressed\n",
+            self.files_scanned,
+            self.new.len(),
+            self.baselined,
+            self.suppressed
+        ));
+        out
+    }
+
+    /// The per-rule findings summary table.
+    fn rule_table(&self) -> String {
+        let mut rows: Vec<(&str, usize)> = Vec::new();
+        for spec in RULES {
+            let n = self.new.iter().filter(|f| f.rule == spec.id).count();
+            if n > 0 {
+                rows.push((spec.id, n));
+            }
+        }
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let width = rows.iter().map(|(r, _)| r.len()).max().unwrap_or(4).max(4);
+        let mut out = format!("  {:<width$}  new\n  {:-<width$}  ---\n", "rule", "");
+        for (rule, n) in rows {
+            out.push_str(&format!("  {:<width$}  {:>3}\n", rule, n));
+        }
+        out
+    }
+
+    /// The JSON report (stable field order; findings sorted file/line).
+    pub fn render_json(&self) -> String {
+        let findings: Vec<Json> = self
+            .new
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("rule".into(), Json::from(f.rule)),
+                    ("file".into(), Json::from(f.file.as_str())),
+                    ("line".into(), Json::from(f.line)),
+                    ("col".into(), Json::from(f.col)),
+                    ("snippet".into(), Json::from(f.snippet.as_str())),
+                    ("why".into(), Json::from(f.why)),
+                ])
+            })
+            .collect();
+        let stale: Vec<Json> = self
+            .stale
+            .iter()
+            .map(|(rule, file, count)| {
+                Json::Obj(vec![
+                    ("rule".into(), Json::from(rule.as_str())),
+                    ("file".into(), Json::from(file.as_str())),
+                    ("surplus".into(), Json::from(*count)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::from(1usize)),
+            ("files_scanned".into(), Json::from(self.files_scanned)),
+            ("new".into(), Json::Arr(findings)),
+            ("baselined".into(), Json::from(self.baselined)),
+            ("suppressed".into(), Json::from(self.suppressed)),
+            ("stale_baseline".into(), Json::Arr(stale)),
+            ("ok".into(), Json::from(self.clean())),
+        ])
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary_with_finding() -> RunSummary {
+        RunSummary {
+            new: vec![Finding {
+                rule: "panic-unwrap",
+                file: "crates/core/src/x.rs".into(),
+                line: 3,
+                col: 9,
+                snippet: "let v = rx.recv().unwrap();".into(),
+                why: "why text",
+            }],
+            baselined: 2,
+            suppressed: 1,
+            files_scanned: 10,
+            stale: vec![("det-hash-iter".into(), "crates/nn/src/y.rs".into(), 1)],
+        }
+    }
+
+    #[test]
+    fn text_report_names_location_rule_and_table() {
+        let text = summary_with_finding().render_text();
+        assert!(text.contains("crates/core/src/x.rs:3:9"));
+        assert!(text.contains("[panic-unwrap]"));
+        assert!(text.contains("rule"));
+        assert!(text.contains("panic-unwrap    1") || text.contains("panic-unwrap  "));
+        assert!(text.contains("--write-baseline"));
+        assert!(text.contains("1 new finding(s), 2 baselined, 1 suppressed"));
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_complete() {
+        let s = summary_with_finding();
+        let doc = Json::parse(&s.render_json()).expect("reporter emits valid JSON");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        let new = doc
+            .get("new")
+            .and_then(Json::as_arr)
+            .expect("new array present");
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].get("line").and_then(Json::as_usize), Some(3));
+        assert_eq!(
+            new[0].get("rule").and_then(Json::as_str),
+            Some("panic-unwrap")
+        );
+    }
+
+    #[test]
+    fn clean_run_renders_ok() {
+        let s = RunSummary {
+            files_scanned: 5,
+            ..RunSummary::default()
+        };
+        assert!(s.clean());
+        let doc = Json::parse(&s.render_json()).expect("clean report is valid JSON");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(s.render_text().contains("0 new finding(s)"));
+    }
+}

@@ -1,0 +1,218 @@
+//! The rule registry: every invariant `cascade-lint` enforces, with its
+//! identifier, rationale, and path scope.
+//!
+//! Rules are named and configurable on purpose: a finding always carries
+//! a rule id that can be suppressed in place with
+//! `// cascade-lint: allow(<rule>): <reason>` (the reason is mandatory —
+//! a suppression without one is itself a finding). Scopes are path
+//! prefixes relative to the workspace root, so e.g. determinism rules
+//! bind only the compute-path crates whose schedules must stay
+//! bit-identical at staleness 0 (see DESIGN.md §6 and §8), while telemetry
+//! (`core/src/instrument.rs`) and the measurement crates are allowlisted.
+
+/// Identifier, scope, and documentation of one lint rule.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleSpec {
+    /// Stable rule id, used in findings, baselines, and suppressions.
+    pub id: &'static str,
+    /// Path prefixes (workspace-relative, `/`-separated) the rule binds.
+    /// Empty means every scanned file.
+    pub scopes: &'static [&'static str],
+    /// Path prefixes exempted even inside a scope.
+    pub allowed_paths: &'static [&'static str],
+    /// Whether the rule also fires inside `#[cfg(test)]` / `#[test]`
+    /// code. Panic-safety rules don't: tests are supposed to unwrap.
+    pub applies_to_tests: bool,
+    /// One-line rationale shown with each finding.
+    pub why: &'static str,
+}
+
+/// Crates whose compute paths must stay deterministic: the pipelined
+/// executor's staleness-0 bit-identity guarantee (DESIGN.md §6) is only
+/// checkable if no iteration-order or wall-clock dependence leaks into
+/// the schedule these crates produce.
+const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/exec/src/",
+    "crates/models/src/",
+    "crates/nn/src/",
+];
+
+/// Hot-path crates where an unexpected panic kills a pipeline stage
+/// mid-training (the executor reports it, but the run is lost).
+const PANIC_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/exec/src/",
+    "crates/models/src/",
+    "crates/nn/src/",
+];
+
+/// Telemetry module: timing/space instrumentation whose whole job is
+/// reading clocks; its outputs land in reports, never in schedules.
+const TELEMETRY: &[&str] = &["crates/core/src/instrument.rs"];
+
+/// All rules, in reporting order.
+pub const RULES: &[RuleSpec] = &[
+    RuleSpec {
+        id: "det-hash-iter",
+        scopes: DETERMINISM_SCOPE,
+        allowed_paths: TELEMETRY,
+        applies_to_tests: false,
+        why: "HashMap/HashSet iteration order is randomized per process; any batch \
+              schedule or float accumulation derived from it breaks the staleness-0 \
+              bit-identity guarantee. Use Vec/BTreeMap, or suppress with proof the \
+              container is never iterated.",
+    },
+    RuleSpec {
+        id: "det-wallclock",
+        scopes: DETERMINISM_SCOPE,
+        allowed_paths: TELEMETRY,
+        applies_to_tests: false,
+        why: "Instant::now/SystemTime readings differ across runs; feeding them into \
+              batching or learning decisions makes training irreproducible. Telemetry \
+              that only fills reports must say so in a suppression.",
+    },
+    RuleSpec {
+        id: "det-float-accum",
+        scopes: DETERMINISM_SCOPE,
+        allowed_paths: TELEMETRY,
+        applies_to_tests: false,
+        why: "Reducing floats in hash-container iteration order re-associates the sum \
+              differently on every run; accumulate over an ordered container instead.",
+    },
+    RuleSpec {
+        id: "panic-unwrap",
+        scopes: PANIC_SCOPE,
+        allowed_paths: &[],
+        applies_to_tests: false,
+        why: "A bare unwrap() in a hot path turns a recoverable condition into a dead \
+              pipeline stage. Convert to a typed error, or use expect() with a message \
+              stating the invariant that makes failure impossible.",
+    },
+    RuleSpec {
+        id: "panic-expect",
+        scopes: PANIC_SCOPE,
+        allowed_paths: &[],
+        applies_to_tests: false,
+        why: "expect() is only better than unwrap() when the message states the \
+              violated invariant; one-word messages explain nothing in a crash log.",
+    },
+    RuleSpec {
+        id: "panic-macro",
+        scopes: PANIC_SCOPE,
+        allowed_paths: &[],
+        applies_to_tests: false,
+        why: "panic!/todo!/unreachable!/unimplemented! in hot paths abort a training \
+              run; return an error or prove unreachability via types.",
+    },
+    RuleSpec {
+        id: "panic-index",
+        scopes: &["crates/exec/src/"],
+        allowed_paths: &[],
+        applies_to_tests: false,
+        why: "Unchecked indexing in the executor kills a pipeline stage on the first \
+              off-by-one; use get()/get_mut() and surface a PipelineError.",
+    },
+    RuleSpec {
+        id: "conc-spawn",
+        scopes: &["crates/exec/src/"],
+        allowed_paths: &["crates/exec/src/pipeline.rs"],
+        applies_to_tests: false,
+        why: "Detached thread::spawn outside the pipeline module escapes the \
+              executor's panic-safe shutdown protocol (scoped threads + channel \
+              disconnection); all concurrency belongs in pipeline.rs.",
+    },
+    RuleSpec {
+        id: "conc-guard-across-channel",
+        scopes: &["crates/core/src/", "crates/exec/src/"],
+        allowed_paths: &[],
+        applies_to_tests: false,
+        why: "Holding a lock guard across a blocking channel send/recv couples the \
+              lock to queue backpressure — the classic pipeline deadlock. Drop the \
+              guard before touching a channel.",
+    },
+    RuleSpec {
+        id: "conc-static-mut",
+        scopes: &[],
+        allowed_paths: &[],
+        applies_to_tests: true,
+        why: "static mut is unsynchronized shared state (and unsafe to touch); use \
+              atomics or pass state explicitly.",
+    },
+    RuleSpec {
+        id: "policy-clippy-allow",
+        scopes: &[],
+        allowed_paths: &[],
+        applies_to_tests: true,
+        why: "#[allow(clippy::…)] without an adjacent comment explaining why hides \
+              the tradeoff from the next reader; justify it or fix the lint.",
+    },
+    RuleSpec {
+        id: "policy-bare-suppression",
+        scopes: &[],
+        allowed_paths: &[],
+        applies_to_tests: true,
+        why: "cascade-lint suppressions must name a known rule and carry a reason; a \
+              bare allow() is indistinguishable from silencing a real bug.",
+    },
+    RuleSpec {
+        id: "policy-registry-dep",
+        scopes: &[],
+        allowed_paths: &[],
+        applies_to_tests: true,
+        why: "The workspace builds fully offline (DESIGN.md zero-dependency policy); \
+              every manifest dependency must be a path-internal cascade-* crate.",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleSpec> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Whether `path` (workspace-relative, `/`-separated) is in `spec`'s
+/// scope and not allowlisted.
+pub fn in_scope(spec: &RuleSpec, path: &str) -> bool {
+    if spec.allowed_paths.iter().any(|p| path.starts_with(p)) {
+        return false;
+    }
+    spec.scopes.is_empty() || spec.scopes.iter().any(|p| path.starts_with(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_resolvable() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(rule(r.id).is_some());
+            assert!(
+                !RULES[..i].iter().any(|o| o.id == r.id),
+                "duplicate rule id {}",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn scope_honors_allowlists() {
+        let wall = rule("det-wallclock").expect("det-wallclock is registered");
+        assert!(in_scope(wall, "crates/core/src/trainer.rs"));
+        assert!(!in_scope(wall, "crates/core/src/instrument.rs"));
+        assert!(!in_scope(wall, "crates/bench/src/experiments/session.rs"));
+        assert!(!in_scope(wall, "crates/util/src/bench.rs"));
+
+        let spawn = rule("conc-spawn").expect("conc-spawn is registered");
+        assert!(in_scope(spawn, "crates/exec/src/workers.rs"));
+        assert!(!in_scope(spawn, "crates/exec/src/pipeline.rs"));
+        assert!(!in_scope(spawn, "crates/core/src/scheduler.rs"));
+    }
+
+    #[test]
+    fn global_rules_bind_everywhere() {
+        let smut = rule("conc-static-mut").expect("conc-static-mut is registered");
+        assert!(in_scope(smut, "crates/util/src/rng.rs"));
+        assert!(in_scope(smut, "src/lib.rs"));
+    }
+}

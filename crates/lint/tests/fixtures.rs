@@ -1,0 +1,159 @@
+//! Fixture-driven rule tests: every rule in the registry has at least
+//! one failing fixture (the rule fires, with the exact expected finding
+//! set) and one passing fixture (the idiomatic alternative is clean).
+//!
+//! Fixture format — `crates/lint/tests/fixtures/<rule>.{fail,pass}.{rs,toml}`:
+//!
+//! ```text
+//! //@ path: crates/exec/src/worker.rs    <- virtual workspace path
+//! //@ expect: panic-unwrap               <- one line per expected finding
+//! ```
+//!
+//! (`#@` headers in TOML fixtures.) The directory is excluded from the
+//! workspace walk, so the deliberate violations never reach the gate.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use cascade_lint::{check_manifest, check_source, RULES};
+
+struct Fixture {
+    name: String,
+    virtual_path: String,
+    expect: Vec<String>,
+    body: String,
+    is_fail: bool,
+    is_toml: bool,
+}
+
+fn load_fixtures() -> Vec<Fixture> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures directory ships with the crate")
+        .map(|e| e.expect("fixture dir entries are readable").path())
+        .collect();
+    names.sort();
+    let mut fixtures = Vec::new();
+    for path in names {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("fixture names are UTF-8")
+            .to_string();
+        let text = std::fs::read_to_string(&path)
+            .expect("fixture files ship with the crate and are UTF-8");
+        let marker = if name.ends_with(".toml") {
+            "#@ "
+        } else {
+            "//@ "
+        };
+        let mut virtual_path = None;
+        let mut expect = Vec::new();
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix(marker) else {
+                continue;
+            };
+            if let Some(p) = rest.strip_prefix("path:") {
+                virtual_path = Some(p.trim().to_string());
+            } else if let Some(r) = rest.strip_prefix("expect:") {
+                expect.push(r.trim().to_string());
+            } else {
+                panic!("{}: unknown fixture header `{}`", name, line);
+            }
+        }
+        fixtures.push(Fixture {
+            virtual_path: virtual_path
+                .unwrap_or_else(|| panic!("{}: missing `{}path:` header", name, marker)),
+            expect,
+            body: text,
+            is_fail: name.contains(".fail."),
+            is_toml: name.ends_with(".toml"),
+            name,
+        });
+    }
+    fixtures
+}
+
+fn findings_of(f: &Fixture) -> Vec<String> {
+    let mut rules: Vec<String> = if f.is_toml {
+        check_manifest(&f.virtual_path, &f.body)
+            .iter()
+            .map(|x| x.rule.to_string())
+            .collect()
+    } else {
+        check_source(&f.virtual_path, &f.body)
+            .findings
+            .iter()
+            .map(|x| x.rule.to_string())
+            .collect()
+    };
+    rules.sort();
+    rules
+}
+
+#[test]
+fn fail_fixtures_fire_exactly_their_expected_findings() {
+    for f in load_fixtures().iter().filter(|f| f.is_fail) {
+        let mut expected = f.expect.clone();
+        expected.sort();
+        assert!(
+            !expected.is_empty(),
+            "{}: fail fixture needs expect headers",
+            f.name
+        );
+        assert_eq!(
+            findings_of(f),
+            expected,
+            "{} (as {}) fired the wrong finding set",
+            f.name,
+            f.virtual_path
+        );
+    }
+}
+
+#[test]
+fn pass_fixtures_are_clean() {
+    for f in load_fixtures().iter().filter(|f| !f.is_fail) {
+        assert!(
+            f.expect.is_empty(),
+            "{}: pass fixture must not expect findings",
+            f.name
+        );
+        assert_eq!(
+            findings_of(f),
+            Vec::<String>::new(),
+            "{} (as {}) should be clean",
+            f.name,
+            f.virtual_path
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_failing_and_a_passing_fixture() {
+    let fixtures = load_fixtures();
+    let covered = |fail: bool| -> BTreeSet<&str> {
+        fixtures
+            .iter()
+            .filter(|f| f.is_fail == fail)
+            .map(|f| {
+                let stem = f.name.split('.').next().unwrap_or("");
+                stem
+            })
+            .collect()
+    };
+    let failing = covered(true);
+    let passing = covered(false);
+    for spec in RULES {
+        assert!(
+            failing.contains(spec.id),
+            "rule {} has no failing fixture",
+            spec.id
+        );
+        assert!(
+            passing.contains(spec.id),
+            "rule {} has no passing fixture",
+            spec.id
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/exec/src/pipeline.rs
+//@ expect: conc-guard-across-channel
+use std::sync::mpsc::SyncSender;
+use std::sync::Mutex;
+
+pub fn publish(state: &Mutex<u64>, tx: &SyncSender<u64>) {
+    let guard = state.lock().expect("pipeline threads never poison this lock");
+    tx.send(*guard).ok();
+}

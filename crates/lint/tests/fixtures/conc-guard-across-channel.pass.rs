@@ -1,0 +1,10 @@
+//@ path: crates/exec/src/pipeline.rs
+use std::sync::mpsc::SyncSender;
+use std::sync::Mutex;
+
+pub fn publish(state: &Mutex<u64>, tx: &SyncSender<u64>) {
+    let guard = state.lock().expect("pipeline threads never poison this lock");
+    let snapshot = *guard;
+    drop(guard);
+    tx.send(snapshot).ok();
+}

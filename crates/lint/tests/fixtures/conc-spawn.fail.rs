@@ -1,0 +1,5 @@
+//@ path: crates/exec/src/worker.rs
+//@ expect: conc-spawn
+pub fn detach() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,3 @@
+//@ path: crates/util/src/rng.rs
+//@ expect: conc-static-mut
+static mut COUNTER: u64 = 0;

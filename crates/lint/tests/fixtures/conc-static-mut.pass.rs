@@ -1,0 +1,4 @@
+//@ path: crates/util/src/rng.rs
+use std::sync::atomic::AtomicU64;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);

@@ -1,0 +1,7 @@
+//@ path: crates/nn/src/loss.rs
+//@ expect: det-hash-iter
+//@ expect: det-float-accum
+pub fn total() -> f32 {
+    let s: f32 = HashMap::from([(1u32, 1.0f32)]).values().sum();
+    s
+}

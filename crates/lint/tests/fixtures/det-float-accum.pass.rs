@@ -1,0 +1,4 @@
+//@ path: crates/nn/src/loss.rs
+pub fn total(per_batch: &[f32]) -> f32 {
+    per_batch.iter().sum()
+}

@@ -1,0 +1,9 @@
+//@ path: crates/core/src/batching.rs
+//@ expect: det-hash-iter
+//@ expect: det-hash-iter
+use std::collections::HashSet;
+
+pub fn dedup(ids: &[u64]) -> Vec<u64> {
+    let mut seen = HashSet::new();
+    ids.iter().copied().filter(|id| seen.insert(*id)).collect()
+}

@@ -1,0 +1,7 @@
+//@ path: crates/core/src/batching.rs
+use std::collections::BTreeSet;
+
+pub fn dedup(ids: &[u64]) -> Vec<u64> {
+    let mut seen = BTreeSet::new();
+    ids.iter().copied().filter(|id| seen.insert(*id)).collect()
+}

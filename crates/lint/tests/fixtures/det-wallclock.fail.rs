@@ -1,0 +1,7 @@
+//@ path: crates/core/src/trainer.rs
+//@ expect: det-wallclock
+use std::time::Instant;
+
+pub fn epoch_seed() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,5 @@
+//@ path: crates/models/src/memory.rs
+//@ expect: panic-expect
+pub fn last_update(times: &[f64]) -> f64 {
+    times.last().copied().expect("boom")
+}

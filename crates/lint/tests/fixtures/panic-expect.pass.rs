@@ -1,0 +1,7 @@
+//@ path: crates/models/src/memory.rs
+pub fn last_update(times: &[f64]) -> f64 {
+    times
+        .last()
+        .copied()
+        .expect("memory tables are created with one row per node")
+}

@@ -1,0 +1,5 @@
+//@ path: crates/exec/src/plan.rs
+//@ expect: panic-index
+pub fn pick(plans: &[u32], i: usize) -> u32 {
+    plans[i]
+}

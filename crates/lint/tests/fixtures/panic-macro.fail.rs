@@ -1,0 +1,10 @@
+//@ path: crates/exec/src/worker.rs
+//@ expect: panic-macro
+pub fn stage_name(stage: u8) -> &'static str {
+    match stage {
+        0 => "scan",
+        1 => "compute",
+        2 => "update",
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/exec/src/worker.rs
+pub fn stage_name(stage: u8) -> Option<&'static str> {
+    match stage {
+        0 => Some("scan"),
+        1 => Some("compute"),
+        2 => Some("update"),
+        _ => None,
+    }
+}

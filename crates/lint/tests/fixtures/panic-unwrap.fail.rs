@@ -1,0 +1,5 @@
+//@ path: crates/core/src/diffuser.rs
+//@ expect: panic-unwrap
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

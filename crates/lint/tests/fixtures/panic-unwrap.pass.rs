@@ -1,0 +1,4 @@
+//@ path: crates/core/src/diffuser.rs
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

@@ -1,0 +1,6 @@
+//@ path: crates/core/src/abs.rs
+//@ expect: policy-bare-suppression
+//@ expect: panic-unwrap
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap() // cascade-lint: allow(panic-unwrap)
+}

