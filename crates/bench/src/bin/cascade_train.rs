@@ -33,6 +33,7 @@ struct Args {
     pipelined: bool,
     pipeline_depth: usize,
     staleness: usize,
+    compute_threads: usize,
 }
 
 impl Args {
@@ -54,6 +55,7 @@ impl Args {
             pipelined: false,
             pipeline_depth: 2,
             staleness: 1,
+            compute_threads: 1,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -78,6 +80,7 @@ impl Args {
                 "--pipelined" => a.pipelined = true,
                 "--pipeline-depth" => a.pipeline_depth = parse(&val("--pipeline-depth")?)?,
                 "--staleness" => a.staleness = parse(&val("--staleness")?)?,
+                "--compute-threads" => a.compute_threads = parse(&val("--compute-threads")?)?,
                 "--help" | "-h" => {
                     print_usage();
                     std::process::exit(0);
@@ -106,7 +109,9 @@ fn print_usage() {
          --pipelined          train with the three-stage pipelined executor\n\
          --pipeline-depth N   scan prefetch depth (default 2)\n\
          --staleness N        scheduler staleness bound in batches\n\
-                              (default 1; 0 = bit-identical to serial)"
+                              (default 1; 0 = bit-identical to serial)\n\
+         --compute-threads N  shard-parallel batch compute workers\n\
+                              (default 1; any N is bit-identical)"
     );
 }
 
@@ -210,6 +215,7 @@ fn run() -> Result<(), String> {
         eval_batch_size: args.batch,
         clip_norm: Some(5.0),
         scale_lr_with_batch: true,
+        compute_threads: args.compute_threads.max(1),
         ..TrainConfig::default()
     };
 

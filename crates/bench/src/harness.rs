@@ -135,6 +135,9 @@ pub struct Harness {
     pub lr: f32,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for shard-parallel batch compute (bit-identical
+    /// results at any value; wall-clock only).
+    pub compute_threads: usize,
 }
 
 impl Default for Harness {
@@ -150,6 +153,7 @@ impl Default for Harness {
             preset_batch: 64,
             lr: 1e-3,
             seed: 42,
+            compute_threads: 1,
         }
     }
 }
@@ -171,6 +175,9 @@ impl Harness {
         }
         if let Some(v) = get("CASCADE_PRESET") {
             h.preset_batch = v.max(2);
+        }
+        if let Some(v) = get("CASCADE_THREADS") {
+            h.compute_threads = v.max(1);
         }
         h
     }
@@ -241,6 +248,7 @@ impl Harness {
             clip_norm: Some(5.0),
             sim_batch_overhead_events: 4877.0 * self.preset_batch as f64 / 900.0,
             scale_lr_with_batch: true,
+            compute_threads: self.compute_threads,
         }
     }
 

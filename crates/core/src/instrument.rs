@@ -51,7 +51,7 @@ impl StageTiming {
 /// Produced by both the serial [`train`](crate::train) loop (stalls are
 /// zero) and `cascade-exec`'s `train_pipelined` (scan runs on a scout
 /// thread, so its busy time overlaps the driver stages).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StageTimings {
     /// Stage A: batch-boundary scan (scheduler lookup + feedback ingest).
     pub scan: StageTiming,
@@ -59,6 +59,16 @@ pub struct StageTimings {
     pub compute: StageTiming,
     /// Stage C: memory write-back, message generation, adjacency.
     pub update: StageTiming,
+    /// Per-shard forward telemetry of stage B's shard-parallel batch
+    /// compute: entry `j` accumulates shard `j`'s forward busy time across
+    /// all batches, and its `stall` is the straggler gap to the batch's
+    /// slowest shard when more than one worker thread ran.
+    ///
+    /// A sub-division of `compute.busy`, **not** an extra pipeline stage:
+    /// excluded from [`total_busy`](Self::total_busy) /
+    /// [`total_stall`](Self::total_stall) so serial invariants (zero total
+    /// stall, `compute.busy + update.busy == model_time`) are unchanged.
+    pub shard_compute: Vec<StageTiming>,
 }
 
 impl StageTimings {
@@ -78,6 +88,38 @@ impl StageTimings {
     pub fn driver_stall(&self) -> Duration {
         self.compute.stall + self.update.stall
     }
+
+    /// Folds one batch's per-shard forward busy times into
+    /// `shard_compute`. With `threads > 1` each shard is also charged the
+    /// straggler gap to the batch's slowest shard as stall; a serial run
+    /// has no straggler, so its gap is definitionally zero.
+    pub fn record_shards(&mut self, busy: &[Duration], threads: usize) {
+        if busy.is_empty() {
+            return;
+        }
+        if self.shard_compute.len() < busy.len() {
+            self.shard_compute
+                .resize(busy.len(), StageTiming::default());
+        }
+        let slowest = busy.iter().copied().max().unwrap_or_default();
+        for (shard, &b) in self.shard_compute.iter_mut().zip(busy.iter()) {
+            shard.record(b);
+            if threads > 1 {
+                shard.stall += slowest - b;
+            }
+        }
+    }
+
+    /// Total forward busy time across compute shards — the portion of
+    /// `compute.busy` that was eligible for worker-thread overlap.
+    pub fn shard_busy_total(&self) -> Duration {
+        self.shard_compute.iter().map(|s| s.busy).sum()
+    }
+
+    /// Total straggler gap across compute shards (zero for serial runs).
+    pub fn shard_stall_total(&self) -> Duration {
+        self.shard_compute.iter().map(|s| s.stall).sum()
+    }
 }
 
 impl fmt::Display for StageTimings {
@@ -91,6 +133,15 @@ impl fmt::Display for StageTimings {
                 f,
                 "{} busy {:?} stall {:?} ({} items) | ",
                 label, s.busy, s.stall, s.items
+            )?;
+        }
+        if !self.shard_compute.is_empty() {
+            write!(
+                f,
+                "shards x{} busy {:?} straggler {:?} | ",
+                self.shard_compute.len(),
+                self.shard_busy_total(),
+                self.shard_stall_total()
             )?;
         }
         write!(f, "driver stall {:?}", self.driver_stall())
@@ -260,6 +311,33 @@ mod tests {
             "{}",
             text
         );
+    }
+
+    #[test]
+    fn record_shards_tracks_busy_and_straggler_gap() {
+        let mut s = StageTimings::default();
+        let busy = [Duration::from_millis(4), Duration::from_millis(10)];
+        // Serial evaluation: no straggler gap, busy still recorded.
+        s.record_shards(&busy, 1);
+        assert_eq!(s.shard_compute.len(), 2);
+        assert_eq!(s.shard_busy_total(), Duration::from_millis(14));
+        assert_eq!(s.shard_stall_total(), Duration::ZERO);
+        // Parallel evaluation: shard 0 waits 6 ms on the slowest shard.
+        s.record_shards(&busy, 2);
+        assert_eq!(s.shard_busy_total(), Duration::from_millis(28));
+        assert_eq!(s.shard_stall_total(), Duration::from_millis(6));
+        assert_eq!(s.shard_compute[0].items, 2);
+        // Shard telemetry never leaks into the pipeline totals.
+        assert_eq!(s.total_busy(), Duration::ZERO);
+        assert_eq!(s.total_stall(), Duration::ZERO);
+        assert!(s.to_string().contains("shards x2"), "{}", s);
+    }
+
+    #[test]
+    fn record_shards_ignores_unsharded_batches() {
+        let mut s = StageTimings::default();
+        s.record_shards(&[], 4);
+        assert!(s.shard_compute.is_empty());
     }
 
     #[test]

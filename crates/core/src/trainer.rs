@@ -40,6 +40,11 @@ pub struct TrainConfig {
     /// standard compensation for larger batches taking fewer optimizer
     /// steps; applied uniformly to every strategy.
     pub scale_lr_with_batch: bool,
+    /// Worker threads for shard-parallel batch compute inside the model's
+    /// forward pass. The shard layout is fixed by batch size, so any value
+    /// here produces bit-identical parameters and memories — higher values
+    /// only trade wall-clock time (clamped to at least 1).
+    pub compute_threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -51,6 +56,7 @@ impl Default for TrainConfig {
             clip_norm: Some(5.0),
             sim_batch_overhead_events: 0.0,
             scale_lr_with_batch: false,
+            compute_threads: 1,
         }
     }
 }
@@ -145,6 +151,7 @@ pub fn train_with_observer(
     observer: &mut dyn FnMut(usize, &[MemoryDelta]),
 ) -> TrainReport {
     assert!(cfg.epochs > 0, "need at least one epoch");
+    model.set_compute_threads(cfg.compute_threads.max(1));
     let train_range = data.train_range();
     assert!(!train_range.is_empty(), "empty training range");
     let events = data.stream().events();
@@ -199,6 +206,7 @@ pub fn train_with_observer(
             opt.step();
             let compute_elapsed = t1.elapsed();
             stages.compute.record(compute_elapsed);
+            stages.record_shards(&fwd.shard_busy, cfg.compute_threads.max(1));
 
             let t2 = Instant::now();
             let deltas =

@@ -211,6 +211,7 @@ pub fn train_pipelined(
     pcfg: &PipelineConfig,
 ) -> Result<TrainReport, PipelineError> {
     assert!(cfg.epochs > 0, "need at least one epoch");
+    model.set_compute_threads(cfg.compute_threads.max(1));
     let train_range = data.train_range();
     assert!(!train_range.is_empty(), "empty training range");
     let events = data.stream().events();
@@ -229,6 +230,9 @@ pub fn train_pipelined(
     // Driver-side bookkeeping (mirrors the serial trainer).
     let mut stage_b = StageTiming::default();
     let mut stage_c = StageTiming::default();
+    // Per-shard sub-division of stage B (collects via record_shards; its
+    // shard_compute vector lands in the final report's StageTimings).
+    let mut shard_t = StageTimings::default();
     let mut num_batches = 0usize;
     let mut max_batch = 0usize;
     let mut epoch_losses: Vec<f32> = Vec::with_capacity(epochs);
@@ -347,7 +351,14 @@ pub fn train_pipelined(
                 cur_epoch = plan.epoch;
             }
 
-            // Stage B: forward, loss, backward, optimizer step.
+            // Stage B: forward, loss, backward, optimizer step. Autograd
+            // failures take the *typed* path: `try_backward` surfaces a
+            // structural problem (non-scalar loss, upstream length
+            // mismatch) as an `AutogradError` without unwinding, and it is
+            // mapped straight to a Compute-stage PipelineError here. The
+            // surrounding catch_unwind remains as the backstop for
+            // genuine panics elsewhere in the stage (shape asserts,
+            // index bounds), so the scout is always joined either way.
             let t1 = Instant::now();
             let step = catch_unwind(AssertUnwindSafe(|| {
                 if cfg.scale_lr_with_batch {
@@ -358,15 +369,24 @@ pub fn train_pipelined(
                 let fwd =
                     model.forward_batch(&events[plan.start..plan.end], plan.start, data.features());
                 let loss = fwd.loss.item();
-                fwd.loss.backward();
+                if let Err(e) = fwd.loss.try_backward() {
+                    return Err(format!("autograd failed: {e}"));
+                }
                 if let Some(c) = cfg.clip_norm {
                     clip_grad_norm(&params, c);
                 }
                 opt.step();
-                (fwd.pending, loss)
+                Ok((fwd.pending, fwd.shard_busy, loss))
             }));
-            let (pending, loss) = match step {
-                Ok(x) => x,
+            let (pending, shard_busy, loss) = match step {
+                Ok(Ok(x)) => x,
+                Ok(Err(message)) => {
+                    error = Some(PipelineError {
+                        stage: PipelineStage::Compute,
+                        message,
+                    });
+                    break;
+                }
                 Err(payload) => {
                     error = Some(PipelineError {
                         stage: PipelineStage::Compute,
@@ -376,6 +396,7 @@ pub fn train_pipelined(
                 }
             };
             stage_b.record(t1.elapsed());
+            shard_t.record_shards(&shard_busy, cfg.compute_threads.max(1));
 
             // Stage C: memory write-back, messages, adjacency.
             let t2 = Instant::now();
@@ -508,6 +529,7 @@ pub fn train_pipelined(
             scan: scout_report.scan,
             compute: stage_b,
             update: stage_c,
+            shard_compute: shard_t.shard_compute,
         },
     })
 }

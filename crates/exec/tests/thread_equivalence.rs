@@ -1,0 +1,146 @@
+//! Integration tests for shard-parallel batch compute: any
+//! `compute_threads` value must be bit-identical to the single-threaded
+//! run through both the serial trainer and the pipelined executor.
+
+use cascade_core::{train, CascadeConfig, CascadeScheduler, TrainConfig, TrainReport};
+use cascade_exec::{train_pipelined, PipelineConfig};
+use cascade_models::{MemoryTgnn, ModelConfig};
+use cascade_nn::Module;
+use cascade_tgraph::{Dataset, NodeId, SynthConfig};
+
+fn dataset() -> Dataset {
+    SynthConfig::wiki().with_scale(0.006).generate(23)
+}
+
+fn model_for(data: &Dataset) -> MemoryTgnn {
+    MemoryTgnn::new(
+        ModelConfig::tgn().with_dims(8, 4).with_neighbors(3),
+        data.num_nodes(),
+        data.features().dim(),
+        11,
+    )
+}
+
+fn train_cfg(threads: usize) -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        lr: 1e-3,
+        eval_batch_size: 64,
+        clip_norm: Some(5.0),
+        compute_threads: threads,
+        ..TrainConfig::default()
+    }
+}
+
+fn scheduler() -> CascadeScheduler {
+    CascadeScheduler::new(CascadeConfig {
+        preset_batch_size: 64,
+        ..CascadeConfig::default()
+    })
+}
+
+fn assert_same_state(a: &MemoryTgnn, b: &MemoryTgnn, data: &Dataset, label: &str) {
+    for node in 0..data.num_nodes() as u32 {
+        assert_eq!(
+            a.memory().read(NodeId(node)),
+            b.memory().read(NodeId(node)),
+            "{label}: memory row {node} diverged"
+        );
+    }
+    for (i, (pa, pb)) in a.parameters().iter().zip(b.parameters().iter()).enumerate() {
+        assert_eq!(
+            pa.data().to_vec(),
+            pb.data().to_vec(),
+            "{label}: parameter {i} diverged"
+        );
+    }
+}
+
+fn assert_same_report(a: &TrainReport, b: &TrainReport, label: &str) {
+    assert_eq!(a.epoch_losses, b.epoch_losses, "{label}: epoch losses");
+    assert_eq!(a.batch_losses, b.batch_losses, "{label}: batch losses");
+    assert_eq!(a.batch_sizes, b.batch_sizes, "{label}: batch partition");
+    assert_eq!(a.val_loss, b.val_loss, "{label}: validation loss");
+    assert_eq!(a.val_ap, b.val_ap, "{label}: validation AP");
+}
+
+/// The serial trainer with `compute_threads = N` must reproduce the
+/// single-threaded run bit for bit: same losses, same partition, same
+/// final parameters and node memories.
+#[test]
+fn serial_trainer_is_bit_identical_across_thread_counts() {
+    let data = dataset();
+
+    let mut base_model = model_for(&data);
+    let mut base_strategy = scheduler();
+    let base = train(&mut base_model, &data, &mut base_strategy, &train_cfg(1));
+
+    for threads in [2usize, 4] {
+        let mut model = model_for(&data);
+        let mut strategy = scheduler();
+        let report = train(&mut model, &data, &mut strategy, &train_cfg(threads));
+        let label = format!("serial threads={threads}");
+        assert_same_report(&base, &report, &label);
+        assert_same_state(&base_model, &model, &data, &label);
+    }
+}
+
+/// The deterministic pipelined executor composes with shard-parallel
+/// compute: pipelined + `compute_threads = 4` still matches the serial
+/// single-threaded trainer bit for bit.
+#[test]
+fn pipelined_parallel_compute_matches_serial_single_thread() {
+    let data = dataset();
+
+    let mut serial_model = model_for(&data);
+    let mut serial_strategy = scheduler();
+    let serial = train(
+        &mut serial_model,
+        &data,
+        &mut serial_strategy,
+        &train_cfg(1),
+    );
+
+    let mut piped_model = model_for(&data);
+    let mut piped_strategy = scheduler();
+    let piped = train_pipelined(
+        &mut piped_model,
+        &data,
+        &mut piped_strategy,
+        &train_cfg(4),
+        &PipelineConfig::default().with_depth(4).deterministic(),
+    )
+    .expect("deterministic pipeline must not fail");
+
+    assert_same_report(&serial, &piped, "pipelined threads=4");
+    assert_same_state(&serial_model, &piped_model, &data, "pipelined threads=4");
+}
+
+/// Shard telemetry appears exactly when the batch compute is sharded:
+/// multi-thread runs populate `shard_compute`, and the per-shard busy
+/// split stays a sub-division of the compute stage (excluded from the
+/// stage totals, so the serial invariants hold unchanged).
+#[test]
+fn shard_telemetry_is_populated_and_excluded_from_totals() {
+    let data = dataset();
+    let mut model = model_for(&data);
+    let mut strategy = scheduler();
+    let report = train(&mut model, &data, &mut strategy, &train_cfg(4));
+
+    let stages = &report.stages;
+    assert!(
+        !stages.shard_compute.is_empty(),
+        "multi-thread run must record per-shard telemetry"
+    );
+    assert!(stages.shard_busy_total() > std::time::Duration::ZERO);
+    for (s, shard) in stages.shard_compute.iter().enumerate() {
+        assert!(shard.items > 0, "shard {s} recorded no batches");
+    }
+    // Per-shard timings sub-divide compute.busy; they must not leak
+    // into the cross-stage totals the serial invariants rely on.
+    assert_eq!(
+        stages.total_busy(),
+        stages.scan.busy + stages.compute.busy + stages.update.busy
+    );
+    assert_eq!(stages.total_stall(), std::time::Duration::ZERO);
+}

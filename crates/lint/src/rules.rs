@@ -36,6 +36,7 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
+    "crates/tensor/src/",
 ];
 
 /// Hot-path crates where an unexpected panic kills a pipeline stage

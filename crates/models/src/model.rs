@@ -15,9 +15,11 @@
 
 // cascade-lint: allow(det-hash-iter): imported only for the insert/lookup index maps below, which are never iterated.
 use std::collections::HashMap;
+use std::time::Duration;
 
 use cascade_nn::{
-    bce_with_logits, EdgePredictor, GatLayer, GruCell, Linear, Module, RnnCell, TimeEncode,
+    bce_with_logits, bce_with_logits_sum, EdgePredictor, GatLayer, GruCell, Linear, Module,
+    RnnCell, TimeEncode,
 };
 use cascade_tensor::Tensor;
 use cascade_tgraph::{AdjacencyStore, EdgeFeatures, Event, EventId, NegativeSampler, NodeId};
@@ -66,6 +68,10 @@ pub struct BatchForward {
     pub pos_logits: Vec<f32>,
     /// Logits of the negative-sampled wrong edges (one per event).
     pub neg_logits: Vec<f32>,
+    /// Wall-clock busy time of each compute shard's forward pass, in
+    /// shard-index order (empty when the batch ran unsharded, e.g. in
+    /// lite mode). Telemetry only — never fed back into computation.
+    pub shard_busy: Vec<Duration>,
     /// The write-back ticket for [`MemoryTgnn::apply_batch`].
     pub pending: BatchPending,
 }
@@ -81,6 +87,21 @@ pub struct BatchPending {
     has_msg: Vec<bool>,
     /// Row-major `[centers.len(), memory_dim]` updated memories.
     post: Vec<f32>,
+}
+
+/// Fixed shard count for parallel batch compute: a batch is always split
+/// into `min(MAX_SHARDS, batch_len)` contiguous event ranges regardless
+/// of how many worker threads evaluate them, so the loss graph — and
+/// therefore every gradient bit — is identical at any thread count.
+const MAX_SHARDS: usize = 8;
+
+/// One shard's forward result, reduced on the driver in shard-index
+/// order.
+struct ShardForward {
+    loss_sum: Tensor,
+    pos: Vec<f32>,
+    neg: Vec<f32>,
+    busy: Duration,
 }
 
 enum Updater {
@@ -130,6 +151,7 @@ pub struct MemoryTgnn {
     embedder: Embedder,
     predictor: EdgePredictor,
     neg_sampler: NegativeSampler,
+    compute_threads: usize,
 }
 
 impl MemoryTgnn {
@@ -188,8 +210,22 @@ impl MemoryTgnn {
             embedder,
             predictor: EdgePredictor::new(d, seed ^ 0x0c),
             neg_sampler: NegativeSampler::new(num_nodes, seed ^ 0x0d),
+            compute_threads: 1,
             config,
         }
+    }
+
+    /// Sets how many worker threads evaluate a batch's compute shards
+    /// (clamped to at least 1). The shard *count* is fixed by batch size,
+    /// so results are bit-identical at any thread setting — this only
+    /// trades wall-clock time.
+    pub fn set_compute_threads(&mut self, threads: usize) {
+        self.compute_threads = threads.max(1);
+    }
+
+    /// Worker threads used for shard-parallel batch compute.
+    pub fn compute_threads(&self) -> usize {
+        self.compute_threads
     }
 
     /// The model configuration.
@@ -270,23 +306,27 @@ impl MemoryTgnn {
 
     /// The forward half of [`process_batch`](Self::process_batch): message
     /// consumption, embedding, link prediction, and the loss (Figure 1
-    /// step 1). Mutates nothing but the negative-sampler and
-    /// neighbor-sampler RNG state; memories, mailboxes, and adjacency are
-    /// untouched until the returned ticket goes through
-    /// [`apply_batch`](Self::apply_batch).
+    /// step 1). Mutates nothing — samplers are stateless and memories,
+    /// mailboxes, and adjacency are untouched until the returned ticket
+    /// goes through [`apply_batch`](Self::apply_batch).
+    ///
+    /// Outside lite mode the batch's events are split into
+    /// `min(8, batch_len)` contiguous shards whose embedding, prediction,
+    /// and partial loss are evaluated on up to
+    /// [`compute_threads`](Self::compute_threads) scoped worker threads;
+    /// the partial losses are reduced in fixed shard-index order, so the
+    /// result is bit-identical at any thread count.
     ///
     /// # Panics
     ///
     /// Panics if `events` is empty or any endpoint is out of range.
     pub fn forward_batch(
-        &mut self,
+        &self,
         events: &[Event],
         first_id: EventId,
         feats: &EdgeFeatures,
     ) -> BatchForward {
-        let _ = first_id;
         assert!(!events.is_empty(), "process_batch on empty batch");
-        let b = events.len();
         let d = self.config.memory_dim;
 
         // ---- Step 1a: consume pending messages through the updater. ----
@@ -305,65 +345,81 @@ impl MemoryTgnn {
         let (updated, has_msg) = self.consume_mailboxes(&centers, &stored);
 
         // ---- Step 1b: embed src/dst/neg and compute the loss. ----
+        // Negative draws are keyed by global event id, so a shard's draws
+        // depend only on which events it holds, never on evaluation order.
         let negs: Vec<NodeId> = events
             .iter()
-            .map(|e| self.neg_sampler.sample(e.dst))
+            .enumerate()
+            .map(|(i, e)| self.neg_sampler.sample(e.dst, (first_id + i) as u64))
             .collect();
 
-        let mut all_nodes: Vec<NodeId> = Vec::with_capacity(3 * b);
-        let mut times: Vec<f64> = Vec::with_capacity(3 * b);
-        for e in events {
-            all_nodes.push(e.src);
-            times.push(e.time);
-        }
-        for e in events {
-            all_nodes.push(e.dst);
-            times.push(e.time);
-        }
-        for (e, &n) in events.iter().zip(&negs) {
-            all_nodes.push(n);
-            times.push(e.time);
-        }
-
-        // Base representations: src/dst rows come from the updated tensor
-        // (gradients flow into the updater), negatives from stored memory.
-        let sd_indices: Vec<usize> = all_nodes[..2 * b].iter().map(|n| center_idx[n]).collect();
-        let sd_base = updated.index_select(&sd_indices); // [2B, d]
-        let neg_base = self.memory.gather(&all_nodes[2 * b..]); // [B, d] leaf
-        let base = Tensor::concat_rows(&[&sd_base, &neg_base]); // [3B, d]
-
-        let h = if self.config.lite {
-            // TGLite-style redundancy elimination: embed each distinct
-            // node once at the batch-end timestamp, then scatter back to
-            // the per-event slots.
-            let t_end = events.last().expect("non-empty batch").time;
-            let mut uniq: Vec<NodeId> = Vec::new();
-            // cascade-lint: allow(det-hash-iter): insert/lookup only, never iterated — ordered traversal runs over `uniq`, which records insertion order.
-            let mut uniq_idx: HashMap<NodeId, usize> = HashMap::new();
-            for &n in &all_nodes {
-                uniq_idx.entry(n).or_insert_with(|| {
-                    uniq.push(n);
-                    uniq.len() - 1
-                });
-            }
-            // Base rows: updated memories for batch centers, stored
-            // memories for everything else, in `uniq` order.
-            let rows: Vec<Tensor> = uniq
-                .iter()
-                .map(|n| match center_idx.get(n) {
-                    Some(&c) => updated.index_select(&[c]),
-                    None => self.memory.gather(std::slice::from_ref(n)),
-                })
-                .collect();
-            let row_refs: Vec<&Tensor> = rows.iter().collect();
-            let base_u = Tensor::concat_rows(&row_refs);
-            let times_u = vec![t_end; uniq.len()];
-            let h_u = self.embed(&uniq, &times_u, &base_u, feats);
-            let scatter: Vec<usize> = all_nodes.iter().map(|n| uniq_idx[n]).collect();
-            h_u.index_select(&scatter)
+        let (loss, pos_vec, neg_vec, shard_busy) = if self.config.lite {
+            // Lite mode deduplicates embeddings across the whole batch, so
+            // its events are not independent; it stays on the serial path.
+            let (loss, p, n) = self.lite_forward(events, &updated, &center_idx, &negs, feats);
+            (loss, p, n, Vec::new())
         } else {
-            self.embed(&all_nodes, &times, &base, feats)
+            self.sharded_forward(events, &updated, &center_idx, &negs, feats)
         };
+
+        // Updated memories leave the autograd graph here: `post` holds the
+        // detached rows apply_batch writes back (Figure 1 step 3).
+        let post = updated.data()[..centers.len() * d].to_vec();
+
+        BatchForward {
+            loss,
+            pos_logits: pos_vec,
+            neg_logits: neg_vec,
+            shard_busy,
+            pending: BatchPending {
+                centers,
+                has_msg,
+                post,
+            },
+        }
+    }
+
+    /// TGLite-style redundancy elimination: embed each distinct node once
+    /// at the batch-end timestamp, then scatter back to the per-event
+    /// slots. Batch-global by construction, hence unsharded.
+    fn lite_forward(
+        &self,
+        events: &[Event],
+        updated: &Tensor,
+        // cascade-lint: allow(det-hash-iter): lookup-only index map; every traversal runs over slices in event order.
+        center_idx: &HashMap<NodeId, usize>,
+        negs: &[NodeId],
+        feats: &EdgeFeatures,
+    ) -> (Tensor, Vec<f32>, Vec<f32>) {
+        let b = events.len();
+        let d = self.config.memory_dim;
+        let (all_nodes, _times) = Self::event_columns(events, negs);
+
+        let t_end = events.last().expect("non-empty batch").time;
+        let mut uniq: Vec<NodeId> = Vec::new();
+        // cascade-lint: allow(det-hash-iter): insert/lookup only, never iterated — ordered traversal runs over `uniq`, which records insertion order.
+        let mut uniq_idx: HashMap<NodeId, usize> = HashMap::new();
+        for &n in &all_nodes {
+            uniq_idx.entry(n).or_insert_with(|| {
+                uniq.push(n);
+                uniq.len() - 1
+            });
+        }
+        // Base rows: updated memories for batch centers, stored memories
+        // for everything else, in `uniq` order.
+        let rows: Vec<Tensor> = uniq
+            .iter()
+            .map(|n| match center_idx.get(n) {
+                Some(&c) => updated.index_select(&[c]),
+                None => self.memory.gather(std::slice::from_ref(n)),
+            })
+            .collect();
+        let row_refs: Vec<&Tensor> = rows.iter().collect();
+        let base_u = Tensor::concat_rows(&row_refs);
+        let times_u = vec![t_end; uniq.len()];
+        let h_u = self.embed(&uniq, &times_u, &base_u, feats);
+        let scatter: Vec<usize> = all_nodes.iter().map(|n| uniq_idx[n]).collect();
+        let h = h_u.index_select(&scatter);
         debug_assert_eq!(h.dims(), &[3 * b, d]);
 
         let h_src = h.slice_rows(0, b);
@@ -378,22 +434,152 @@ impl MemoryTgnn {
         let mut labels = vec![1.0; b];
         labels.extend(vec![0.0; b]);
         let labels = Tensor::from_vec(labels, [2 * b, 1]);
-        let loss = bce_with_logits(&logits, &labels);
+        (bce_with_logits(&logits, &labels), pos_vec, neg_vec)
+    }
 
-        // Updated memories leave the autograd graph here: `post` holds the
-        // detached rows apply_batch writes back (Figure 1 step 3).
-        let post = updated.data()[..centers.len() * d].to_vec();
+    /// Splits the batch into `min(MAX_SHARDS, b)` contiguous shards,
+    /// evaluates each shard's forward pass (on scoped worker threads when
+    /// `compute_threads > 1`), and reduces the per-shard loss sums in
+    /// shard-index order via [`Tensor::sharded_sum_scaled`].
+    fn sharded_forward(
+        &self,
+        events: &[Event],
+        updated: &Tensor,
+        // cascade-lint: allow(det-hash-iter): lookup-only index map; every traversal runs over slices in event order.
+        center_idx: &HashMap<NodeId, usize>,
+        negs: &[NodeId],
+        feats: &EdgeFeatures,
+    ) -> (Tensor, Vec<f32>, Vec<f32>, Vec<Duration>) {
+        let b = events.len();
+        let shards = b.min(MAX_SHARDS);
+        // Balanced contiguous partition: shard s covers [bounds[s], bounds[s+1]).
+        let bounds: Vec<usize> = (0..=shards).map(|s| s * b / shards).collect();
+        let workers = self.compute_threads.max(1).min(shards);
 
-        BatchForward {
-            loss,
-            pos_logits: pos_vec,
-            neg_logits: neg_vec,
-            pending: BatchPending {
-                centers,
-                has_msg,
-                post,
-            },
+        let mut results: Vec<Option<ShardForward>> = (0..shards).map(|_| None).collect();
+        if workers <= 1 {
+            for (s, slot) in results.iter_mut().enumerate() {
+                *slot = Some(self.shard_forward(
+                    &events[bounds[s]..bounds[s + 1]],
+                    &negs[bounds[s]..bounds[s + 1]],
+                    updated,
+                    center_idx,
+                    feats,
+                ));
+            }
+        } else {
+            let chunk = shards.div_ceil(workers);
+            let bounds = &bounds;
+            std::thread::scope(|scope| {
+                for (c, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                            let s = c * chunk + off;
+                            *slot = Some(self.shard_forward(
+                                &events[bounds[s]..bounds[s + 1]],
+                                &negs[bounds[s]..bounds[s + 1]],
+                                updated,
+                                center_idx,
+                                feats,
+                            ));
+                        }
+                    });
+                }
+            });
         }
+
+        // Reduce in fixed shard-index order regardless of which worker
+        // finished first — this is what makes thread count invisible.
+        let mut pos_vec = Vec::with_capacity(b);
+        let mut neg_vec = Vec::with_capacity(b);
+        let mut busy = Vec::with_capacity(shards);
+        let mut losses = Vec::with_capacity(shards);
+        for r in results {
+            let r = r.expect("every shard slot is filled exactly once");
+            pos_vec.extend(r.pos);
+            neg_vec.extend(r.neg);
+            busy.push(r.busy);
+            losses.push(r.loss_sum);
+        }
+        // The batch mean: per-shard sums scaled by 1/(2B). `updated` is
+        // shared by every shard, so it rides along as a reduction barrier
+        // and its subgraph is walked serially after the sink merge.
+        let loss = Tensor::sharded_sum_scaled(
+            &losses,
+            1.0 / (2 * b) as f32,
+            std::slice::from_ref(updated),
+            self.compute_threads,
+        );
+        (loss, pos_vec, neg_vec, busy)
+    }
+
+    /// One shard's forward pass: embed the shard's src/dst/neg nodes,
+    /// score its edges, and sum (not average) its BCE terms. A pure
+    /// function of the shard's events — safe to run on any worker thread.
+    fn shard_forward(
+        &self,
+        events: &[Event],
+        negs: &[NodeId],
+        updated: &Tensor,
+        // cascade-lint: allow(det-hash-iter): lookup-only index map; every traversal runs over slices in event order.
+        center_idx: &HashMap<NodeId, usize>,
+        feats: &EdgeFeatures,
+    ) -> ShardForward {
+        // cascade-lint: allow(det-wallclock): telemetry only — per-shard busy time fills instrument reports and never feeds computation.
+        let start = std::time::Instant::now();
+        let sb = events.len();
+        let (all_nodes, times) = Self::event_columns(events, negs);
+
+        // Base representations: src/dst rows come from the updated tensor
+        // (gradients flow into the updater), negatives from stored memory.
+        let sd_indices: Vec<usize> = all_nodes[..2 * sb].iter().map(|n| center_idx[n]).collect();
+        let sd_base = updated.index_select(&sd_indices); // [2S, d]
+        let neg_base = self.memory.gather(&all_nodes[2 * sb..]); // [S, d] leaf
+        let base = Tensor::concat_rows(&[&sd_base, &neg_base]); // [3S, d]
+        let h = self.embed(&all_nodes, &times, &base, feats);
+        debug_assert_eq!(h.dims(), &[3 * sb, self.config.memory_dim]);
+
+        let h_src = h.slice_rows(0, sb);
+        let h_dst = h.slice_rows(sb, 2 * sb);
+        let h_neg = h.slice_rows(2 * sb, 3 * sb);
+
+        let pos_logits = self.predictor.forward(&h_src, &h_dst);
+        let neg_logits = self.predictor.forward(&h_src, &h_neg);
+        let pos = pos_logits.to_vec();
+        let neg = neg_logits.to_vec();
+        let logits = Tensor::concat_rows(&[&pos_logits, &neg_logits]);
+        let mut labels = vec![1.0; sb];
+        labels.extend(vec![0.0; sb]);
+        let labels = Tensor::from_vec(labels, [2 * sb, 1]);
+        let loss_sum = bce_with_logits_sum(&logits, &labels);
+
+        ShardForward {
+            loss_sum,
+            pos,
+            neg,
+            busy: start.elapsed(),
+        }
+    }
+
+    /// The `[src… ‖ dst… ‖ neg…]` node and timestamp columns of a batch
+    /// (or shard) — the layout every embedding pass consumes.
+    fn event_columns(events: &[Event], negs: &[NodeId]) -> (Vec<NodeId>, Vec<f64>) {
+        let b = events.len();
+        let mut all_nodes: Vec<NodeId> = Vec::with_capacity(3 * b);
+        let mut times: Vec<f64> = Vec::with_capacity(3 * b);
+        for e in events {
+            all_nodes.push(e.src);
+            times.push(e.time);
+        }
+        for e in events {
+            all_nodes.push(e.dst);
+            times.push(e.time);
+        }
+        for (e, &n) in events.iter().zip(negs) {
+            all_nodes.push(n);
+            times.push(e.time);
+        }
+        (all_nodes, times)
     }
 
     /// The state half of [`process_batch`](Self::process_batch): writes
@@ -488,7 +674,7 @@ impl MemoryTgnn {
     ///
     /// Panics if `dsts` is empty or any node is out of range.
     pub fn score_links(
-        &mut self,
+        &self,
         src: NodeId,
         dsts: &[NodeId],
         time: f64,
@@ -515,7 +701,7 @@ impl MemoryTgnn {
     /// # Panics
     ///
     /// Panics if `nodes` is empty or any node is out of range.
-    pub fn embed_nodes(&mut self, nodes: &[NodeId], time: f64, feats: &EdgeFeatures) -> Tensor {
+    pub fn embed_nodes(&self, nodes: &[NodeId], time: f64, feats: &EdgeFeatures) -> Tensor {
         assert!(!nodes.is_empty(), "embed_nodes on empty node list");
         let times = vec![time; nodes.len()];
         let base = self.memory.gather(nodes);
@@ -665,7 +851,7 @@ impl MemoryTgnn {
     /// Applies the configured embedder to `base` representations of
     /// `nodes` evaluated at `times`.
     fn embed(
-        &mut self,
+        &self,
         nodes: &[NodeId],
         times: &[f64],
         base: &Tensor,
@@ -685,14 +871,12 @@ impl MemoryTgnn {
                 base.mul(&scale)
             }
             Embedder::Gat1(gat) => {
-                let gat = gat.clone();
                 let k = self.config.sampling.count();
                 let (n_in, mask) = self.neighbor_inputs(nodes, times, k, feats);
                 let c_in = self.center_inputs(base);
                 gat.forward(&c_in, &n_in, &mask, k)
             }
             Embedder::Gat2(l1, l2) => {
-                let (l1, l2) = (l1.clone(), l2.clone());
                 let k = self.config.sampling.count();
                 // Hop 1: sample neighbors of the centers.
                 let (hop1_nodes, hop1_times, hop1_events, mask1) = self.sample_hop(nodes, k);
@@ -720,7 +904,7 @@ impl MemoryTgnn {
     /// Samples `k` neighbor slots per node; returns nodes, their event
     /// times, their connecting-event ids, and the validity mask.
     fn sample_hop(
-        &mut self,
+        &self,
         nodes: &[NodeId],
         k: usize,
     ) -> (Vec<NodeId>, Vec<f64>, Vec<Option<EventId>>, Vec<f32>) {
@@ -752,7 +936,7 @@ impl MemoryTgnn {
 
     /// Builds `[n·k, d + f + time]` neighbor input rows by sampling.
     fn neighbor_inputs(
-        &mut self,
+        &self,
         nodes: &[NodeId],
         times: &[f64],
         k: usize,

@@ -41,7 +41,7 @@ mod time_encode;
 
 pub use attention::GatLayer;
 pub use linear::{Linear, Mlp};
-pub use loss::{average_precision, bce_with_logits, binary_accuracy};
+pub use loss::{average_precision, bce_with_logits, bce_with_logits_sum, binary_accuracy};
 pub use module::{xavier_uniform, zeros_bias, Module};
 pub use norm::{Dropout, LayerNorm};
 pub use optim::{clip_grad_norm, Adam, Sgd};

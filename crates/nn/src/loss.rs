@@ -27,12 +27,27 @@ use cascade_tensor::Tensor;
 /// assert!(bce_with_logits(&logits, &targets).item() < 1e-3);
 /// ```
 pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> Tensor {
+    bce_with_logits_sum(logits, targets).mul_scalar(1.0 / logits.len() as f32)
+}
+
+/// [`bce_with_logits`] without the batch average: the per-element losses
+/// are summed, not meaned.
+///
+/// Shard-parallel batch compute splits a batch into per-shard partial
+/// losses and applies the `1/n` normalization once in the deterministic
+/// cross-shard reduction; summing here keeps each shard's contribution a
+/// pure function of its own events.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the batch is empty.
+pub fn bce_with_logits_sum(logits: &Tensor, targets: &Tensor) -> Tensor {
     assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
     assert!(!logits.is_empty(), "bce on empty batch");
     let pos = logits.relu();
     let xz = logits.mul(targets);
     let softplus = logits.abs().neg().exp().add_scalar(1.0).log();
-    pos.sub(&xz).add(&softplus).mean()
+    pos.sub(&xz).add(&softplus).sum()
 }
 
 /// Fraction of logits on the correct side of zero (no autograd).

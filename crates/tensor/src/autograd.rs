@@ -1,7 +1,9 @@
 //! Reverse-mode automatic differentiation.
 
+// cascade-lint: allow(det-hash-iter): membership test only, never iterated — traversal order comes from the parents vectors.
 use std::collections::HashSet;
 
+use crate::grad::{AutogradError, GradCtx};
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -14,15 +16,11 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if the tensor does not hold exactly one element.
+    /// Panics if the tensor does not hold exactly one element. Hot paths
+    /// that must not unwind (the pipelined executor's compute stage) use
+    /// [`Tensor::try_backward`] instead.
     pub fn backward(&self) {
-        assert_eq!(
-            self.len(),
-            1,
-            "backward() requires a scalar output, got {}",
-            self.shape()
-        );
-        self.backward_with(&[1.0]);
+        self.try_backward().unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Runs backward with an explicit upstream gradient of this tensor's
@@ -32,18 +30,54 @@ impl Tensor {
     ///
     /// Panics if `upstream.len()` differs from the element count.
     pub fn backward_with(&self, upstream: &[f32]) {
-        assert_eq!(
-            upstream.len(),
-            self.len(),
-            "upstream gradient length mismatch"
-        );
-        if !self.is_requires_grad() {
-            return;
-        }
-        self.accumulate_grad(upstream);
+        self.try_backward_with(upstream)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
 
-        // Iterative post-order DFS to topologically order the graph.
+    /// Fallible [`Tensor::backward`]: returns a typed error instead of
+    /// panicking when the output is not a scalar.
+    pub fn try_backward(&self) -> Result<(), AutogradError> {
+        if self.len() != 1 {
+            return Err(AutogradError::NonScalarOutput {
+                shape: self.shape().to_string(),
+            });
+        }
+        self.try_backward_with(&[1.0])
+    }
+
+    /// Fallible [`Tensor::backward_with`]: returns a typed error instead of
+    /// panicking on an upstream length mismatch.
+    pub fn try_backward_with(&self, upstream: &[f32]) -> Result<(), AutogradError> {
+        self.run_backward(upstream, &mut GradCtx::direct())
+    }
+
+    /// The engine: validates the upstream gradient, topologically orders
+    /// the reachable graph, and fires each node's backward closure with
+    /// `ctx` routing the accumulations (directly in the serial case, into
+    /// per-shard sinks inside [`Tensor::sharded_sum_scaled`] workers).
+    pub(crate) fn run_backward(
+        &self,
+        upstream: &[f32],
+        ctx: &mut GradCtx,
+    ) -> Result<(), AutogradError> {
+        if upstream.len() != self.len() {
+            return Err(AutogradError::UpstreamLengthMismatch {
+                expected: self.len(),
+                got: upstream.len(),
+            });
+        }
+        if !self.is_requires_grad() {
+            return Ok(());
+        }
+        ctx.accumulate(self, upstream);
+
+        // Iterative post-order DFS to topologically order the graph. The
+        // traversal stops at barrier ids (shared subgraph boundaries owned
+        // by the driver thread); their gradients are diverted by `ctx` and
+        // their subgraphs finish serially in the outer pass.
         let mut order: Vec<Tensor> = Vec::new();
+        // cascade-lint: allow(det-hash-iter): membership test only, never
+        // iterated — traversal order comes from the parents vectors.
         let mut visited: HashSet<u64> = HashSet::new();
         let mut stack: Vec<(Tensor, usize)> = vec![(self.clone(), 0)];
         visited.insert(self.id());
@@ -51,7 +85,10 @@ impl Tensor {
             if child < node.inner.parents.len() {
                 stack.push((node.clone(), child + 1));
                 let parent = node.inner.parents[child].clone();
-                if parent.is_requires_grad() && visited.insert(parent.id()) {
+                if parent.is_requires_grad()
+                    && !ctx.stops_at(parent.id())
+                    && visited.insert(parent.id())
+                {
                     stack.push((parent, 0));
                 }
             } else {
@@ -65,19 +102,21 @@ impl Tensor {
         // eagerly.
         for node in order.iter().rev() {
             if let Some(backward) = &node.inner.backward {
-                if node.inner.grad.borrow().is_some() {
-                    backward(node, &node.inner.parents);
+                if node.has_grad() {
+                    backward(node, &node.inner.parents, ctx);
                 }
             }
             if !node.inner.parents.is_empty() {
-                *node.inner.grad.borrow_mut() = None;
+                node.clear_grad_internal();
             }
         }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::grad::AutogradError;
     use crate::Tensor;
 
     fn close(a: f32, b: f32) -> bool {
@@ -135,6 +174,44 @@ mod tests {
     fn backward_rejects_non_scalar() {
         let x = Tensor::ones([2]).requires_grad();
         x.mul_scalar(1.0).backward();
+    }
+
+    #[test]
+    fn try_backward_reports_non_scalar() {
+        let x = Tensor::ones([2]).requires_grad();
+        let err = x
+            .mul_scalar(1.0)
+            .try_backward()
+            .expect_err("non-scalar output must be rejected");
+        assert!(matches!(err, AutogradError::NonScalarOutput { .. }));
+    }
+
+    #[test]
+    fn try_backward_with_reports_length_mismatch() {
+        let x = Tensor::ones([3]).requires_grad();
+        let y = x.mul_scalar(2.0);
+        let err = y
+            .try_backward_with(&[1.0])
+            .expect_err("wrong upstream length must be rejected");
+        assert_eq!(
+            err,
+            AutogradError::UpstreamLengthMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn try_backward_matches_backward() {
+        let x = Tensor::from_vec(vec![1.0], [1]).requires_grad();
+        x.mul_scalar(2.0)
+            .add_scalar(1.0)
+            .square()
+            .sum()
+            .try_backward()
+            .expect("scalar loss must succeed");
+        assert!(close(x.grad().unwrap()[0], 12.0));
     }
 
     #[test]

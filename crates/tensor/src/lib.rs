@@ -35,15 +35,20 @@
 //!
 //! Only what memory-based TGNNs need: broadcasting elementwise algebra,
 //! rank-2 matmul, reductions, softmax, row gather/scatter, concatenation,
-//! and a handful of activations. Tensors are single-threaded (`Rc`-based);
-//! the Cascade training loop is single-threaded by construction and its
-//! preprocessing pipeline exchanges plain buffers, never tensors.
+//! and a handful of activations. Tensors are `Send + Sync` (`Arc`-backed
+//! storage behind an `RwLock`/`Mutex` pair) so a batch's independent event
+//! shards can be evaluated on worker threads; the deterministic
+//! shard-parallel reduction [`Tensor::sharded_sum_scaled`] keeps gradients
+//! bit-identical at any thread count by merging per-shard gradient sinks
+//! in fixed shard-index order.
 
 mod autograd;
+mod grad;
 mod ops;
 mod shape;
 mod tensor;
 
+pub use grad::AutogradError;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,5 +1,6 @@
 //! Broadcasting elementwise binary operations: `add`, `sub`, `mul`, `div`.
 
+use crate::grad::GradCtx;
 use crate::shape::{advance_index, broadcast_offset, Shape};
 use crate::tensor::Tensor;
 
@@ -101,42 +102,42 @@ fn binary(a: &Tensor, b: &Tensor, op: BinOp) -> Tensor {
         out_data,
         out_shape,
         vec![a.clone(), b.clone()],
-        Box::new(move |out, parents| {
+        Box::new(move |out, parents, ctx: &mut GradCtx| {
             let grad = out.grad().expect("backward without gradient");
             let (a, b) = (&parents[0], &parents[1]);
             match op {
                 BinOp::Add => {
                     if a.is_requires_grad() {
-                        a.accumulate_grad(&reduce_broadcast_grad(&grad, &out_dims, a.dims()));
+                        ctx.accumulate(a, &reduce_broadcast_grad(&grad, &out_dims, a.dims()));
                     }
                     if b.is_requires_grad() {
-                        b.accumulate_grad(&reduce_broadcast_grad(&grad, &out_dims, b.dims()));
+                        ctx.accumulate(b, &reduce_broadcast_grad(&grad, &out_dims, b.dims()));
                     }
                 }
                 BinOp::Sub => {
                     if a.is_requires_grad() {
-                        a.accumulate_grad(&reduce_broadcast_grad(&grad, &out_dims, a.dims()));
+                        ctx.accumulate(a, &reduce_broadcast_grad(&grad, &out_dims, a.dims()));
                     }
                     if b.is_requires_grad() {
                         let neg: Vec<f32> = grad.iter().map(|g| -g).collect();
-                        b.accumulate_grad(&reduce_broadcast_grad(&neg, &out_dims, b.dims()));
+                        ctx.accumulate(b, &reduce_broadcast_grad(&neg, &out_dims, b.dims()));
                     }
                 }
                 BinOp::Mul => {
                     if a.is_requires_grad() {
                         let g = broadcast_weighted(&grad, b, &out_dims);
-                        a.accumulate_grad(&reduce_broadcast_grad(&g, &out_dims, a.dims()));
+                        ctx.accumulate(a, &reduce_broadcast_grad(&g, &out_dims, a.dims()));
                     }
                     if b.is_requires_grad() {
                         let g = broadcast_weighted(&grad, a, &out_dims);
-                        b.accumulate_grad(&reduce_broadcast_grad(&g, &out_dims, b.dims()));
+                        ctx.accumulate(b, &reduce_broadcast_grad(&g, &out_dims, b.dims()));
                     }
                 }
                 BinOp::Div => {
                     // out = a / b
                     if a.is_requires_grad() {
                         let g = broadcast_map(&grad, b, &out_dims, |g, bv| g / bv);
-                        a.accumulate_grad(&reduce_broadcast_grad(&g, &out_dims, a.dims()));
+                        ctx.accumulate(a, &reduce_broadcast_grad(&g, &out_dims, a.dims()));
                     }
                     if b.is_requires_grad() {
                         let a_vals = expand(a, &out_dims);
@@ -146,7 +147,7 @@ fn binary(a: &Tensor, b: &Tensor, op: BinOp) -> Tensor {
                             .zip(a_vals.iter().zip(b_vals.iter()))
                             .map(|(g, (av, bv))| -g * av / (bv * bv))
                             .collect();
-                        b.accumulate_grad(&reduce_broadcast_grad(&g, &out_dims, b.dims()));
+                        ctx.accumulate(b, &reduce_broadcast_grad(&g, &out_dims, b.dims()));
                     }
                 }
             }

@@ -5,6 +5,7 @@
 //! amortization of per-batch overhead over large `[B, d] × [d, d]` products
 //! is the hardware effect Cascade's adaptive batching exploits.
 
+use crate::grad::GradCtx;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -98,20 +99,20 @@ impl Tensor {
             out,
             Shape::new(vec![m, n]),
             vec![self.clone(), other.clone()],
-            Box::new(move |out, parents| {
+            Box::new(move |out, parents, ctx: &mut GradCtx| {
                 let grad = out.grad().expect("backward without gradient");
                 let (a, b) = (&parents[0], &parents[1]);
                 if a.is_requires_grad() {
                     // dA = dOut · Bᵀ  : [m,n]·[k,n]ᵀ → [m,k]
                     let mut ga = vec![0.0; m * k];
                     matmul_a_bt(&grad, &b.data(), &mut ga, m, n, k);
-                    a.accumulate_grad(&ga);
+                    ctx.accumulate(a, &ga);
                 }
                 if b.is_requires_grad() {
                     // dB = Aᵀ · dOut : [m,k]ᵀ·[m,n] → [k,n]
                     let mut gb = vec![0.0; k * n];
                     matmul_at_b(&a.data(), &grad, &mut gb, m, k, n);
-                    b.accumulate_grad(&gb);
+                    ctx.accumulate(b, &gb);
                 }
             }),
         )

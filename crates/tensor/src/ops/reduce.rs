@@ -1,5 +1,6 @@
 //! Reductions (`sum`, `mean`, per-axis variants) and row softmax.
 
+use crate::grad::GradCtx;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -12,11 +13,11 @@ impl Tensor {
             vec![total],
             Shape::scalar(),
             vec![self.clone()],
-            Box::new(move |out, parents| {
+            Box::new(move |out, parents, ctx: &mut GradCtx| {
                 let g = out.grad().expect("backward without gradient")[0];
                 let p = &parents[0];
                 if p.is_requires_grad() {
-                    p.accumulate_grad(&vec![g; n]);
+                    ctx.accumulate(p, &vec![g; n]);
                 }
             }),
         )
@@ -69,7 +70,7 @@ impl Tensor {
             out,
             Shape::new(out_dims),
             vec![self.clone()],
-            Box::new(move |out, parents| {
+            Box::new(move |out, parents, ctx: &mut GradCtx| {
                 let grad = out.grad().expect("backward without gradient");
                 let p = &parents[0];
                 if !p.is_requires_grad() {
@@ -83,7 +84,7 @@ impl Tensor {
                         g[base..base + inner].copy_from_slice(&grad[src_base..src_base + inner]);
                     }
                 }
-                p.accumulate_grad(&g);
+                ctx.accumulate(p, &g);
             }),
         )
     }
@@ -133,7 +134,7 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
-            Box::new(move |out, parents| {
+            Box::new(move |out, parents, ctx: &mut GradCtx| {
                 let grad = out.grad().expect("backward without gradient");
                 let p = &parents[0];
                 if !p.is_requires_grad() {
@@ -154,7 +155,7 @@ impl Tensor {
                     }
                 }
                 drop(y);
-                p.accumulate_grad(&g);
+                ctx.accumulate(p, &g);
             }),
         )
     }

@@ -1,6 +1,7 @@
 //! Row gathering and scattering — the embedding-table primitives TGNN
 //! memory reads rely on.
 
+use crate::grad::GradCtx;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -33,7 +34,7 @@ impl Tensor {
             out,
             Shape::new(vec![idx.len(), cols]),
             vec![self.clone()],
-            Box::new(move |out, parents| {
+            Box::new(move |out, parents, ctx: &mut GradCtx| {
                 let grad = out.grad().expect("backward without gradient");
                 let p = &parents[0];
                 if !p.is_requires_grad() {
@@ -45,7 +46,7 @@ impl Tensor {
                         g[i * cols + c] += grad[r * cols + c];
                     }
                 }
-                p.accumulate_grad(&g);
+                ctx.accumulate(p, &g);
             }),
         )
     }

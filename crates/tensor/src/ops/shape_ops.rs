@@ -1,5 +1,6 @@
 //! Shape manipulation: `reshape`, `transpose`, `concat`, and row slicing.
 
+use crate::grad::GradCtx;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -22,11 +23,11 @@ impl Tensor {
             self.to_vec(),
             shape,
             vec![self.clone()],
-            Box::new(|out, parents| {
+            Box::new(|out, parents, ctx: &mut GradCtx| {
                 let grad = out.grad().expect("backward without gradient");
                 let p = &parents[0];
                 if p.is_requires_grad() {
-                    p.accumulate_grad(&grad);
+                    ctx.accumulate(p, &grad);
                 }
             }),
         )
@@ -57,7 +58,7 @@ impl Tensor {
             out,
             Shape::new(vec![n, m]),
             vec![self.clone()],
-            Box::new(move |out, parents| {
+            Box::new(move |out, parents, ctx: &mut GradCtx| {
                 let grad = out.grad().expect("backward without gradient");
                 let p = &parents[0];
                 if !p.is_requires_grad() {
@@ -69,7 +70,7 @@ impl Tensor {
                         g[i * n + j] = grad[j * m + i];
                     }
                 }
-                p.accumulate_grad(&g);
+                ctx.accumulate(p, &g);
             }),
         )
     }
@@ -105,7 +106,7 @@ impl Tensor {
             out,
             Shape::new(vec![rows, total_w]),
             parents,
-            Box::new(move |out, parents| {
+            Box::new(move |out, parents, ctx: &mut GradCtx| {
                 let grad = out.grad().expect("backward without gradient");
                 let mut col = 0;
                 for (p, &w) in parents.iter().zip(widths.iter()) {
@@ -115,7 +116,7 @@ impl Tensor {
                             g[r * w..(r + 1) * w]
                                 .copy_from_slice(&grad[r * total_w + col..r * total_w + col + w]);
                         }
-                        p.accumulate_grad(&g);
+                        ctx.accumulate(p, &g);
                     }
                     col += w;
                 }
@@ -148,12 +149,12 @@ impl Tensor {
             out,
             Shape::new(vec![total_h, cols]),
             parents,
-            Box::new(move |out, parents| {
+            Box::new(move |out, parents, ctx: &mut GradCtx| {
                 let grad = out.grad().expect("backward without gradient");
                 let mut row = 0;
                 for (p, &h) in parents.iter().zip(heights.iter()) {
                     if p.is_requires_grad() {
-                        p.accumulate_grad(&grad[row * cols..(row + h) * cols]);
+                        ctx.accumulate(p, &grad[row * cols..(row + h) * cols]);
                     }
                     row += h;
                 }
@@ -187,7 +188,7 @@ impl Tensor {
             out,
             Shape::new(vec![rows, w]),
             vec![self.clone()],
-            Box::new(move |out, parents| {
+            Box::new(move |out, parents, ctx: &mut GradCtx| {
                 let grad = out.grad().expect("backward without gradient");
                 let p = &parents[0];
                 if !p.is_requires_grad() {
@@ -197,7 +198,7 @@ impl Tensor {
                 for r in 0..rows {
                     g[r * cols + start..r * cols + end].copy_from_slice(&grad[r * w..(r + 1) * w]);
                 }
-                p.accumulate_grad(&g);
+                ctx.accumulate(p, &g);
             }),
         )
     }
@@ -222,7 +223,7 @@ impl Tensor {
             data,
             Shape::new(vec![end - start, cols]),
             vec![self.clone()],
-            Box::new(move |out, parents| {
+            Box::new(move |out, parents, ctx: &mut GradCtx| {
                 let grad = out.grad().expect("backward without gradient");
                 let p = &parents[0];
                 if !p.is_requires_grad() {
@@ -230,7 +231,7 @@ impl Tensor {
                 }
                 let mut g = vec![0.0; rows * cols];
                 g[start * cols..end * cols].copy_from_slice(&grad);
-                p.accumulate_grad(&g);
+                ctx.accumulate(p, &g);
             }),
         )
     }

@@ -1,12 +1,13 @@
 //! Elementwise unary operations and activations.
 
+use crate::grad::GradCtx;
 use crate::tensor::Tensor;
 
 fn unary(
     t: &Tensor,
     forward: impl Fn(f32) -> f32,
     // dy/dx expressed from (x, y) so activations can reuse the output.
-    backward: impl Fn(f32, f32) -> f32 + 'static,
+    backward: impl Fn(f32, f32) -> f32 + Send + Sync + 'static,
 ) -> Tensor {
     let data: Vec<f32> = t.data().iter().map(|&x| forward(x)).collect();
     let shape = t.shape().clone();
@@ -14,7 +15,7 @@ fn unary(
         data,
         shape,
         vec![t.clone()],
-        Box::new(move |out, parents| {
+        Box::new(move |out, parents, ctx: &mut GradCtx| {
             let grad = out.grad().expect("backward without gradient");
             let p = &parents[0];
             if !p.is_requires_grad() {
@@ -29,7 +30,7 @@ fn unary(
                 .collect();
             drop(x);
             drop(y);
-            p.accumulate_grad(&g);
+            ctx.accumulate(p, &g);
         }),
     )
 }

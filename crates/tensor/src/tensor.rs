@@ -1,13 +1,13 @@
 //! The core [`Tensor`] type: a reference-counted, row-major, `f32` buffer
 //! participating in a dynamically-built reverse-mode autograd graph.
 
-use std::cell::{Ref, RefCell};
 use std::fmt;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use cascade_util::DetRng;
 
+use crate::grad::GradCtx;
 use crate::shape::Shape;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
@@ -17,14 +17,16 @@ fn fresh_id() -> u64 {
 }
 
 /// Backward function of an op node: given the node itself (for its data and
-/// gradient) and its parents, accumulates gradients into the parents.
-pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[Tensor])>;
+/// gradient), its parents, and the gradient-routing context of the current
+/// backward pass, accumulates gradients into the parents via
+/// [`GradCtx::accumulate`].
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[Tensor], &mut GradCtx) + Send + Sync>;
 
 pub(crate) struct Inner {
     pub(crate) id: u64,
     pub(crate) shape: Shape,
-    pub(crate) data: RefCell<Vec<f32>>,
-    pub(crate) grad: RefCell<Option<Vec<f32>>>,
+    pub(crate) data: RwLock<Vec<f32>>,
+    pub(crate) grad: Mutex<Option<Vec<f32>>>,
     pub(crate) requires_grad: bool,
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward: Option<BackwardFn>,
@@ -32,15 +34,17 @@ pub(crate) struct Inner {
 
 /// A dense, row-major `f32` tensor.
 ///
-/// `Tensor` is a cheap-to-clone handle (`Rc` internally); clones alias the
+/// `Tensor` is a cheap-to-clone handle (`Arc` internally); clones alias the
 /// same storage and the same autograd node. Operations build a computation
 /// graph on the fly; calling [`Tensor::backward`] on a scalar result fills
 /// the `grad` buffers of every reachable tensor created with
 /// `requires_grad`.
 ///
-/// Tensors are single-threaded by design (the training loop of the Cascade
-/// framework is single-threaded; preprocessing pipelines exchange plain
-/// buffers, not tensors).
+/// Tensors are `Send + Sync`: storage lives behind an `RwLock` (data) and a
+/// `Mutex` (gradient), so shard workers may evaluate independent subgraphs
+/// concurrently. Determinism across thread counts is preserved by the
+/// engine, not the locks: shared gradients are reduced in a fixed
+/// shard-index order (see [`Tensor::sharded_sum_scaled`]).
 ///
 /// # Examples
 ///
@@ -54,7 +58,18 @@ pub(crate) struct Inner {
 /// ```
 #[derive(Clone)]
 pub struct Tensor {
-    pub(crate) inner: Rc<Inner>,
+    pub(crate) inner: Arc<Inner>,
+}
+
+/// Recovers the read guard even if a worker panicked mid-write; the data
+/// underneath is plain `f32`s, never left in a torn state by our writers
+/// (every write is a full-buffer overwrite or an elementwise loop).
+fn read_data(lock: &RwLock<Vec<f32>>) -> RwLockReadGuard<'_, Vec<f32>> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_grad(lock: &Mutex<Option<Vec<f32>>>) -> MutexGuard<'_, Option<Vec<f32>>> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Tensor {
@@ -67,14 +82,38 @@ impl Tensor {
         debug_assert_eq!(data.len(), shape.len(), "op produced wrong element count");
         let requires_grad = parents.iter().any(|p| p.inner.requires_grad);
         Tensor {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 id: fresh_id(),
                 shape,
-                data: RefCell::new(data),
-                grad: RefCell::new(None),
+                data: RwLock::new(data),
+                grad: Mutex::new(None),
                 requires_grad,
                 parents: if requires_grad { parents } else { Vec::new() },
                 backward: if requires_grad { Some(backward) } else { None },
+            }),
+        }
+    }
+
+    /// An op node that is a *root* of out-of-graph work: `requires_grad` is
+    /// forced on even though `parents` may be empty, because the backward
+    /// closure owns subgraphs (shard roots) the engine cannot see. Used by
+    /// [`Tensor::sharded_sum_scaled`].
+    pub(crate) fn from_op_rooted(
+        data: Vec<f32>,
+        shape: Shape,
+        parents: Vec<Tensor>,
+        backward: BackwardFn,
+    ) -> Tensor {
+        debug_assert_eq!(data.len(), shape.len(), "op produced wrong element count");
+        Tensor {
+            inner: Arc::new(Inner {
+                id: fresh_id(),
+                shape,
+                data: RwLock::new(data),
+                grad: Mutex::new(None),
+                requires_grad: true,
+                parents,
+                backward: Some(backward),
             }),
         }
     }
@@ -89,11 +128,11 @@ impl Tensor {
             shape.len()
         );
         Tensor {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 id: fresh_id(),
                 shape,
-                data: RefCell::new(data),
-                grad: RefCell::new(None),
+                data: RwLock::new(data),
+                grad: Mutex::new(None),
                 requires_grad,
                 parents: Vec::new(),
                 backward: None,
@@ -182,13 +221,18 @@ impl Tensor {
         if self.inner.requires_grad && self.inner.parents.is_empty() {
             return self;
         }
-        let data = self.inner.data.borrow().clone();
+        let data = read_data(&self.inner.data).clone();
         Tensor::leaf(data, self.inner.shape.clone(), true)
     }
 
     /// `true` if gradients flow into (or through) this tensor.
     pub fn is_requires_grad(&self) -> bool {
         self.inner.requires_grad
+    }
+
+    /// `true` if this tensor has no parents (a graph leaf).
+    pub(crate) fn is_leaf(&self) -> bool {
+        self.inner.parents.is_empty()
     }
 
     /// Detaches this tensor from the autograd graph: the result shares the
@@ -198,7 +242,7 @@ impl Tensor {
     /// stop-gradient semantics of memory-based TGNNs.
     pub fn detach(&self) -> Tensor {
         Tensor::leaf(
-            self.inner.data.borrow().clone(),
+            read_data(&self.inner.data).clone(),
             self.inner.shape.clone(),
             false,
         )
@@ -229,14 +273,14 @@ impl Tensor {
         self.inner.shape.is_empty()
     }
 
-    /// Borrows the flat row-major data.
-    pub fn data(&self) -> Ref<'_, Vec<f32>> {
-        self.inner.data.borrow()
+    /// Borrows the flat row-major data (shared read lock).
+    pub fn data(&self) -> RwLockReadGuard<'_, Vec<f32>> {
+        read_data(&self.inner.data)
     }
 
     /// Copies the data out into a `Vec`.
     pub fn to_vec(&self) -> Vec<f32> {
-        self.inner.data.borrow().clone()
+        read_data(&self.inner.data).clone()
     }
 
     /// The single element of a scalar or 1-element tensor.
@@ -245,7 +289,7 @@ impl Tensor {
     ///
     /// Panics if the tensor holds more than one element.
     pub fn item(&self) -> f32 {
-        let data = self.inner.data.borrow();
+        let data = read_data(&self.inner.data);
         assert_eq!(
             data.len(),
             1,
@@ -257,7 +301,7 @@ impl Tensor {
 
     /// Element at flat offset `i`.
     pub fn at(&self, i: usize) -> f32 {
-        self.inner.data.borrow()[i]
+        read_data(&self.inner.data)[i]
     }
 
     /// Overwrites the data in place without touching autograd history.
@@ -268,24 +312,25 @@ impl Tensor {
     ///
     /// Panics if `data.len()` differs from the tensor's element count.
     pub fn set_data(&self, data: &[f32]) {
-        let mut d = self.inner.data.borrow_mut();
+        let mut d = self.inner.data.write().unwrap_or_else(|e| e.into_inner());
         assert_eq!(d.len(), data.len(), "set_data length mismatch");
         d.copy_from_slice(data);
     }
 
     /// Applies `f` to the data in place (optimizer updates).
     pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
-        f(&mut self.inner.data.borrow_mut());
+        let mut d = self.inner.data.write().unwrap_or_else(|e| e.into_inner());
+        f(&mut d);
     }
 
     /// The accumulated gradient, if any.
     pub fn grad(&self) -> Option<Vec<f32>> {
-        self.inner.grad.borrow().clone()
+        lock_grad(&self.inner.grad).clone()
     }
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        *self.inner.grad.borrow_mut() = None;
+        *lock_grad(&self.inner.grad) = None;
     }
 
     /// Replaces the accumulated gradient (used by gradient clipping).
@@ -295,11 +340,11 @@ impl Tensor {
     /// Panics if `g.len()` differs from the element count.
     pub fn set_grad(&self, g: &[f32]) {
         assert_eq!(g.len(), self.len(), "set_grad length mismatch");
-        *self.inner.grad.borrow_mut() = Some(g.to_vec());
+        *lock_grad(&self.inner.grad) = Some(g.to_vec());
     }
 
     pub(crate) fn accumulate_grad(&self, g: &[f32]) {
-        let mut grad = self.inner.grad.borrow_mut();
+        let mut grad = lock_grad(&self.inner.grad);
         match grad.as_mut() {
             Some(existing) => {
                 for (e, &v) in existing.iter_mut().zip(g) {
@@ -309,11 +354,19 @@ impl Tensor {
             None => *grad = Some(g.to_vec()),
         }
     }
+
+    pub(crate) fn has_grad(&self) -> bool {
+        lock_grad(&self.inner.grad).is_some()
+    }
+
+    pub(crate) fn clear_grad_internal(&self) {
+        *lock_grad(&self.inner.grad) = None;
+    }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let data = self.inner.data.borrow();
+        let data = read_data(&self.inner.data);
         let preview: Vec<f32> = data.iter().take(8).copied().collect();
         f.debug_struct("Tensor")
             .field("shape", &self.inner.shape)
@@ -413,5 +466,21 @@ mod tests {
         let t = Tensor::ones([2]).requires_grad();
         assert!(t.is_requires_grad());
         assert!(t.grad().is_none());
+    }
+
+    #[test]
+    fn tensor_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+
+    #[test]
+    fn tensors_cross_threads() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let sum: f32 = std::thread::scope(|s| {
+            let h = s.spawn(|| t.to_vec().iter().sum());
+            h.join().expect("reader thread must not panic")
+        });
+        assert_eq!(sum, 3.0);
     }
 }

@@ -4,9 +4,24 @@
 //! [`AdjacencyStore`] grows as events are consumed during an epoch and
 //! supports the two sampling disciplines of Table 1: `most_recent` (JODIE,
 //! TGN, APAN) and `uniform` (DySAT, TGAT).
+//!
+//! Both random samplers are *stateless*: every draw is a pure hash of the
+//! seed and the query (node, history length, slot / event key), not of a
+//! mutable generator. This keeps draws reproducible when a batch's events
+//! are sampled concurrently by shard workers — the result depends only on
+//! what is asked, never on which thread asks first.
 
 use crate::event::{Event, EventId, NodeId};
 use cascade_util::DetRng;
+
+/// A single stateless pseudo-random index in `[0, n)` keyed by
+/// `(seed, a, b)`.
+fn keyed_index(seed: u64, a: u64, b: u64, n: usize) -> usize {
+    // Distinct odd multipliers keep (a, b) collisions from aliasing;
+    // DetRng::new applies a splitmix64 avalanche on top.
+    let key = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    DetRng::new(key).index(n)
+}
 
 /// One sampled neighbor: the partner node, the event that connected it,
 /// and the event timestamp.
@@ -36,7 +51,7 @@ pub struct NeighborRef {
 #[derive(Clone, Debug)]
 pub struct AdjacencyStore {
     lists: Vec<Vec<NeighborRef>>,
-    rng: DetRng,
+    seed: u64,
 }
 
 impl AdjacencyStore {
@@ -44,13 +59,13 @@ impl AdjacencyStore {
     pub fn new(num_nodes: usize) -> Self {
         AdjacencyStore {
             lists: vec![Vec::new(); num_nodes],
-            rng: DetRng::new(0x5eed),
+            seed: 0x5eed,
         }
     }
 
     /// Overrides the uniform-sampling seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
-        self.rng = DetRng::new(seed);
+        self.seed = seed;
         self
     }
 
@@ -80,12 +95,20 @@ impl AdjacencyStore {
 
     /// `k` uniform samples (with replacement) from the node's history;
     /// returns fewer than `k` only when the history is empty.
-    pub fn uniform(&mut self, node: NodeId, k: usize) -> Vec<NeighborRef> {
+    ///
+    /// Draws are a pure function of `(seed, node, history length, slot)`,
+    /// so concurrent callers observe identical samples.
+    pub fn uniform(&self, node: NodeId, k: usize) -> Vec<NeighborRef> {
         let list = &self.lists[node.index()];
         if list.is_empty() {
             return Vec::new();
         }
-        (0..k).map(|_| list[self.rng.index(list.len())]).collect()
+        (0..k)
+            .map(|slot| {
+                let b = ((list.len() as u64) << 32) | slot as u64;
+                list[keyed_index(self.seed, node.0 as u64, b, list.len())]
+            })
+            .collect()
     }
 
     /// Number of recorded adjacencies of `node`.
@@ -112,7 +135,7 @@ impl AdjacencyStore {
 #[derive(Clone, Debug)]
 pub struct NegativeSampler {
     num_nodes: usize,
-    rng: DetRng,
+    seed: u64,
 }
 
 impl NegativeSampler {
@@ -123,23 +146,28 @@ impl NegativeSampler {
     /// Panics if `num_nodes == 0`.
     pub fn new(num_nodes: usize, seed: u64) -> Self {
         assert!(num_nodes > 0, "NegativeSampler needs at least one node");
-        NegativeSampler {
-            num_nodes,
-            rng: DetRng::new(seed),
-        }
+        NegativeSampler { num_nodes, seed }
     }
 
     /// A random node, avoiding `exclude` when more than one node exists.
-    pub fn sample(&mut self, exclude: NodeId) -> NodeId {
+    ///
+    /// `key` identifies the draw (callers use the global event id), so the
+    /// sample is a pure function of `(seed, key, exclude)` and shard
+    /// workers can draw negatives for disjoint event ranges in parallel.
+    pub fn sample(&self, exclude: NodeId, key: u64) -> NodeId {
         if self.num_nodes == 1 {
             return NodeId(0);
         }
-        loop {
-            let n = NodeId(self.rng.index(self.num_nodes) as u32);
+        // Rejection loop over per-attempt nonces; terminates after a
+        // handful of attempts with overwhelming probability since only one
+        // node is excluded.
+        for attempt in 0u64.. {
+            let n = NodeId(keyed_index(self.seed, key, attempt, self.num_nodes) as u32);
             if n != exclude {
                 return n;
             }
         }
+        unreachable!("rejection loop always terminates with num_nodes > 1")
     }
 }
 
@@ -181,7 +209,7 @@ mod tests {
 
     #[test]
     fn uniform_draws_from_history() {
-        let mut adj = store_with_events();
+        let adj = store_with_events();
         let samples = adj.uniform(NodeId(0), 20);
         assert_eq!(samples.len(), 20);
         for s in samples {
@@ -190,8 +218,19 @@ mod tests {
     }
 
     #[test]
+    fn uniform_is_stateless() {
+        let adj = store_with_events();
+        // Repeated identical queries return identical draws — no hidden
+        // generator state advances.
+        assert_eq!(adj.uniform(NodeId(0), 5), adj.uniform(NodeId(0), 5));
+        // Different slots within one query still vary.
+        let many = adj.uniform(NodeId(0), 64);
+        assert!(many.iter().any(|s| s.node != many[0].node));
+    }
+
+    #[test]
     fn uniform_empty_history_is_empty() {
-        let mut adj = AdjacencyStore::new(2);
+        let adj = AdjacencyStore::new(2);
         assert!(adj.uniform(NodeId(0), 5).is_empty());
     }
 
@@ -204,16 +243,25 @@ mod tests {
 
     #[test]
     fn negative_sampler_avoids_excluded() {
-        let mut ns = NegativeSampler::new(5, 1);
-        for _ in 0..100 {
-            assert_ne!(ns.sample(NodeId(3)), NodeId(3));
+        let ns = NegativeSampler::new(5, 1);
+        for key in 0..100 {
+            assert_ne!(ns.sample(NodeId(3), key), NodeId(3));
         }
     }
 
     #[test]
+    fn negative_sampler_is_keyed_and_stateless() {
+        let ns = NegativeSampler::new(50, 7);
+        // Same key → same draw; across keys the draws vary.
+        assert_eq!(ns.sample(NodeId(0), 5), ns.sample(NodeId(0), 5));
+        let draws: Vec<NodeId> = (0..20).map(|k| ns.sample(NodeId(0), k)).collect();
+        assert!(draws.iter().any(|&d| d != draws[0]));
+    }
+
+    #[test]
     fn negative_sampler_single_node() {
-        let mut ns = NegativeSampler::new(1, 1);
-        assert_eq!(ns.sample(NodeId(0)), NodeId(0));
+        let ns = NegativeSampler::new(1, 1);
+        assert_eq!(ns.sample(NodeId(0), 0), NodeId(0));
     }
 
     #[test]

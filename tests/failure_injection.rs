@@ -203,7 +203,7 @@ fn single_event_batches_everywhere() {
 
 #[test]
 fn score_links_on_cold_model() {
-    let mut model = MemoryTgnn::new(
+    let model = MemoryTgnn::new(
         ModelConfig::tgn().with_dims(4, 2).with_neighbors(2),
         5,
         0,
