@@ -1,0 +1,124 @@
+//! `cascade-store` I/O micro-benchmarks: chunked write throughput, then
+//! a blocking read against a prefetched read, both paired with the
+//! per-chunk dependency-table build the streaming trainer performs.
+//!
+//! Under `cargo bench` the report lands in `bench_results/store_io.json`,
+//! extended with a `prefetch_overlap` object comparing one instrumented
+//! blocking pass against one prefetched pass: with the store's read-ahead
+//! thread, chunk `k + 1`'s decode + CRC check overlaps chunk `k`'s table
+//! build, so the prefetched pass's wall time drops below the blocking
+//! pass's sum. Under `cargo test` each target runs once as a smoke test.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cascade_core::TableSpec;
+use cascade_store::{export_dataset, ChunkReader, StreamingEventSource};
+use cascade_tgraph::{Dataset, EventSource, SynthConfig};
+use cascade_util::{BenchSuite, Json};
+
+const CHUNK: usize = 512;
+
+fn bench_data() -> Dataset {
+    SynthConfig::wiki()
+        .with_scale(0.05)
+        .with_node_scale(0.05)
+        .with_feature_dim(8)
+        .generate(42)
+}
+
+fn store_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cascade-bench-store-{}-{}.evt",
+        tag,
+        std::process::id()
+    ))
+}
+
+/// One blocking pass: read every chunk serially, build its table, and
+/// fold a value so nothing is optimized away.
+fn blocking_pass(path: &std::path::Path, spec: TableSpec) -> usize {
+    let mut reader = ChunkReader::open(path).expect("store opens");
+    let mut acc = 0usize;
+    while let Some(chunk) = reader.next_frame().expect("store reads cleanly") {
+        let table = spec.build(chunk.base, &chunk.events);
+        acc += table.end() + chunk.events.len();
+    }
+    acc
+}
+
+/// One prefetched pass: the store's read-ahead thread decodes and
+/// CRC-checks chunks while this thread builds tables.
+fn prefetched_pass(path: &std::path::Path, spec: TableSpec) -> usize {
+    let mut source = StreamingEventSource::open(path, 2).expect("store opens");
+    let mut acc = 0usize;
+    while let Some(chunk) = source.next_chunk().expect("store streams cleanly") {
+        let table = spec.build(chunk.base, &chunk.events);
+        acc += table.end() + chunk.events.len();
+    }
+    acc
+}
+
+fn main() {
+    let mut suite = BenchSuite::new("store_io");
+    let data = bench_data();
+    let spec = TableSpec {
+        num_nodes: data.num_nodes(),
+        incident_only: false,
+    };
+
+    let write_path = store_path("write");
+    suite.bench("store/write", || {
+        black_box(export_dataset(&data, &write_path, CHUNK).expect("export succeeds"))
+    });
+
+    let read_path = store_path("read");
+    export_dataset(&data, &read_path, CHUNK).expect("export succeeds");
+    suite.bench("store/read_blocking_with_table_build", || {
+        black_box(blocking_pass(&read_path, spec))
+    });
+    suite.bench("store/read_prefetch_with_table_build", || {
+        black_box(prefetched_pass(&read_path, spec))
+    });
+
+    // One instrumented pass of each flavor supplies the overlap record;
+    // measured only when the suite itself is measuring, so `cargo test`
+    // smoke runs stay fast and write-free.
+    if let Some(path) = suite.finish() {
+        let t0 = Instant::now();
+        let a = blocking_pass(&read_path, spec);
+        let blocking = t0.elapsed();
+        let t1 = Instant::now();
+        let b = prefetched_pass(&read_path, spec);
+        let prefetched = t1.elapsed();
+        assert_eq!(a, b, "blocking and prefetched passes saw different data");
+
+        let overlap_fraction = 1.0 - prefetched.as_secs_f64() / blocking.as_secs_f64().max(1e-12);
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot re-read {}: {}", path.display(), e));
+        let mut report = Json::parse(&raw).expect("suite report is valid JSON");
+        if let Json::Obj(fields) = &mut report {
+            fields.push((
+                "prefetch_overlap".into(),
+                Json::Obj(vec![
+                    ("chunk_size".into(), Json::from(CHUNK)),
+                    ("blocking_ns".into(), Json::from(blocking.as_nanos() as f64)),
+                    (
+                        "prefetched_ns".into(),
+                        Json::from(prefetched.as_nanos() as f64),
+                    ),
+                    ("overlap_fraction".into(), Json::from(overlap_fraction)),
+                ]),
+            ));
+        }
+        std::fs::write(&path, report.to_string())
+            .unwrap_or_else(|e| panic!("cannot write {}: {}", path.display(), e));
+        eprintln!(
+            "[bench store_io] appended prefetch_overlap telemetry to {}",
+            path.display()
+        );
+    }
+    std::fs::remove_file(&write_path).ok();
+    std::fs::remove_file(&read_path).ok();
+}

@@ -4,17 +4,21 @@
 //! ```text
 //! cascade_train --dataset wiki --model tgn --strategy cascade --epochs 4
 //! cascade_train --dataset path/to/events.csv --model jodie --save model.ckpt
+//! cascade_train --dataset wiki --export-dataset wiki.evt     # write a store file
+//! cascade_train --dataset wiki.evt --pipelined               # train out-of-core
 //! ```
 
 use std::path::{Path, PathBuf};
 
 use cascade_baselines::{tgl, tglite, Etc, NeutronStream};
 use cascade_core::{
-    evaluate_range, train, BatchingStrategy, CascadeConfig, CascadeScheduler, TrainConfig,
+    evaluate_range, train, train_streaming, BatchingStrategy, CascadeConfig, CascadeScheduler,
+    TrainConfig, TrainReport,
 };
-use cascade_exec::{train_pipelined, PipelineConfig};
+use cascade_exec::{train_pipelined, train_streamed, PipelineConfig};
 use cascade_models::{load_parameters, save_parameters, MemoryTgnn, ModelConfig};
-use cascade_tgraph::{Dataset, SynthConfig};
+use cascade_store::{export_dataset, StreamingEventSource};
+use cascade_tgraph::{Dataset, EventSource, SynthConfig};
 
 struct Args {
     dataset: String,
@@ -27,6 +31,7 @@ struct Args {
     seed: u64,
     theta: f32,
     chunk: Option<usize>,
+    export_dataset: Option<PathBuf>,
     save: Option<PathBuf>,
     load: Option<PathBuf>,
     test: bool,
@@ -49,6 +54,7 @@ impl Args {
             seed: 42,
             theta: 0.9,
             chunk: None,
+            export_dataset: None,
             save: None,
             load: None,
             test: false,
@@ -74,6 +80,9 @@ impl Args {
                 "--seed" => a.seed = parse(&val("--seed")?)?,
                 "--theta" => a.theta = parse(&val("--theta")?)?,
                 "--chunk" => a.chunk = Some(parse(&val("--chunk")?)?),
+                "--export-dataset" => {
+                    a.export_dataset = Some(PathBuf::from(val("--export-dataset")?));
+                }
                 "--save" => a.save = Some(PathBuf::from(val("--save")?)),
                 "--load" => a.load = Some(PathBuf::from(val("--load")?)),
                 "--test" => a.test = true,
@@ -100,6 +109,12 @@ fn print_usage() {
     eprintln!(
         "cascade-train: train a TGNN with adaptive or fixed batching\n\n\
          --dataset  wiki|reddit|mooc|wiki-talk|sx-full|gdelt|mag|<csv path>\n\
+         \u{20}          or a .evt store file written by --export-dataset:\n\
+         \u{20}          training then streams chunks out-of-core instead of\n\
+         \u{20}          materializing the event list in memory\n\
+         --export-dataset P   write the loaded dataset to a chunked store\n\
+         \u{20}                    file at P (chunk size --chunk, default 4096)\n\
+         \u{20}                    and exit without training\n\
          --model    jodie|tgn|apan|dysat|tgat            (default tgn)\n\
          --strategy tgl|tglite|cascade|cascade-tb|neutron|etc (default cascade)\n\
          --epochs N --batch N --dim N --scale F --seed N --theta F\n\
@@ -138,7 +153,17 @@ fn load_dataset(args: &Args) -> Result<Dataset, String> {
     }
 }
 
-fn build_model(args: &Args, data: &Dataset) -> Result<MemoryTgnn, String> {
+/// Is `path` an existing file with the event-store magic? Sniffing the
+/// magic (rather than the extension) keeps CSV paths working unchanged.
+fn is_store_file(path: &str) -> bool {
+    let mut magic = [0u8; 4];
+    std::fs::File::open(path)
+        .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut magic))
+        .is_ok()
+        && magic == cascade_store::MAGIC
+}
+
+fn build_model(args: &Args, num_nodes: usize, feature_dim: usize) -> Result<MemoryTgnn, String> {
     let base = match args.model.to_lowercase().as_str() {
         "jodie" => ModelConfig::jodie(),
         "tgn" => ModelConfig::tgn(),
@@ -154,12 +179,7 @@ fn build_model(args: &Args, data: &Dataset) -> Result<MemoryTgnn, String> {
     if args.strategy.to_lowercase() == "tglite" {
         cfg = cfg.with_lite();
     }
-    Ok(MemoryTgnn::new(
-        cfg,
-        data.num_nodes(),
-        data.features().dim(),
-        args.seed,
-    ))
+    Ok(MemoryTgnn::new(cfg, num_nodes, feature_dim, args.seed))
 }
 
 fn build_strategy(args: &Args) -> Result<Box<dyn BatchingStrategy + Send>, String> {
@@ -191,6 +211,34 @@ fn main() {
 
 fn run() -> Result<(), String> {
     let args = Args::parse()?;
+
+    if let Some(out) = &args.export_dataset {
+        if is_store_file(&args.dataset) {
+            return Err(format!(
+                "{} is already a store file; --export-dataset expects a profile or CSV source",
+                args.dataset
+            ));
+        }
+        let data = load_dataset(&args)?;
+        let chunk = args.chunk.unwrap_or(4096);
+        let summary = export_dataset(&data, Path::new(out), chunk).map_err(|e| e.to_string())?;
+        println!(
+            "exported {}: {} events in {} chunks of {} (dim {}, {} nodes) -> {}",
+            data.name(),
+            summary.events,
+            summary.chunks,
+            summary.chunk_size,
+            summary.feature_dim,
+            summary.num_nodes,
+            out.display()
+        );
+        return Ok(());
+    }
+
+    if is_store_file(&args.dataset) {
+        return run_streaming_cli(&args);
+    }
+
     let data = load_dataset(&args)?;
     println!(
         "dataset {}: {} nodes, {} events (train {}, val {}, test {})",
@@ -202,7 +250,7 @@ fn run() -> Result<(), String> {
         data.test_range().len()
     );
 
-    let mut model = build_model(&args, &data)?;
+    let mut model = build_model(&args, data.num_nodes(), data.features().dim())?;
     if let Some(path) = &args.load {
         load_parameters(&mut model, path).map_err(|e| e.to_string())?;
         println!("loaded parameters from {}", path.display());
@@ -233,6 +281,86 @@ fn run() -> Result<(), String> {
     } else {
         train(&mut model, &data, strategy.as_mut(), &cfg)
     };
+    print_report(&report);
+
+    if args.test {
+        let test = evaluate_range(&mut model, &data, data.test_range(), args.batch);
+        println!(
+            "  test              loss {:.4}, AP {:.4}, acc {:.4}",
+            test.loss, test.average_precision, test.accuracy
+        );
+    }
+
+    if let Some(path) = &args.save {
+        save_parameters(&model, path).map_err(|e| e.to_string())?;
+        println!("saved parameters to {}", path.display());
+    }
+    Ok(())
+}
+
+/// Out-of-core training straight from a store file: only the current
+/// chunk window is resident; the dataset never materializes in memory.
+fn run_streaming_cli(args: &Args) -> Result<(), String> {
+    let mut source = StreamingEventSource::open(Path::new(&args.dataset), 2)
+        .map_err(|e| format!("cannot open store {}: {}", args.dataset, e))?;
+    println!(
+        "store {}: {} nodes, {} events in chunks of {} (dim {}) — streaming out-of-core",
+        source.name(),
+        source.num_nodes(),
+        source.num_events(),
+        source.chunk_size(),
+        source.feature_dim()
+    );
+
+    let mut model = build_model(args, source.num_nodes(), source.feature_dim())?;
+    if let Some(path) = &args.load {
+        load_parameters(&mut model, path).map_err(|e| e.to_string())?;
+        println!("loaded parameters from {}", path.display());
+    }
+
+    let mut strategy = build_strategy(args)?;
+    let cfg = TrainConfig {
+        epochs: args.epochs,
+        lr: 1e-3,
+        eval_batch_size: args.batch,
+        clip_norm: Some(5.0),
+        scale_lr_with_batch: true,
+        compute_threads: args.compute_threads.max(1),
+        ..TrainConfig::default()
+    };
+
+    let report = if args.pipelined {
+        let pcfg = PipelineConfig::default()
+            .with_depth(args.pipeline_depth)
+            .with_staleness(args.staleness);
+        println!("pipelined loader: chunk read-ahead {}", pcfg.depth.max(1));
+        train_streamed(&mut model, &mut source, strategy.as_mut(), &cfg, &pcfg)
+            .map_err(|e| e.to_string())?
+    } else {
+        train_streaming(&mut model, &mut source, strategy.as_mut(), &cfg)
+            .map_err(|e| e.to_string())?
+    };
+    print_report(&report);
+    println!(
+        "  resident window   {} bytes (vs {} bytes of stream events on disk)",
+        report.space.graph,
+        report
+            .space
+            .graph
+            .max(source.num_events() * std::mem::size_of::<cascade_tgraph::Event>())
+    );
+
+    if args.test {
+        eprintln!("note: --test needs the in-memory test split; skipped for store files");
+    }
+    if let Some(path) = &args.save {
+        save_parameters(&model, path).map_err(|e| e.to_string())?;
+        println!("saved parameters to {}", path.display());
+    }
+    Ok(())
+}
+
+fn print_report(report: &TrainReport) {
     println!(
         "\n[{} / {} / {}]",
         report.dataset, report.model, report.strategy
@@ -257,18 +385,4 @@ fn run() -> Result<(), String> {
         "  validation        loss {:.4}, AP {:.4}, acc {:.4}",
         report.val_loss, report.val_ap, report.val_accuracy
     );
-
-    if args.test {
-        let test = evaluate_range(&mut model, &data, data.test_range(), args.batch);
-        println!(
-            "  test              loss {:.4}, AP {:.4}, acc {:.4}",
-            test.loss, test.average_precision, test.accuracy
-        );
-    }
-
-    if let Some(path) = &args.save {
-        save_parameters(&model, path).map_err(|e| e.to_string())?;
-        println!("saved parameters to {}", path.display());
-    }
-    Ok(())
 }

@@ -131,6 +131,19 @@ impl Abs {
         self.batches_since_improvement = 0;
     }
 
+    /// Snapshot of the convergence monitor, for mid-stream checkpoints:
+    /// `(best_loss, batches_since_improvement)`.
+    pub fn convergence_state(&self) -> (f32, usize) {
+        (self.best_loss, self.batches_since_improvement)
+    }
+
+    /// Restores a snapshot captured by
+    /// [`convergence_state`](Abs::convergence_state).
+    pub fn restore_convergence_state(&mut self, best_loss: f32, batches_since_improvement: usize) {
+        self.best_loss = best_loss;
+        self.batches_since_improvement = batches_since_improvement;
+    }
+
     fn clamp(&self, raw: f64) -> usize {
         let lo = self.stats.min.max(1);
         // Equation 7 as printed (`max(mr_max, min(mr_min, Max_r))`) is

@@ -7,6 +7,8 @@ use std::time::Duration;
 use cascade_models::MemoryDelta;
 use cascade_tgraph::{Event, EventId};
 
+use crate::dependency::DependencyTable;
+
 /// Wall-clock spent inside a strategy, split the way Figures 13(b) and
 /// 14(c) report it. Strategies with no auxiliary structures report zeros
 /// and the trainer falls back to its own coarse measurements.
@@ -33,6 +35,42 @@ pub struct StrategySpace {
     pub dependency_bytes: usize,
     /// Stable-flag bytes.
     pub flag_bytes: usize,
+}
+
+/// How a streaming strategy wants per-chunk dependency tables built —
+/// enough for a pipeline stage to construct chunk `k+1`'s table off the
+/// critical path while chunk `k` trains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableSpec {
+    /// Node-count dimension every table is built against.
+    pub num_nodes: usize,
+    /// Build first-incidence-only tables (the truncated-backprop
+    /// variant) instead of full per-node event lists. Only honored for
+    /// the chunk at base 0; later chunks always need the range build.
+    pub incident_only: bool,
+}
+
+impl TableSpec {
+    /// Builds the dependency table for a chunk of `events` starting at
+    /// global id `base`, exactly as the owning strategy would.
+    pub fn build(&self, base: EventId, events: &[Event]) -> DependencyTable {
+        if self.incident_only && base == 0 {
+            DependencyTable::build_incident_only(events, self.num_nodes)
+        } else {
+            DependencyTable::build_range(events, self.num_nodes, base)
+        }
+    }
+}
+
+/// A dependency table built ahead of time by a pipeline stage, with the
+/// wall-clock the build cost (credited to the strategy's
+/// `background_build` timer rather than the critical path).
+#[derive(Clone, Debug)]
+pub struct PrebuiltTable {
+    /// The finished table.
+    pub table: DependencyTable,
+    /// Wall-clock the background build took.
+    pub work: Duration,
 }
 
 /// Decides where each training batch ends.
@@ -72,6 +110,61 @@ pub trait BatchingStrategy {
     /// Fine-grained phase timing, when the strategy tracks it.
     fn timers(&self) -> StrategyTimers {
         StrategyTimers::default()
+    }
+
+    // ---- streaming protocol (out-of-core training) ------------------
+
+    /// Switches the strategy into streaming mode: instead of a one-shot
+    /// [`prepare`](BatchingStrategy::prepare) over the full training
+    /// slice, the driver announces chunks one at a time via
+    /// [`enter_chunk`](BatchingStrategy::enter_chunk). Returns `false`
+    /// when the strategy cannot stream (the driver then refuses the run
+    /// with a typed error rather than silently diverging). Must be
+    /// idempotent: pipelined executors call it before spawning their
+    /// loader to learn the [`table_spec`](BatchingStrategy::table_spec).
+    fn prepare_streaming(
+        &mut self,
+        _total_train: usize,
+        _num_nodes: usize,
+        _chunk_size: usize,
+    ) -> bool {
+        false
+    }
+
+    /// How this strategy's per-chunk dependency tables are built, so a
+    /// pipeline stage can prebuild them. `None` when the strategy needs
+    /// no tables.
+    fn table_spec(&self) -> Option<TableSpec> {
+        None
+    }
+
+    /// Announces that the stream has reached chunk `idx`, whose events
+    /// start at global id `base`. `prebuilt` carries a table constructed
+    /// off the critical path when a pipeline stage ran ahead; otherwise
+    /// the strategy builds its own.
+    fn enter_chunk(
+        &mut self,
+        _idx: usize,
+        _base: EventId,
+        _events: &[Event],
+        _prebuilt: Option<PrebuiltTable>,
+    ) {
+    }
+
+    /// Serializes the strategy's adaptive state (convergence monitors,
+    /// stable flags, batch counters) for a mid-stream checkpoint.
+    fn export_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by
+    /// [`export_state`](BatchingStrategy::export_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the bytes do not match this strategy.
+    fn import_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Ok(())
     }
 }
 
@@ -128,6 +221,17 @@ impl BatchingStrategy for FixedBatching {
     fn next_batch_end(&mut self, start: EventId, limit: EventId) -> EventId {
         assert!(start < limit, "next_batch_end on empty range");
         (start + self.batch_size).min(limit)
+    }
+
+    // Fixed batching is stateless across chunks: streaming is trivially
+    // supported with no tables and no checkpoint state.
+    fn prepare_streaming(
+        &mut self,
+        _total_train: usize,
+        _num_nodes: usize,
+        _chunk_size: usize,
+    ) -> bool {
+        true
     }
 }
 

@@ -59,15 +59,23 @@ mod diffuser;
 mod instrument;
 mod scheduler;
 mod sgfilter;
+mod streaming;
 mod trainer;
 
 pub use abs::{max_endurance_profiling, Abs, EnduranceStats};
-pub use batching::{BatchingStrategy, FixedBatching, StrategySpace, StrategyTimers};
+pub use batching::{
+    BatchingStrategy, FixedBatching, PrebuiltTable, StrategySpace, StrategyTimers, TableSpec,
+};
 pub use dependency::DependencyTable;
 pub use diffuser::TgDiffuser;
 pub use instrument::{SpaceBreakdown, StageTiming, StageTimings, UtilizationProxy};
 pub use scheduler::{CascadeConfig, CascadeScheduler};
 pub use sgfilter::SgFilter;
+pub use streaming::{
+    train_streaming, train_streaming_with_options, train_streaming_with_provider,
+    CheckpointProgress, ChunkProvider, ProvidedChunk, StreamCheckpoint, StreamMeta, StreamOptions,
+    StreamOutcome,
+};
 pub use trainer::{
     evaluate, evaluate_range, train, train_with_observer, EvalReport, TrainConfig, TrainReport,
 };

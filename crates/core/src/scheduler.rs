@@ -10,8 +10,8 @@ use std::time::{Duration, Instant};
 use cascade_models::MemoryDelta;
 use cascade_tgraph::{Event, EventId};
 
-use crate::abs::Abs;
-use crate::batching::{BatchingStrategy, StrategySpace, StrategyTimers};
+use crate::abs::{Abs, EnduranceStats};
+use crate::batching::{BatchingStrategy, PrebuiltTable, StrategySpace, StrategyTimers, TableSpec};
 use crate::dependency::DependencyTable;
 use crate::diffuser::TgDiffuser;
 use crate::sgfilter::SgFilter;
@@ -141,6 +141,16 @@ pub struct CascadeScheduler {
     pending: Option<Receiver<(usize, DependencyTable, Duration)>>,
     timers: StrategyTimers,
     global_batch_idx: usize,
+    /// Streaming (out-of-core) mode: chunks are announced one at a time
+    /// via `enter_chunk` and only the current chunk's table stays
+    /// resident.
+    streaming: bool,
+    /// Training-slice length announced by `prepare_streaming` (drives
+    /// the ABS batch count, Equation 6).
+    total_train: usize,
+    /// `Max_r` restored from a checkpoint, consumed when the first
+    /// post-resume chunk creates the diffuser.
+    restored_max_r: Option<usize>,
 }
 
 impl CascadeScheduler {
@@ -160,6 +170,9 @@ impl CascadeScheduler {
             pending: None,
             timers: StrategyTimers::default(),
             global_batch_idx: 0,
+            streaming: false,
+            total_train: 0,
+            restored_max_r: None,
         }
     }
 
@@ -291,6 +304,19 @@ impl BatchingStrategy for CascadeScheduler {
     }
 
     fn reset_epoch(&mut self) {
+        if self.streaming {
+            // The trainer announces chunk 0 again via `enter_chunk`,
+            // which swaps its table in and resets the diffuser's
+            // pointers; nothing to fetch here.
+            self.current_chunk = 0;
+            if let Some(sg) = self.sg.as_mut() {
+                sg.reset();
+            }
+            if let Some(abs) = self.abs.as_mut() {
+                abs.reset_epoch();
+            }
+            return;
+        }
         if self.current_chunk != 0 {
             let t = self.table_for_chunk(0);
             self.diffuser
@@ -356,6 +382,198 @@ impl BatchingStrategy for CascadeScheduler {
         }
     }
 
+    fn prepare_streaming(
+        &mut self,
+        total_train: usize,
+        num_nodes: usize,
+        chunk_size: usize,
+    ) -> bool {
+        assert!(total_train > 0, "cannot stream an empty training slice");
+        assert!(chunk_size > 0, "chunk size must be positive");
+        // Idempotent: pipelined executors call this once to learn the
+        // table spec, and the shared driver calls it again.
+        if self.streaming
+            && self.total_train == total_train
+            && self.num_nodes == num_nodes
+            && self
+                .chunk_bounds
+                .first()
+                .is_some_and(|&(_, e)| e == chunk_size.min(total_train))
+        {
+            return true;
+        }
+        // Streaming adopts the source's chunk size: the chunk is the
+        // unit of I/O, so `cfg.chunk_size` (the in-memory Cascade_EX
+        // knob) is superseded by what the store file was written with.
+        self.streaming = true;
+        self.total_train = total_train;
+        self.num_nodes = num_nodes;
+        self.no_stable = vec![false; num_nodes];
+        self.sg = if self.cfg.sg_filter {
+            Some(SgFilter::new(num_nodes, self.cfg.theta))
+        } else {
+            None
+        };
+        self.chunk_bounds = (0..total_train)
+            .step_by(chunk_size)
+            .map(|s| (s, (s + chunk_size).min(total_train)))
+            .collect();
+        self.tables = vec![None; self.chunk_bounds.len()];
+        self.current_chunk = 0;
+        self.abs = None;
+        self.diffuser = None;
+        self.pending = None;
+        true
+    }
+
+    fn table_spec(&self) -> Option<TableSpec> {
+        if !self.streaming {
+            return None;
+        }
+        Some(TableSpec {
+            num_nodes: self.num_nodes,
+            incident_only: self.cfg.incident_only_table,
+        })
+    }
+
+    fn enter_chunk(
+        &mut self,
+        idx: usize,
+        base: EventId,
+        events: &[Event],
+        prebuilt: Option<PrebuiltTable>,
+    ) {
+        assert!(self.streaming, "enter_chunk outside streaming mode");
+        let spec = TableSpec {
+            num_nodes: self.num_nodes,
+            incident_only: self.cfg.incident_only_table,
+        };
+        let table = match prebuilt {
+            Some(p) => {
+                self.timers.background_build += p.work;
+                Arc::new(p.table)
+            }
+            None => {
+                let t0 = Instant::now();
+                let t = Arc::new(spec.build(base, events));
+                self.timers.build_table += t0.elapsed();
+                t
+            }
+        };
+        // Out-of-core: only the current chunk's table stays resident, so
+        // `space()` reports the true streaming footprint.
+        for slot in &mut self.tables {
+            *slot = None;
+        }
+        self.tables[idx] = Some(Arc::clone(&table));
+        self.current_chunk = idx;
+        match self.diffuser.as_mut() {
+            Some(d) => d.swap_table(table),
+            None => {
+                if self.abs.is_none() {
+                    // First chunk seen: profile it exactly as the
+                    // in-memory `prepare` profiles its first chunk.
+                    let covered = table.end() - table.base();
+                    let abs =
+                        Abs::profile(&table, covered, self.cfg.preset_batch_size, self.cfg.seed);
+                    let mut stats = abs.stats();
+                    stats.batch_count = self.total_train.div_ceil(self.cfg.preset_batch_size);
+                    self.abs = Some(Abs::from_stats(stats));
+                }
+                let max_r = self.restored_max_r.take().unwrap_or_else(|| {
+                    self.abs
+                        .as_ref()
+                        .expect("abs was just installed above")
+                        .initial_max_r()
+                });
+                self.diffuser =
+                    Some(TgDiffuser::new(table, max_r).with_threads(self.cfg.lookup_threads));
+            }
+        }
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.push(1u8); // blob version
+        push_u64(&mut buf, self.global_batch_idx as u64);
+        match self.diffuser.as_ref() {
+            Some(d) => {
+                buf.push(1);
+                push_u64(&mut buf, d.max_r() as u64);
+            }
+            None => buf.push(0),
+        }
+        match self.abs.as_ref() {
+            Some(abs) => {
+                buf.push(1);
+                let s = abs.stats();
+                push_u64(&mut buf, s.max as u64);
+                buf.extend_from_slice(&s.mean.to_le_bytes());
+                push_u64(&mut buf, s.min as u64);
+                push_u64(&mut buf, s.batch_count as u64);
+                let (best, stalled) = abs.convergence_state();
+                buf.extend_from_slice(&best.to_le_bytes());
+                push_u64(&mut buf, stalled as u64);
+            }
+            None => buf.push(0),
+        }
+        match self.sg.as_ref() {
+            Some(sg) => {
+                buf.push(1);
+                push_u64(&mut buf, sg.flags().len() as u64);
+                buf.extend(sg.flags().iter().map(|&f| f as u8));
+                let (updates, stable) = sg.epoch_counters();
+                push_u64(&mut buf, updates as u64);
+                push_u64(&mut buf, stable as u64);
+            }
+            None => buf.push(0),
+        }
+        buf
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut off = 0usize;
+        if read_u8(bytes, &mut off)? != 1 {
+            return Err("unsupported scheduler state version".to_string());
+        }
+        self.global_batch_idx = read_u64(bytes, &mut off)? as usize;
+        if read_u8(bytes, &mut off)? == 1 {
+            self.restored_max_r = Some(read_u64(bytes, &mut off)? as usize);
+        }
+        if read_u8(bytes, &mut off)? == 1 {
+            let max = read_u64(bytes, &mut off)? as usize;
+            let mean = f64::from_le_bytes(read_array::<8>(bytes, &mut off)?);
+            let min = read_u64(bytes, &mut off)? as usize;
+            let batch_count = read_u64(bytes, &mut off)? as usize;
+            let best = f32::from_le_bytes(read_array::<4>(bytes, &mut off)?);
+            let stalled = read_u64(bytes, &mut off)? as usize;
+            let mut abs = Abs::from_stats(EnduranceStats {
+                max,
+                mean,
+                min,
+                batch_count,
+            });
+            abs.restore_convergence_state(best, stalled);
+            self.abs = Some(abs);
+        }
+        if read_u8(bytes, &mut off)? == 1 {
+            let n = read_u64(bytes, &mut off)? as usize;
+            if off + n > bytes.len() {
+                return Err("scheduler state truncated in stable flags".to_string());
+            }
+            let flags: Vec<bool> = bytes[off..off + n].iter().map(|&b| b != 0).collect();
+            off += n;
+            let updates = read_u64(bytes, &mut off)? as usize;
+            let stable = read_u64(bytes, &mut off)? as usize;
+            let sg = self
+                .sg
+                .as_mut()
+                .ok_or("checkpoint has SG-Filter state but filter is disabled")?;
+            sg.restore(&flags, updates, stable)?;
+        }
+        Ok(())
+    }
+
     fn timers(&self) -> StrategyTimers {
         self.timers
     }
@@ -366,6 +584,30 @@ impl BatchingStrategy for CascadeScheduler {
             flag_bytes: self.sg.as_ref().map_or(0, SgFilter::size_bytes),
         }
     }
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u8(bytes: &[u8], off: &mut usize) -> Result<u8, String> {
+    let b = *bytes
+        .get(*off)
+        .ok_or("scheduler state truncated".to_string())?;
+    *off += 1;
+    Ok(b)
+}
+
+fn read_u64(bytes: &[u8], off: &mut usize) -> Result<u64, String> {
+    Ok(u64::from_le_bytes(read_array::<8>(bytes, off)?))
+}
+
+fn read_array<const N: usize>(bytes: &[u8], off: &mut usize) -> Result<[u8; N], String> {
+    let slice = bytes
+        .get(*off..*off + N)
+        .ok_or("scheduler state truncated".to_string())?;
+    *off += N;
+    Ok(slice.try_into().expect("slice length checked above"))
 }
 
 #[cfg(test)]
@@ -488,5 +730,86 @@ mod tests {
     fn prepare_rejects_empty() {
         let mut s = CascadeScheduler::new(base_cfg());
         s.prepare(&[], 0);
+    }
+
+    #[test]
+    fn streaming_boundaries_match_in_memory_chunked() {
+        let data = small_data();
+        let n = data.num_events();
+        let events = data.stream().events();
+        let chunk = 97;
+
+        let mut a = CascadeScheduler::new(base_cfg().with_chunk_size(chunk));
+        a.prepare(events, data.num_nodes());
+        let mut bounds_a = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let e = a.next_batch_end(start, n);
+            bounds_a.push(e);
+            start = e;
+        }
+
+        let mut b = CascadeScheduler::new(base_cfg());
+        assert!(b.prepare_streaming(n, data.num_nodes(), chunk));
+        let mut bounds_b = Vec::new();
+        let mut start = 0;
+        let mut next_enter = 0;
+        while start < n {
+            while next_enter * chunk <= start && next_enter * chunk < n {
+                let cs = next_enter * chunk;
+                let ce = (cs + chunk).min(n);
+                b.enter_chunk(next_enter, cs, &events[cs..ce], None);
+                next_enter += 1;
+            }
+            let e = b.next_batch_end(start, n);
+            bounds_b.push(e);
+            start = e;
+        }
+        assert_eq!(bounds_a, bounds_b);
+        // Out-of-core mode keeps a single table resident.
+        assert!(b.space().dependency_bytes < a.space().dependency_bytes);
+    }
+
+    #[test]
+    fn streaming_prepare_is_idempotent() {
+        let data = small_data();
+        let mut s = CascadeScheduler::new(base_cfg());
+        assert!(s.prepare_streaming(data.num_events(), data.num_nodes(), 128));
+        let spec = s.table_spec().expect("streaming mode has a table spec");
+        assert_eq!(spec.num_nodes, data.num_nodes());
+        s.enter_chunk(0, 0, &data.stream().events()[..128], None);
+        let max_r = s.max_r();
+        // A second call with identical geometry must not reset state.
+        assert!(s.prepare_streaming(data.num_events(), data.num_nodes(), 128));
+        assert_eq!(s.max_r(), max_r);
+    }
+
+    #[test]
+    fn state_roundtrip_restores_monitors() {
+        let data = small_data();
+        let events = data.stream().events();
+        let mut s = CascadeScheduler::new(base_cfg());
+        assert!(s.prepare_streaming(data.num_events(), data.num_nodes(), 200));
+        s.enter_chunk(0, 0, &events[..200], None);
+        for i in 1..=30 {
+            let _ = s.next_batch_end(0, 50);
+            s.after_batch(i, 1.0); // stalled loss exercises the monitor
+        }
+        let blob = s.export_state();
+
+        let mut r = CascadeScheduler::new(base_cfg());
+        assert!(r.prepare_streaming(data.num_events(), data.num_nodes(), 200));
+        r.import_state(&blob).expect("state roundtrips");
+        r.enter_chunk(0, 0, &events[..200], None);
+        assert_eq!(r.max_r(), s.max_r());
+        assert_eq!(r.export_state(), s.export_state());
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        let data = small_data();
+        let mut s = CascadeScheduler::new(base_cfg());
+        assert!(s.prepare_streaming(data.num_events(), data.num_nodes(), 200));
+        assert!(s.import_state(&[9, 9, 9]).is_err());
     }
 }

@@ -101,6 +101,37 @@ impl SgFilter {
     pub fn size_bytes(&self) -> usize {
         self.flags.len()
     }
+
+    /// Epoch counters behind
+    /// [`epoch_stable_ratio`](SgFilter::epoch_stable_ratio):
+    /// `(epoch_updates, epoch_stable)`.
+    pub fn epoch_counters(&self) -> (usize, usize) {
+        (self.epoch_updates, self.epoch_stable)
+    }
+
+    /// Restores flags and epoch counters from a mid-stream checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `flags` has the wrong node count.
+    pub fn restore(
+        &mut self,
+        flags: &[bool],
+        epoch_updates: usize,
+        epoch_stable: usize,
+    ) -> Result<(), String> {
+        if flags.len() != self.flags.len() {
+            return Err(format!(
+                "stable-flag count mismatch: checkpoint has {}, filter has {}",
+                flags.len(),
+                self.flags.len()
+            ));
+        }
+        self.flags.copy_from_slice(flags);
+        self.epoch_updates = epoch_updates;
+        self.epoch_stable = epoch_stable;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,820 @@
+//! Out-of-core training: the streaming counterpart of
+//! [`train`](crate::train), consuming the event stream chunk by chunk
+//! from an [`EventSource`] while keeping only a bounded rolling window
+//! of events resident.
+//!
+//! The driver replicates the serial trainer's batch loop operation for
+//! operation, so a streaming run is **bit-identical** (gradients,
+//! memories, post-step parameters) to an in-memory run over the same
+//! events with the same chunk geometry (`CascadeConfig::chunk_size =
+//! Some(source chunk size)` for the Cascade strategy). The pipelined
+//! executor in `cascade-exec` reuses the same driver through the
+//! [`ChunkProvider`] trait, so overlap changes wall-clock only, never
+//! results.
+//!
+//! Mid-stream suspend/resume: [`StreamOptions::suspend_after`] stops the
+//! run just before a chunk is entered and returns a
+//! [`StreamCheckpoint`]; resuming from it reproduces the uninterrupted
+//! run bit for bit (model parameters, node memories, optimizer moments,
+//! scheduler monitors).
+
+// cascade-lint: allow-file(det-wallclock): stage timings land in TrainReport telemetry only; batch boundaries, chunk handoffs, and checkpoints are derived purely from event data.
+use std::time::{Duration, Instant};
+
+use cascade_models::MemoryTgnn;
+use cascade_nn::{average_precision, binary_accuracy, clip_grad_norm, Adam, Module};
+use cascade_tgraph::{EdgeFeatures, Event, EventSource, SourceError};
+
+use crate::batching::{BatchingStrategy, PrebuiltTable};
+use crate::instrument::{SpaceBreakdown, StageTimings};
+use crate::trainer::{EvalReport, TrainConfig, TrainReport};
+
+/// Stream geometry the driver needs up front (mirrors the accessors of
+/// [`EventSource`], so pipelined executors can capture it before moving
+/// the source into a loader thread).
+#[derive(Clone, Debug)]
+pub struct StreamMeta {
+    /// Source name, used as the report's dataset name.
+    pub name: String,
+    /// Number of nodes the stream covers.
+    pub num_nodes: usize,
+    /// Total events in the stream.
+    pub num_events: usize,
+    /// Edge-feature width.
+    pub feature_dim: usize,
+    /// Nominal chunk size.
+    pub chunk_size: usize,
+}
+
+impl StreamMeta {
+    /// Captures the geometry of `source`.
+    pub fn of(source: &dyn EventSource) -> Self {
+        StreamMeta {
+            name: source.name(),
+            num_nodes: source.num_nodes(),
+            num_events: source.num_events(),
+            feature_dim: source.feature_dim(),
+            chunk_size: source.chunk_size(),
+        }
+    }
+}
+
+/// One chunk handed to the streaming driver, optionally with a
+/// dependency table prebuilt off the critical path.
+#[derive(Debug)]
+pub struct ProvidedChunk {
+    /// Chunk index in the stream.
+    pub index: usize,
+    /// Global id of `events[0]`.
+    pub base: usize,
+    /// The chunk's events.
+    pub events: Vec<Event>,
+    /// Row-major feature rows for `events`.
+    pub features: Vec<f32>,
+    /// Table built ahead by a pipeline stage (`None` = driver builds).
+    pub prebuilt: Option<PrebuiltTable>,
+}
+
+/// What feeds chunks to [`train_streaming_with_provider`]: either a
+/// plain [`EventSource`] adapter or `cascade-exec`'s prefetching loader.
+pub trait ChunkProvider {
+    /// Yields the next chunk of the current pass, `Ok(None)` when the
+    /// pass is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source failures (I/O, corruption).
+    fn next(&mut self) -> Result<Option<ProvidedChunk>, SourceError>;
+
+    /// Rewinds to chunk 0 for the next pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source failures.
+    fn reset(&mut self) -> Result<(), SourceError>;
+}
+
+struct SourceProvider<'a> {
+    source: &'a mut dyn EventSource,
+}
+
+impl ChunkProvider for SourceProvider<'_> {
+    fn next(&mut self) -> Result<Option<ProvidedChunk>, SourceError> {
+        Ok(self.source.next_chunk()?.map(|c| ProvidedChunk {
+            index: c.index,
+            base: c.base,
+            events: c.events,
+            features: c.features,
+            prebuilt: None,
+        }))
+    }
+
+    fn reset(&mut self) -> Result<(), SourceError> {
+        self.source.reset()
+    }
+}
+
+/// Suspend/resume controls for a streaming run.
+#[derive(Debug, Default)]
+pub struct StreamOptions {
+    /// Stop just before entering chunk `k` of epoch `e` and return a
+    /// checkpoint: `Some((e, k))`.
+    pub suspend_after: Option<(usize, usize)>,
+    /// Continue a run from a previously returned checkpoint.
+    pub resume_from: Option<StreamCheckpoint>,
+}
+
+/// How a streaming run ended.
+#[derive(Debug)]
+pub enum StreamOutcome {
+    /// Ran to completion.
+    Completed(Box<TrainReport>),
+    /// Stopped at the requested suspension point.
+    Suspended(Box<StreamCheckpoint>),
+}
+
+/// Everything needed to continue a streaming run mid-epoch: taken just
+/// before chunk `chunk` of epoch `epoch` is entered, with `start_event`
+/// the next unprocessed event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamCheckpoint {
+    /// Epoch the run stopped in.
+    pub epoch: usize,
+    /// Chunk about to be entered when the run stopped.
+    pub chunk: usize,
+    /// Global id of the next unprocessed event.
+    pub start_event: usize,
+    /// Serialized model state ([`MemoryTgnn::export_state`]).
+    pub model: Vec<u8>,
+    /// Serialized optimizer state ([`Adam::export_state`]).
+    pub optimizer: Vec<u8>,
+    /// Serialized strategy state
+    /// ([`BatchingStrategy::export_state`]).
+    pub strategy: Vec<u8>,
+    /// Report accumulators carried across the suspension.
+    pub progress: CheckpointProgress,
+}
+
+/// The report accumulators a checkpoint carries so the resumed run's
+/// [`TrainReport`] matches the uninterrupted one.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckpointProgress {
+    /// Bit pattern of the suspended epoch's running loss sum.
+    pub loss_sum_bits: u64,
+    /// Events processed in the suspended epoch.
+    pub event_sum: usize,
+    /// Batches processed in the suspended epoch.
+    pub batch_idx: usize,
+    /// Batches processed across all epochs so far.
+    pub num_batches: usize,
+    /// Largest batch seen so far.
+    pub max_batch: usize,
+    /// Mean losses of completed epochs.
+    pub epoch_losses: Vec<f32>,
+    /// Sizes of every batch so far.
+    pub batch_sizes: Vec<u32>,
+    /// Losses of every batch so far.
+    pub batch_losses: Vec<f32>,
+}
+
+const CHECKPOINT_MAGIC: [u8; 4] = *b"CSCK";
+
+impl StreamCheckpoint {
+    /// Serializes the checkpoint (callers handle file I/O).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&CHECKPOINT_MAGIC);
+        buf.push(1u8); // version
+        for v in [
+            self.epoch as u64,
+            self.chunk as u64,
+            self.start_event as u64,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for blob in [&self.model, &self.optimizer, &self.strategy] {
+            buf.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            buf.extend_from_slice(blob);
+        }
+        let p = &self.progress;
+        buf.extend_from_slice(&p.loss_sum_bits.to_le_bytes());
+        for v in [
+            p.event_sum as u64,
+            p.batch_idx as u64,
+            p.num_batches as u64,
+            p.max_batch as u64,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&(p.epoch_losses.len() as u32).to_le_bytes());
+        for x in &p.epoch_losses {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        buf.extend_from_slice(&(p.batch_sizes.len() as u32).to_le_bytes());
+        for x in &p.batch_sizes {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        buf.extend_from_slice(&(p.batch_losses.len() as u32).to_le_bytes());
+        for x in &p.batch_losses {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Deserializes a checkpoint written by
+    /// [`to_bytes`](StreamCheckpoint::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on a bad magic, unsupported version, or
+    /// truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut off = 0usize;
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], String> {
+            let s = bytes
+                .get(*off..*off + n)
+                .ok_or("checkpoint truncated".to_string())?;
+            *off += n;
+            Ok(s)
+        };
+        let read_u64 = |off: &mut usize| -> Result<u64, String> {
+            Ok(u64::from_le_bytes(
+                take(off, 8)?.try_into().expect("slice is 8 bytes"),
+            ))
+        };
+        let read_u32 = |off: &mut usize| -> Result<u32, String> {
+            Ok(u32::from_le_bytes(
+                take(off, 4)?.try_into().expect("slice is 4 bytes"),
+            ))
+        };
+        if take(&mut off, 4)? != CHECKPOINT_MAGIC {
+            return Err("not a cascade streaming checkpoint".to_string());
+        }
+        if *take(&mut off, 1)?.first().expect("slice is 1 byte") != 1 {
+            return Err("unsupported checkpoint version".to_string());
+        }
+        let epoch = read_u64(&mut off)? as usize;
+        let chunk = read_u64(&mut off)? as usize;
+        let start_event = read_u64(&mut off)? as usize;
+        let mut blobs = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let len = read_u64(&mut off)? as usize;
+            blobs.push(take(&mut off, len)?.to_vec());
+        }
+        let strategy = blobs.pop().expect("three blobs pushed");
+        let optimizer = blobs.pop().expect("two blobs remain");
+        let model = blobs.pop().expect("one blob remains");
+        let loss_sum_bits = read_u64(&mut off)?;
+        let event_sum = read_u64(&mut off)? as usize;
+        let batch_idx = read_u64(&mut off)? as usize;
+        let num_batches = read_u64(&mut off)? as usize;
+        let max_batch = read_u64(&mut off)? as usize;
+        let n = read_u32(&mut off)? as usize;
+        let mut epoch_losses = Vec::with_capacity(n);
+        for _ in 0..n {
+            epoch_losses.push(f32::from_le_bytes(
+                take(&mut off, 4)?.try_into().expect("slice is 4 bytes"),
+            ));
+        }
+        let n = read_u32(&mut off)? as usize;
+        let mut batch_sizes = Vec::with_capacity(n);
+        for _ in 0..n {
+            batch_sizes.push(read_u32(&mut off)?);
+        }
+        let n = read_u32(&mut off)? as usize;
+        let mut batch_losses = Vec::with_capacity(n);
+        for _ in 0..n {
+            batch_losses.push(f32::from_le_bytes(
+                take(&mut off, 4)?.try_into().expect("slice is 4 bytes"),
+            ));
+        }
+        Ok(StreamCheckpoint {
+            epoch,
+            chunk,
+            start_event,
+            model,
+            optimizer,
+            strategy,
+            progress: CheckpointProgress {
+                loss_sum_bits,
+                event_sum,
+                batch_idx,
+                num_batches,
+                max_batch,
+                epoch_losses,
+                batch_sizes,
+                batch_losses,
+            },
+        })
+    }
+}
+
+/// The rolling event window: a contiguous slice `[win_base, loaded_end)`
+/// of the stream, plus the epoch's accumulated feature rows (features
+/// are indexed by global event id, so rows are retained for the whole
+/// epoch while events are dropped once consumed).
+struct Window {
+    buf: Vec<Event>,
+    win_base: usize,
+    feats: EdgeFeatures,
+    chunks_loaded: usize,
+    peak_events: usize,
+}
+
+impl Window {
+    fn new(feature_dim: usize) -> Self {
+        Window {
+            buf: Vec::new(),
+            win_base: 0,
+            feats: if feature_dim == 0 {
+                EdgeFeatures::none()
+            } else {
+                EdgeFeatures::new(Vec::new(), feature_dim)
+            },
+            chunks_loaded: 0,
+            peak_events: 0,
+        }
+    }
+
+    fn loaded_end(&self) -> usize {
+        self.win_base + self.buf.len()
+    }
+
+    fn clear_for_epoch(&mut self) {
+        self.buf.clear();
+        self.win_base = 0;
+        self.feats.clear_rows();
+        self.chunks_loaded = 0;
+    }
+
+    /// Appends one chunk from `provider`; returns its prebuilt table.
+    fn load_next(
+        &mut self,
+        provider: &mut dyn ChunkProvider,
+    ) -> Result<Option<(usize, PrebuiltTable)>, SourceError> {
+        let Some(chunk) = provider.next()? else {
+            return Err(SourceError::new(format!(
+                "stream ended at event {} before the requested range",
+                self.loaded_end()
+            )));
+        };
+        if chunk.base != self.loaded_end() || chunk.index != self.chunks_loaded {
+            return Err(SourceError::at_chunk(
+                chunk.index,
+                format!(
+                    "out-of-order chunk: got base {}, expected {}",
+                    chunk.base,
+                    self.loaded_end()
+                ),
+            ));
+        }
+        self.chunks_loaded += 1;
+        self.buf.extend_from_slice(&chunk.events);
+        self.feats.push_rows(&chunk.features);
+        self.peak_events = self.peak_events.max(self.buf.len());
+        Ok(chunk.prebuilt.map(|p| (chunk.index, p)))
+    }
+
+    /// Drops events below `keep_from` (already consumed and not needed
+    /// for any future chunk entry).
+    fn drop_below(&mut self, keep_from: usize) {
+        if keep_from > self.win_base {
+            self.buf.drain(0..keep_from - self.win_base);
+            self.win_base = keep_from;
+        }
+    }
+
+    /// The slice of global event range `[from, to)`.
+    fn slice(&self, from: usize, to: usize) -> &[Event] {
+        &self.buf[from - self.win_base..to - self.win_base]
+    }
+}
+
+/// Trains `model` from a chunked event source without materializing the
+/// stream, then evaluates on the validation split. Results are
+/// bit-identical to [`train`](crate::train) over the imported dataset
+/// when the strategy uses the same chunk geometry.
+///
+/// # Errors
+///
+/// Returns a [`SourceError`] when the source fails (I/O, corruption),
+/// ends early, or the strategy does not support streaming.
+pub fn train_streaming(
+    model: &mut MemoryTgnn,
+    source: &mut dyn EventSource,
+    strategy: &mut dyn BatchingStrategy,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, SourceError> {
+    match train_streaming_with_options(model, source, strategy, cfg, StreamOptions::default())? {
+        StreamOutcome::Completed(report) => Ok(*report),
+        StreamOutcome::Suspended(_) => {
+            // cascade-lint: allow(panic-macro): default StreamOptions carry no suspension point, so the driver can only complete
+            unreachable!("no suspension point was requested")
+        }
+    }
+}
+
+/// [`train_streaming`] with suspend/resume controls.
+///
+/// # Errors
+///
+/// As [`train_streaming`], plus a [`SourceError`] when a checkpoint does
+/// not match the model/strategy shapes.
+pub fn train_streaming_with_options(
+    model: &mut MemoryTgnn,
+    source: &mut dyn EventSource,
+    strategy: &mut dyn BatchingStrategy,
+    cfg: &TrainConfig,
+    opts: StreamOptions,
+) -> Result<StreamOutcome, SourceError> {
+    let meta = StreamMeta::of(source);
+    let mut provider = SourceProvider { source };
+    train_streaming_with_provider(model, &meta, &mut provider, strategy, cfg, opts)
+}
+
+/// The shared streaming driver: everything between a chunk provider and
+/// a finished [`TrainReport`]. `cascade-exec`'s pipelined streaming path
+/// calls this with its prefetching loader, so serial and pipelined
+/// streaming are bit-identical by construction.
+///
+/// # Errors
+///
+/// As [`train_streaming`].
+///
+/// # Panics
+///
+/// Panics if `cfg.epochs == 0` or the stream's training split is empty.
+#[allow(clippy::too_many_lines)]
+pub fn train_streaming_with_provider(
+    model: &mut MemoryTgnn,
+    meta: &StreamMeta,
+    provider: &mut dyn ChunkProvider,
+    strategy: &mut dyn BatchingStrategy,
+    cfg: &TrainConfig,
+    opts: StreamOptions,
+) -> Result<StreamOutcome, SourceError> {
+    assert!(cfg.epochs > 0, "need at least one epoch");
+    let n = meta.num_events;
+    let n_train = n * 70 / 100;
+    let val_end = n * 85 / 100;
+    assert!(n_train > 0, "empty training range");
+    let chunk_size = meta.chunk_size.max(1);
+    let train_chunks = n_train.div_ceil(chunk_size);
+    let chunk_start = |k: usize| k * chunk_size;
+
+    if !strategy.prepare_streaming(n_train, meta.num_nodes, chunk_size) {
+        return Err(SourceError::new(format!(
+            "strategy {} does not support streaming",
+            strategy.name()
+        )));
+    }
+    model.set_compute_threads(cfg.compute_threads.max(1));
+
+    let t_total = Instant::now();
+    let params = model.parameters();
+    let mut opt = Adam::new(params.clone(), cfg.lr);
+
+    let mut model_time = Duration::ZERO;
+    let mut measured_lookup = Duration::ZERO;
+    let mut stages = StageTimings::default();
+    let mut num_batches = 0usize;
+    let mut max_batch = 0usize;
+    let mut epoch_losses: Vec<f32> = Vec::with_capacity(cfg.epochs);
+    let mut batch_sizes: Vec<u32> = Vec::new();
+    let mut batch_losses: Vec<f32> = Vec::new();
+
+    let mut window = Window::new(meta.feature_dim);
+    let mut prebuilt: Vec<(usize, PrebuiltTable)> = Vec::new();
+
+    // Resume bookkeeping: where to start, and the suspended epoch's
+    // partial accumulators.
+    let mut start_epoch = 0usize;
+    let mut resume_setup: Option<(usize, usize, usize, f64, usize)> = None;
+    if let Some(ck) = opts.resume_from {
+        strategy
+            .import_state(&ck.strategy)
+            .map_err(SourceError::new)?;
+        model.import_state(&ck.model).map_err(SourceError::new)?;
+        opt.import_state(&ck.optimizer).map_err(SourceError::new)?;
+        let p = ck.progress;
+        num_batches = p.num_batches;
+        max_batch = p.max_batch;
+        epoch_losses = p.epoch_losses;
+        batch_sizes = p.batch_sizes;
+        batch_losses = p.batch_losses;
+        start_epoch = ck.epoch;
+        resume_setup = Some((
+            ck.chunk,
+            ck.start_event,
+            p.batch_idx,
+            f64::from_bits(p.loss_sum_bits),
+            p.event_sum,
+        ));
+    }
+
+    let mut first_pass = true;
+    for epoch in start_epoch..cfg.epochs {
+        let mut start;
+        let mut next_enter;
+        let mut batch_idx;
+        let mut loss_sum;
+        let mut event_sum;
+        if let Some((sk, se, bi, ls, es)) = resume_setup.take() {
+            // Resumed mid-epoch: skip over the already-processed chunks,
+            // feeding features and replaying adjacency, without touching
+            // the restored model/strategy state.
+            while window.chunks_loaded < sk {
+                let loaded_from = window.loaded_end();
+                let _ = window.load_next(provider)?;
+                let replay_to = window.loaded_end().min(se);
+                if replay_to > loaded_from {
+                    model.replay_adjacency(window.slice(loaded_from, replay_to), loaded_from);
+                }
+                window.drop_below(window.loaded_end().min(chunk_start(sk)));
+            }
+            // A batch may have straddled into chunk `sk` before the
+            // suspension: load it and replay its processed prefix.
+            if se > chunk_start(sk) {
+                while window.loaded_end() < se {
+                    let _ = window.load_next(provider)?;
+                }
+                model.replay_adjacency(window.slice(chunk_start(sk), se), chunk_start(sk));
+            }
+            start = se;
+            next_enter = sk;
+            batch_idx = bi;
+            loss_sum = ls;
+            event_sum = es;
+        } else {
+            if !first_pass {
+                provider.reset()?;
+            }
+            window.clear_for_epoch();
+            prebuilt.clear();
+            model.reset_state();
+            strategy.reset_epoch();
+            start = 0;
+            next_enter = 0;
+            batch_idx = 0;
+            loss_sum = 0.0f64;
+            event_sum = 0usize;
+        }
+        first_pass = false;
+
+        while start < n_train {
+            if let Some((se, sk)) = opts.suspend_after {
+                if epoch == se && next_enter == sk && start >= chunk_start(sk) {
+                    return Ok(StreamOutcome::Suspended(Box::new(StreamCheckpoint {
+                        epoch,
+                        chunk: sk,
+                        start_event: start,
+                        model: model.export_state(),
+                        optimizer: opt.export_state(),
+                        strategy: strategy.export_state(),
+                        progress: CheckpointProgress {
+                            loss_sum_bits: loss_sum.to_bits(),
+                            event_sum,
+                            batch_idx,
+                            num_batches,
+                            max_batch,
+                            epoch_losses: epoch_losses.clone(),
+                            batch_sizes: batch_sizes.clone(),
+                            batch_losses: batch_losses.clone(),
+                        },
+                    })));
+                }
+            }
+
+            // Announce every chunk whose events the next batch may need.
+            while next_enter < train_chunks && chunk_start(next_enter) <= start {
+                let cs = chunk_start(next_enter);
+                let ce = (cs + chunk_size).min(n);
+                while window.chunks_loaded <= next_enter {
+                    if let Some(pb) = window.load_next(provider)? {
+                        prebuilt.push(pb);
+                    }
+                }
+                let table = prebuilt
+                    .iter()
+                    .position(|(idx, _)| *idx == next_enter)
+                    .map(|at| prebuilt.swap_remove(at).1);
+                // The last training chunk is entered truncated at the
+                // split boundary; the window keeps the full chunk for
+                // the validation pass.
+                strategy.enter_chunk(next_enter, cs, window.slice(cs, ce.min(n_train)), table);
+                next_enter += 1;
+            }
+
+            let t0 = Instant::now();
+            let end = strategy.next_batch_end(start, n_train);
+            let scan_elapsed = t0.elapsed();
+            measured_lookup += scan_elapsed;
+            stages.scan.record(scan_elapsed);
+            debug_assert!(end > start && end <= n_train);
+
+            // A fixed-size batch can straddle into a chunk that is not
+            // entered yet; its events must still be resident.
+            let t_load = Instant::now();
+            while window.loaded_end() < end {
+                if let Some(pb) = window.load_next(provider)? {
+                    prebuilt.push(pb);
+                }
+            }
+            stages.scan.stall += t_load.elapsed();
+
+            let t1 = Instant::now();
+            if cfg.scale_lr_with_batch {
+                let scale = ((end - start) as f32 / cfg.eval_batch_size as f32).sqrt();
+                opt.set_lr(cfg.lr * scale);
+            }
+            let fwd = model.forward_batch(window.slice(start, end), start, &window.feats);
+            let loss = fwd.loss.item();
+            fwd.loss.backward();
+            if let Some(c) = cfg.clip_norm {
+                clip_grad_norm(&params, c);
+            }
+            opt.step();
+            let compute_elapsed = t1.elapsed();
+            stages.compute.record(compute_elapsed);
+            stages.record_shards(&fwd.shard_busy, cfg.compute_threads.max(1));
+
+            let t2 = Instant::now();
+            let deltas =
+                model.apply_batch(window.slice(start, end), start, &window.feats, fwd.pending);
+            let update_elapsed = t2.elapsed();
+            stages.update.record(update_elapsed);
+            model_time += compute_elapsed + update_elapsed;
+
+            strategy.after_batch(batch_idx, loss);
+            strategy.observe_updates(&deltas);
+
+            let size = end - start;
+            batch_sizes.push(size as u32);
+            batch_losses.push(loss);
+            loss_sum += loss as f64 * size as f64;
+            event_sum += size;
+            max_batch = max_batch.max(size);
+            num_batches += 1;
+            batch_idx += 1;
+            start = end;
+
+            // Consumed events are dropped; events of a chunk that was
+            // straddled into but not yet entered are retained for its
+            // coming `enter_chunk`.
+            let next_chunk_at = if next_enter < train_chunks {
+                chunk_start(next_enter)
+            } else {
+                start
+            };
+            window.drop_below(start.min(next_chunk_at));
+        }
+        epoch_losses.push((loss_sum / event_sum.max(1) as f64) as f32);
+    }
+
+    let total_time = t_total.elapsed();
+
+    // Same latency model as the in-memory trainer (see `train`): charge
+    // the simulated per-batch accelerator overhead, credit back
+    // background table builds bounded by the non-stall portion.
+    let events_processed = (n_train * cfg.epochs) as f64;
+    let per_event = model_time.as_secs_f64() / events_processed.max(1.0);
+    let overhead =
+        Duration::from_secs_f64(per_event * cfg.sim_batch_overhead_events * num_batches as f64);
+    let background = strategy.timers().background_build;
+    let stall = strategy.timers().build_table;
+    let overlap_credit = background.saturating_sub(stall).min(total_time / 2);
+    let modeled_time = (total_time + overhead).saturating_sub(overlap_credit);
+
+    // Validation: continue the rolling window past the training split,
+    // replicating `evaluate_range` at the fixed evaluation batch size.
+    let val = {
+        if n_train >= val_end {
+            EvalReport {
+                loss: f32::NAN,
+                average_precision: f32::NAN,
+                accuracy: f32::NAN,
+            }
+        } else {
+            let mut start = n_train;
+            let mut loss_sum = 0.0f64;
+            let mut count = 0usize;
+            let mut logits = Vec::new();
+            let mut labels = Vec::new();
+            while start < val_end {
+                let end = (start + cfg.eval_batch_size).min(val_end);
+                while window.loaded_end() < end {
+                    let _ = window.load_next(provider)?;
+                }
+                let out = model.process_batch(window.slice(start, end), start, &window.feats);
+                loss_sum += out.loss.item() as f64 * (end - start) as f64;
+                count += end - start;
+                labels.extend(std::iter::repeat_n(1.0, out.pos_logits.len()));
+                logits.extend(out.pos_logits);
+                labels.extend(std::iter::repeat_n(0.0, out.neg_logits.len()));
+                logits.extend(out.neg_logits);
+                start = end;
+                window.drop_below(start);
+            }
+            EvalReport {
+                loss: (loss_sum / count as f64) as f32,
+                average_precision: average_precision(&logits, &labels),
+                accuracy: binary_accuracy(&logits, &labels),
+            }
+        }
+    };
+
+    let timers = strategy.timers();
+    let build_time = timers.build_table;
+    let lookup_time = if timers.lookup > Duration::ZERO {
+        timers.lookup
+    } else {
+        measured_lookup
+    };
+
+    let strat_space = strategy.space();
+    let space = SpaceBreakdown {
+        dependency_table: strat_space.dependency_bytes,
+        stable_flags: strat_space.flag_bytes,
+        // Out-of-core: the graph term is the peak resident window, not
+        // the full stream (the headline saving of streaming training).
+        graph: window.peak_events * std::mem::size_of::<Event>(),
+        edge_features: window.feats.size_bytes(),
+        model: model.parameter_count() * std::mem::size_of::<f32>(),
+        mailbox: model.mailbox_size_bytes(),
+        memory: model.memory_size_bytes(),
+    };
+
+    Ok(StreamOutcome::Completed(Box::new(TrainReport {
+        strategy: strategy.name(),
+        model: model.name().to_string(),
+        dataset: meta.name.clone(),
+        epochs: cfg.epochs,
+        total_time,
+        modeled_time,
+        build_time,
+        lookup_time,
+        model_time,
+        num_batches,
+        avg_batch_size: (n_train * cfg.epochs) as f64 / num_batches.max(1) as f64,
+        max_batch_size: max_batch,
+        final_train_loss: *epoch_losses.last().unwrap_or(&f32::NAN),
+        val_loss: val.loss,
+        val_ap: val.average_precision,
+        val_accuracy: val.accuracy,
+        epoch_losses,
+        batch_sizes,
+        batch_losses,
+        space,
+        stages,
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_roundtrips_through_bytes() {
+        let ck = StreamCheckpoint {
+            epoch: 2,
+            chunk: 7,
+            start_event: 901,
+            model: vec![1, 2, 3],
+            optimizer: vec![4, 5],
+            strategy: vec![],
+            progress: CheckpointProgress {
+                loss_sum_bits: 0.625f64.to_bits(),
+                event_sum: 901,
+                batch_idx: 14,
+                num_batches: 200,
+                max_batch: 99,
+                epoch_losses: vec![0.5, 0.25],
+                batch_sizes: vec![10, 20, 30],
+                batch_losses: vec![0.9, 0.8, 0.7],
+            },
+        };
+        let bytes = ck.to_bytes();
+        assert_eq!(
+            StreamCheckpoint::from_bytes(&bytes).expect("roundtrips"),
+            ck
+        );
+    }
+
+    #[test]
+    fn checkpoint_rejects_garbage() {
+        assert!(StreamCheckpoint::from_bytes(b"not a checkpoint").is_err());
+        assert!(StreamCheckpoint::from_bytes(&CHECKPOINT_MAGIC).is_err());
+        let mut bytes = StreamCheckpoint {
+            epoch: 0,
+            chunk: 0,
+            start_event: 0,
+            model: vec![],
+            optimizer: vec![],
+            strategy: vec![],
+            progress: CheckpointProgress::default(),
+        }
+        .to_bytes();
+        bytes[4] = 9; // unsupported version
+        assert!(StreamCheckpoint::from_bytes(&bytes).is_err());
+    }
+}

@@ -73,5 +73,7 @@
 //! ```
 
 mod pipeline;
+mod stream;
 
 pub use pipeline::{train_pipelined, PipelineConfig, PipelineError, PipelineStage};
+pub use stream::train_streamed;

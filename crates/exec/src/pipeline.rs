@@ -112,6 +112,9 @@ pub enum PipelineStage {
     Compute,
     /// Stage C: memory write-back, message generation.
     Update,
+    /// Stage L: chunk prefetch / background table build (out-of-core
+    /// streaming's loader thread, see [`crate::train_streamed`]).
+    Load,
 }
 
 impl fmt::Display for PipelineStage {
@@ -120,6 +123,7 @@ impl fmt::Display for PipelineStage {
             PipelineStage::Scan => "scan",
             PipelineStage::Compute => "compute",
             PipelineStage::Update => "update",
+            PipelineStage::Load => "load",
         })
     }
 }

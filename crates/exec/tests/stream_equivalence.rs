@@ -1,0 +1,133 @@
+//! The pipelined out-of-core path must be bit-identical to serial
+//! streaming and to in-memory training: prefetch and background table
+//! builds change wall-clock, never results.
+
+use cascade_core::{
+    train, train_streaming, BatchingStrategy, CascadeConfig, CascadeScheduler, FixedBatching,
+    TrainConfig, TrainReport,
+};
+use cascade_exec::{train_streamed, PipelineConfig};
+use cascade_models::{MemoryTgnn, ModelConfig};
+use cascade_store::{export_dataset, StreamingEventSource};
+use cascade_tgraph::{Dataset, SynthConfig};
+
+const CHUNK: usize = 128;
+
+fn dataset() -> Dataset {
+    SynthConfig::wiki().with_scale(0.004).generate(29)
+}
+
+fn model(data: &Dataset) -> MemoryTgnn {
+    MemoryTgnn::new(
+        ModelConfig::tgn().with_dims(8, 4).with_neighbors(3),
+        data.num_nodes(),
+        data.features().dim(),
+        11,
+    )
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        eval_batch_size: 64,
+        ..TrainConfig::default()
+    }
+}
+
+fn assert_same_results(a: &TrainReport, b: &TrainReport, what: &str) {
+    assert_eq!(a.batch_sizes, b.batch_sizes, "{what}: batch boundaries");
+    let a_bits: Vec<u32> = a.batch_losses.iter().map(|x| x.to_bits()).collect();
+    let b_bits: Vec<u32> = b.batch_losses.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(a_bits, b_bits, "{what}: batch losses");
+    assert_eq!(
+        a.val_loss.to_bits(),
+        b.val_loss.to_bits(),
+        "{what}: val loss"
+    );
+}
+
+fn streamed_run(
+    data: &Dataset,
+    path: &std::path::Path,
+    strategy: &mut dyn BatchingStrategy,
+    pipe: &PipelineConfig,
+) -> (TrainReport, Vec<u8>) {
+    let mut m = model(data);
+    let mut src = StreamingEventSource::open(path, 2).expect("store opens");
+    let r = train_streamed(&mut m, &mut src, strategy, &cfg(), pipe).expect("pipelined stream");
+    (r, m.export_state())
+}
+
+#[test]
+fn pipelined_streaming_matches_serial_streaming_and_in_memory() {
+    let data = dataset();
+    let path = std::env::temp_dir().join(format!("cascade-exec-stream-{}.evt", std::process::id()));
+    export_dataset(&data, &path, CHUNK).expect("export succeeds");
+    let mk = || {
+        CascadeScheduler::new(CascadeConfig {
+            preset_batch_size: 64,
+            chunk_size: Some(CHUNK),
+            ..CascadeConfig::default()
+        })
+    };
+
+    let mut m_mem = model(&data);
+    let mut s_mem = mk();
+    let mem = train(&mut m_mem, &data, &mut s_mem, &cfg());
+
+    let mut m_ser = model(&data);
+    let mut src = StreamingEventSource::open(&path, 2).expect("store opens");
+    let mut s_ser = mk();
+    let serial = train_streaming(&mut m_ser, &mut src, &mut s_ser, &cfg()).expect("serial stream");
+
+    let mut s_pipe = mk();
+    let (piped, piped_state) = streamed_run(&data, &path, &mut s_pipe, &PipelineConfig::default());
+    std::fs::remove_file(&path).ok();
+
+    assert_same_results(&mem, &serial, "serial streaming vs in-memory");
+    assert_same_results(&serial, &piped, "pipelined vs serial streaming");
+    assert_eq!(
+        m_ser.export_state(),
+        piped_state,
+        "model state diverged between serial and pipelined streaming"
+    );
+    assert_eq!(
+        m_mem.export_state(),
+        piped_state,
+        "pipelined vs in-memory state"
+    );
+    // The loader's table builds ran off the critical path.
+    assert!(
+        piped.stages.scan.busy >= std::time::Duration::ZERO,
+        "stage telemetry present"
+    );
+}
+
+#[test]
+fn pipelined_streaming_depth_does_not_change_results() {
+    let data = dataset();
+    let path = std::env::temp_dir().join(format!("cascade-exec-depth-{}.evt", std::process::id()));
+    export_dataset(&data, &path, CHUNK).expect("export succeeds");
+
+    let mut s1 = FixedBatching::new(48);
+    let (d1, state1) = streamed_run(
+        &data,
+        &path,
+        &mut s1,
+        &PipelineConfig::default().with_depth(1),
+    );
+    let mut s4 = FixedBatching::new(48);
+    let (d4, state4) = streamed_run(
+        &data,
+        &path,
+        &mut s4,
+        &PipelineConfig::default().with_depth(4),
+    );
+    std::fs::remove_file(&path).ok();
+
+    assert_same_results(&d1, &d4, "depth 1 vs depth 4");
+    assert_eq!(
+        state1, state4,
+        "model state diverged across read-ahead depths"
+    );
+}

@@ -118,6 +118,25 @@ pub fn check_source(path: &str, source: &str) -> FileReport {
     }
     guard_across_channel(&code, &mut raw);
 
+    // ---- I/O confinement ----
+    // Flags `fs` as a path segment (`std::fs::…`, `use std::fs`,
+    // `fs::File`); a plain identifier named `fs` with no `::` on either
+    // side is not a filesystem access.
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_ident("fs") {
+            continue;
+        }
+        let path_before = i >= 3
+            && code[i - 3].is_ident("std")
+            && code[i - 2].is_punct(':')
+            && code[i - 1].is_punct(':');
+        let path_after = code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && code.get(i + 2).is_some_and(|n| n.is_punct(':'));
+        if path_before || path_after {
+            raw.push((force("io-fs-confined"), t.line, t.col));
+        }
+    }
+
     // ---- Policy ----
     for (i, t) in code.iter().enumerate() {
         if t.is_ident("allow")
@@ -638,6 +657,29 @@ mod tests {
             rules_hit(EXEC, "fn f() { thread::spawn(|| {}); }"),
             ["conc-spawn"]
         );
+    }
+
+    #[test]
+    fn fs_access_confined_to_storage_modules() {
+        let src = "fn f() { std::fs::write(\"x\", b\"y\").ok(); }";
+        assert_eq!(rules_hit(CORE, src), ["io-fs-confined"]);
+        assert_eq!(rules_hit(EXEC, src), ["io-fs-confined"]);
+        assert_eq!(
+            rules_hit("crates/tgraph/src/source.rs", src),
+            ["io-fs-confined"]
+        );
+        // The designated I/O modules and the storage layer itself pass.
+        assert!(rules_hit("crates/tgraph/src/dataset.rs", src).is_empty());
+        assert!(rules_hit("crates/models/src/checkpoint.rs", src).is_empty());
+        assert!(rules_hit("crates/store/src/writer.rs", src).is_empty());
+        // `use std::fs;` and a bare `fs::` path both count.
+        assert_eq!(rules_hit(CORE, "use std::fs;"), ["io-fs-confined"]);
+        assert_eq!(
+            rules_hit(CORE, "fn f() { fs::remove_file(\"x\").ok(); }"),
+            ["io-fs-confined"]
+        );
+        // A variable that happens to be named `fs` is not file I/O.
+        assert!(rules_hit(CORE, "fn f(fs: u32) -> u32 { fs + 1 }").is_empty());
     }
 
     #[test]

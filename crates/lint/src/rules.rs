@@ -36,6 +36,7 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
+    "crates/store/src/",
     "crates/tensor/src/",
 ];
 
@@ -46,6 +47,29 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
+    "crates/store/src/",
+];
+
+/// Crates whose compute paths must not touch the filesystem directly:
+/// all I/O belongs in the designated storage modules below, so that
+/// out-of-core behavior, error typing, and corruption handling live in
+/// one audited place (`cascade-store`) instead of leaking ad-hoc
+/// `std::fs` calls into schedulers and models.
+const IO_CONFINED_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/exec/src/",
+    "crates/models/src/",
+    "crates/nn/src/",
+    "crates/tensor/src/",
+    "crates/tgraph/src/",
+];
+
+/// The designated I/O modules: parameter checkpointing and CSV ingest.
+/// (`crates/store` is the storage layer itself and sits outside the
+/// confinement scope entirely.)
+const IO_MODULES: &[&str] = &[
+    "crates/models/src/checkpoint.rs",
+    "crates/tgraph/src/dataset.rs",
 ];
 
 /// Telemetry module: timing/space instrumentation whose whole job is
@@ -139,6 +163,16 @@ pub const RULES: &[RuleSpec] = &[
         applies_to_tests: true,
         why: "static mut is unsynchronized shared state (and unsafe to touch); use \
               atomics or pass state explicitly.",
+    },
+    RuleSpec {
+        id: "io-fs-confined",
+        scopes: IO_CONFINED_SCOPE,
+        allowed_paths: IO_MODULES,
+        applies_to_tests: false,
+        why: "std::fs access outside the designated storage modules scatters \
+              untyped I/O errors and corruption handling across compute crates; \
+              route file access through cascade-store (event data), \
+              models/checkpoint.rs (parameters), or tgraph/dataset.rs (CSV).",
     },
     RuleSpec {
         id: "policy-clippy-allow",

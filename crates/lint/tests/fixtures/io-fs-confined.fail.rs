@@ -1,0 +1,8 @@
+//@ path: crates/core/src/scheduler.rs
+//@ expect: io-fs-confined
+//@ expect: io-fs-confined
+use std::fs;
+
+pub fn dump_table(bytes: &[u8]) -> std::io::Result<()> {
+    fs::write("/tmp/table.bin", bytes)
+}

@@ -1,0 +1,9 @@
+//@ path: crates/tgraph/src/dataset.rs
+// The designated I/O modules (tgraph's CSV ingest, models' parameter
+// checkpointing) are allowlisted; everywhere else in scope, event data
+// must flow through cascade-store instead of ad-hoc std::fs calls.
+use std::fs;
+
+pub fn read_csv(path: &std::path::Path) -> std::io::Result<String> {
+    fs::read_to_string(path)
+}

@@ -95,6 +95,79 @@ impl Adam {
     pub fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    /// Serializes the optimizer's moment estimates and step counter for
+    /// a mid-training checkpoint. The learning rate and betas are
+    /// configuration, not state, and are excluded.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.t.to_le_bytes());
+        buf.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
+        for (m, v) in self.m.iter().zip(&self.v) {
+            buf.extend_from_slice(&(m.len() as u32).to_le_bytes());
+            for x in m {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            for x in v {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Restores state captured by [`export_state`](Adam::export_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the blob is truncated or its parameter
+    /// shapes do not match this optimizer.
+    pub fn import_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut off = 0usize;
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], String> {
+            let s = bytes
+                .get(*off..*off + n)
+                .ok_or("optimizer state truncated".to_string())?;
+            *off += n;
+            Ok(s)
+        };
+        let t = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("slice is 8 bytes"));
+        let count =
+            u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("slice is 4 bytes")) as usize;
+        if count != self.params.len() {
+            return Err(format!(
+                "optimizer state has {} parameters, expected {}",
+                count,
+                self.params.len()
+            ));
+        }
+        let mut m = Vec::with_capacity(count);
+        let mut v = Vec::with_capacity(count);
+        for (i, p) in self.params.iter().enumerate() {
+            let len = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("slice is 4 bytes"))
+                as usize;
+            if len != p.len() {
+                return Err(format!(
+                    "optimizer state parameter {} has {} values, expected {}",
+                    i,
+                    len,
+                    p.len()
+                ));
+            }
+            let read_vec = |off: &mut usize| -> Result<Vec<f32>, String> {
+                let raw = take(off, len * 4)?;
+                Ok(raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("slice is 4 bytes")))
+                    .collect())
+            };
+            m.push(read_vec(&mut off)?);
+            v.push(read_vec(&mut off)?);
+        }
+        self.t = t;
+        self.m = m;
+        self.v = v;
+        Ok(())
+    }
 }
 
 /// Plain stochastic gradient descent, `p ← p − lr·g`.
@@ -206,6 +279,44 @@ mod tests {
         let g = p.grad().unwrap();
         let norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
         assert!((norm - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_identically() {
+        let p = quadratic_param(5.0);
+        let mut opt = Adam::new(vec![p.clone()], 0.2);
+        let mut state = Vec::new();
+        let mut mid = 0.0;
+        for i in 0..20 {
+            if i == 10 {
+                state = opt.export_state();
+                mid = p.at(0);
+            }
+            p.square().sum().backward();
+            opt.step();
+        }
+        let uninterrupted = p.at(0);
+
+        let p2 = quadratic_param(mid);
+        let mut o2 = Adam::new(vec![p2.clone()], 0.2);
+        o2.import_state(&state).expect("state roundtrips");
+        for _ in 10..20 {
+            p2.square().sum().backward();
+            o2.step();
+        }
+        assert_eq!(uninterrupted.to_bits(), p2.at(0).to_bits());
+    }
+
+    #[test]
+    fn adam_import_rejects_shape_mismatch() {
+        let p = quadratic_param(1.0);
+        let mut a = Adam::new(vec![p.clone()], 0.1);
+        let b = Adam::new(
+            vec![Tensor::from_vec(vec![0.0, 1.0], [2]).requires_grad()],
+            0.1,
+        );
+        assert!(a.import_state(&b.export_state()).is_err());
+        assert!(a.import_state(&[1, 2, 3]).is_err());
     }
 
     #[test]

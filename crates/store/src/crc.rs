@@ -1,0 +1,108 @@
+//! Hand-rolled CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) —
+//! the checksum guarding every chunk frame of the store format.
+//!
+//! Table-driven, built at compile time; no registry dependency and no
+//! hardware intrinsics, so the digest is identical on every platform.
+
+/// The reflected CRC32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table computed at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// An incremental CRC32 digest.
+///
+/// # Examples
+///
+/// ```
+/// use cascade_store::Crc32;
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.finish(), 0xCBF43926);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh digest.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The final checksum.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value_matches_standard() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finish(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let a = crc32(&[0x00, 0x01, 0x02, 0x03]);
+        let b = crc32(&[0x00, 0x01, 0x02, 0x83]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,151 @@
+//! Typed store errors: corruption is detected and reported, never a
+//! panic.
+
+use std::fmt;
+
+use cascade_tgraph::SourceError;
+
+/// Everything that can go wrong reading or writing a store file.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the `CEVT` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file's format version is not supported by this reader.
+    VersionSkew {
+        /// Version declared by the file.
+        found: u16,
+        /// Version this reader supports.
+        supported: u16,
+    },
+    /// A chunk frame's checksum does not match its contents.
+    CrcMismatch {
+        /// Index of the corrupt chunk.
+        chunk: usize,
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the frame.
+        computed: u32,
+    },
+    /// The file ends in the middle of a chunk frame (or before the
+    /// declared event count was reached).
+    TruncatedFrame {
+        /// Index of the incomplete chunk.
+        chunk: usize,
+    },
+    /// A frame header is internally inconsistent (implausible lengths,
+    /// out-of-order base, out-of-range node ids).
+    Corrupt {
+        /// Index of the offending chunk.
+        chunk: usize,
+        /// What was inconsistent.
+        message: String,
+    },
+}
+
+impl StoreError {
+    /// The chunk index the error is attributable to, when one is known.
+    pub fn chunk(&self) -> Option<usize> {
+        match self {
+            StoreError::CrcMismatch { chunk, .. }
+            | StoreError::TruncatedFrame { chunk }
+            | StoreError::Corrupt { chunk, .. } => Some(*chunk),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {}", e),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a cascade event store (magic {:02x?})", found)
+            }
+            StoreError::VersionSkew { found, supported } => write!(
+                f,
+                "store format version {} not supported (reader supports {})",
+                found, supported
+            ),
+            StoreError::CrcMismatch {
+                chunk,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "chunk {}: crc mismatch (stored {:08x}, computed {:08x})",
+                chunk, stored, computed
+            ),
+            StoreError::TruncatedFrame { chunk } => {
+                write!(f, "chunk {}: truncated frame", chunk)
+            }
+            StoreError::Corrupt { chunk, message } => {
+                write!(f, "chunk {}: corrupt frame: {}", chunk, message)
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for SourceError {
+    fn from(e: StoreError) -> Self {
+        SourceError {
+            chunk: e.chunk(),
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_attribution() {
+        assert_eq!(
+            StoreError::CrcMismatch {
+                chunk: 4,
+                stored: 1,
+                computed: 2
+            }
+            .chunk(),
+            Some(4)
+        );
+        assert_eq!(StoreError::TruncatedFrame { chunk: 7 }.chunk(), Some(7));
+        assert_eq!(StoreError::BadMagic { found: *b"nope" }.chunk(), None);
+    }
+
+    #[test]
+    fn converts_to_source_error_with_chunk() {
+        let s: SourceError = StoreError::TruncatedFrame { chunk: 2 }.into();
+        assert_eq!(s.chunk, Some(2));
+        assert!(s.message.contains("truncated"));
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = StoreError::VersionSkew {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Reading store files: frame-by-frame decode with CRC verification.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+use cascade_tgraph::{Dataset, Event, EventStream};
+
+use crate::crc::Crc32;
+use crate::error::StoreError;
+use crate::format::{FrameHeader, StoreMeta, EVENT_LEN, FRAME_HEADER_LEN, HEADER_LEN};
+
+/// One decoded chunk frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredChunk {
+    /// Chunk index in the file (0-based).
+    pub index: usize,
+    /// Global stream id of `events[0]`.
+    pub base: usize,
+    /// The chunk's events, in stream order.
+    pub events: Vec<Event>,
+    /// Row-major feature rows, `feature_dim` floats per event.
+    pub features: Vec<f32>,
+    /// Frame summary as stored on disk.
+    pub header: FrameHeader,
+}
+
+/// Sequential reader over a `CEVT` file.
+///
+/// Every frame is checksummed before it is yielded: a corrupt chunk
+/// surfaces as a typed [`StoreError`], and every chunk *before* the
+/// corruption has already been yielded intact.
+pub struct ChunkReader {
+    file: BufReader<File>,
+    meta: StoreMeta,
+    /// Frames yielded so far (index of the next frame).
+    next_index: usize,
+    /// Events yielded so far (expected `base` of the next frame).
+    events_seen: usize,
+}
+
+impl ChunkReader {
+    /// Opens `path` and validates the file header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be opened,
+    /// [`StoreError::TruncatedFrame`] when it is shorter than a header,
+    /// plus the header validation errors of [`StoreMeta::decode`].
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let mut file = BufReader::new(File::open(path)?);
+        let mut buf = [0u8; HEADER_LEN];
+        read_exact_or_truncated(&mut file, &mut buf, 0)?;
+        let meta = StoreMeta::decode(&buf)?;
+        Ok(ChunkReader {
+            file,
+            meta,
+            next_index: 0,
+            events_seen: 0,
+        })
+    }
+
+    /// The validated file header.
+    pub fn meta(&self) -> StoreMeta {
+        self.meta
+    }
+
+    /// Reads the next frame; `Ok(None)` at a clean end of file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::TruncatedFrame`] when the file ends mid-frame or
+    /// before the header's declared event count,
+    /// [`StoreError::Corrupt`] on an internally inconsistent frame
+    /// header, [`StoreError::CrcMismatch`] when the checksum fails, and
+    /// [`StoreError::Io`] on other read failures.
+    pub fn next_frame(&mut self) -> Result<Option<StoredChunk>, StoreError> {
+        let chunk = self.next_index;
+        let mut header_buf = [0u8; FRAME_HEADER_LEN];
+        // A clean EOF at a frame boundary ends the stream — but only if
+        // the declared event count has been reached.
+        let first = self.file.read(&mut header_buf)?;
+        if first == 0 {
+            if self.events_seen != self.meta.num_events {
+                return Err(StoreError::TruncatedFrame { chunk });
+            }
+            return Ok(None);
+        }
+        let mut got = first;
+        while got < FRAME_HEADER_LEN {
+            let n = self.file.read(&mut header_buf[got..])?;
+            if n == 0 {
+                return Err(StoreError::TruncatedFrame { chunk });
+            }
+            got += n;
+        }
+        let header = FrameHeader::decode(&header_buf);
+        // Sanity before trusting payload_len for an allocation.
+        if header.event_count == 0 || header.event_count > self.meta.chunk_size {
+            return Err(StoreError::Corrupt {
+                chunk,
+                message: format!(
+                    "frame declares {} events (chunk size {})",
+                    header.event_count, self.meta.chunk_size
+                ),
+            });
+        }
+        if header.payload_len != self.meta.expected_payload_len(header.event_count) {
+            return Err(StoreError::Corrupt {
+                chunk,
+                message: format!(
+                    "payload length {} inconsistent with {} events of dim {}",
+                    header.payload_len, header.event_count, self.meta.feature_dim
+                ),
+            });
+        }
+        if header.base != self.events_seen {
+            return Err(StoreError::Corrupt {
+                chunk,
+                message: format!(
+                    "frame base {} but {} events seen so far",
+                    header.base, self.events_seen
+                ),
+            });
+        }
+        let mut payload = vec![0u8; header.payload_len + 4];
+        read_exact_or_truncated(&mut self.file, &mut payload, chunk)?;
+        let stored = u32::from_le_bytes(
+            payload[header.payload_len..]
+                .try_into()
+                .expect("trailing crc is 4 bytes"),
+        );
+        let mut crc = Crc32::new();
+        crc.update(&header_buf);
+        crc.update(&payload[..header.payload_len]);
+        let computed = crc.finish();
+        if stored != computed {
+            return Err(StoreError::CrcMismatch {
+                chunk,
+                stored,
+                computed,
+            });
+        }
+        let (events, features) = decode_payload(
+            &payload[..header.payload_len],
+            header.event_count,
+            self.meta,
+            chunk,
+        )?;
+        self.next_index += 1;
+        self.events_seen += header.event_count;
+        Ok(Some(StoredChunk {
+            index: chunk,
+            base: header.base,
+            events,
+            features,
+            header,
+        }))
+    }
+}
+
+fn read_exact_or_truncated(
+    file: &mut BufReader<File>,
+    buf: &mut [u8],
+    chunk: usize,
+) -> Result<(), StoreError> {
+    let mut got = 0;
+    while got < buf.len() {
+        let n = file.read(&mut buf[got..])?;
+        if n == 0 {
+            return Err(StoreError::TruncatedFrame { chunk });
+        }
+        got += n;
+    }
+    Ok(())
+}
+
+fn decode_payload(
+    payload: &[u8],
+    count: usize,
+    meta: StoreMeta,
+    chunk: usize,
+) -> Result<(Vec<Event>, Vec<f32>), StoreError> {
+    let mut events = Vec::with_capacity(count);
+    for i in 0..count {
+        let off = i * EVENT_LEN;
+        let src = u32::from_le_bytes(payload[off..off + 4].try_into().expect("slice is 4 bytes"));
+        let dst = u32::from_le_bytes(
+            payload[off + 4..off + 8]
+                .try_into()
+                .expect("slice is 4 bytes"),
+        );
+        let time = f64::from_le_bytes(
+            payload[off + 8..off + 16]
+                .try_into()
+                .expect("slice is 8 bytes"),
+        );
+        if src as usize >= meta.num_nodes || dst as usize >= meta.num_nodes {
+            return Err(StoreError::Corrupt {
+                chunk,
+                message: format!(
+                    "event {} references node {} outside declared range {}",
+                    i,
+                    src.max(dst),
+                    meta.num_nodes
+                ),
+            });
+        }
+        events.push(Event::new(src, dst, time));
+    }
+    let mut features = Vec::with_capacity(count * meta.feature_dim);
+    let feat_base = count * EVENT_LEN;
+    for i in 0..count * meta.feature_dim {
+        let off = feat_base + i * 4;
+        features.push(f32::from_le_bytes(
+            payload[off..off + 4].try_into().expect("slice is 4 bytes"),
+        ));
+    }
+    Ok((events, features))
+}
+
+/// Reads an entire store file back into an in-memory [`Dataset`].
+///
+/// # Errors
+///
+/// Propagates any [`StoreError`] raised while streaming the frames, and
+/// reports event-order violations as [`StoreError::Corrupt`].
+pub fn import_dataset(path: &Path, name: &str) -> Result<Dataset, StoreError> {
+    let mut reader = ChunkReader::open(path)?;
+    let meta = reader.meta();
+    let mut events = Vec::with_capacity(meta.num_events);
+    let mut features = Vec::with_capacity(meta.num_events * meta.feature_dim);
+    while let Some(chunk) = reader.next_frame()? {
+        events.extend_from_slice(&chunk.events);
+        features.extend_from_slice(&chunk.features);
+    }
+    let stream = EventStream::new(events).map_err(|e| StoreError::Corrupt {
+        chunk: 0,
+        message: format!("stored events are not a valid stream: {}", e),
+    })?;
+    let feats = if meta.feature_dim == 0 {
+        cascade_tgraph::EdgeFeatures::none()
+    } else {
+        cascade_tgraph::EdgeFeatures::new(features, meta.feature_dim)
+    };
+    Ok(Dataset::new(name, stream, feats))
+}

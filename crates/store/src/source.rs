@@ -1,0 +1,168 @@
+//! Out-of-core event sources: a prefetch thread reads chunk frames ahead
+//! of training, bounded by a small read-ahead window.
+
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::thread::JoinHandle;
+
+use cascade_tgraph::{EventChunk, EventSource, SourceError};
+
+use crate::error::StoreError;
+use crate::format::StoreMeta;
+use crate::reader::{ChunkReader, StoredChunk};
+
+/// An [`EventSource`] that streams a `CEVT` file chunk by chunk.
+///
+/// A dedicated prefetch thread reads and checksums frames, keeping up to
+/// `read_ahead` decoded chunks buffered in a bounded channel. Disk I/O
+/// and CRC work therefore overlap with whatever the consumer does with
+/// the previous chunk (table building, training) — the overlap the
+/// `store_io` bench quantifies. At most `read_ahead + 1` chunks are ever
+/// resident, which is what makes training out-of-core.
+pub struct StreamingEventSource {
+    path: PathBuf,
+    meta: StoreMeta,
+    name: String,
+    read_ahead: usize,
+    rx: Option<Receiver<Result<StoredChunk, StoreError>>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl StreamingEventSource {
+    /// Opens `path`, validates its header, and starts the prefetch
+    /// thread with a buffer of `read_ahead` chunks (clamped to at least
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates header validation failures from [`ChunkReader::open`].
+    pub fn open(path: &Path, read_ahead: usize) -> Result<Self, StoreError> {
+        // Validate the header on the caller's thread so open errors are
+        // immediate and typed.
+        let reader = ChunkReader::open(path)?;
+        let meta = reader.meta();
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "store".to_string());
+        let mut source = StreamingEventSource {
+            path: path.to_path_buf(),
+            meta,
+            name,
+            read_ahead: read_ahead.max(1),
+            rx: None,
+            worker: None,
+        };
+        source.spawn_worker();
+        Ok(source)
+    }
+
+    /// The store file's validated header.
+    pub fn meta(&self) -> StoreMeta {
+        self.meta
+    }
+
+    fn spawn_worker(&mut self) {
+        let (tx, rx) = sync_channel::<Result<StoredChunk, StoreError>>(self.read_ahead);
+        let path = self.path.clone();
+        let builder = std::thread::Builder::new().name("store-prefetch".to_string());
+        let handle = builder
+            .spawn(move || {
+                let mut reader = match ChunkReader::open(&path) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                };
+                loop {
+                    match reader.next_frame() {
+                        Ok(Some(chunk)) => {
+                            // A send error means the consumer dropped the
+                            // receiver (reset or drop): stop reading.
+                            if tx.send(Ok(chunk)).is_err() {
+                                return;
+                            }
+                        }
+                        // Clean end of stream: channel disconnect is the
+                        // end-of-stream signal.
+                        Ok(None) => return,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawning the prefetch thread cannot fail under normal limits");
+        self.rx = Some(rx);
+        self.worker = Some(handle);
+    }
+
+    fn shutdown(&mut self) {
+        // Dropping the receiver unblocks a worker parked on send(); then
+        // the thread exits and can be joined.
+        self.rx = None;
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl EventSource for StreamingEventSource {
+    fn num_nodes(&self) -> usize {
+        self.meta.num_nodes
+    }
+
+    fn num_events(&self) -> usize {
+        self.meta.num_events
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.meta.feature_dim
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.meta.chunk_size
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<EventChunk>, SourceError> {
+        let Some(rx) = self.rx.as_ref() else {
+            return Ok(None);
+        };
+        match rx.recv() {
+            Ok(Ok(chunk)) => Ok(Some(EventChunk {
+                index: chunk.index,
+                base: chunk.base,
+                events: chunk.events,
+                features: chunk.features,
+            })),
+            Ok(Err(e)) => {
+                let err: SourceError = e.into();
+                self.shutdown();
+                Err(err)
+            }
+            // Disconnected: the worker hit a clean end of stream.
+            Err(_) => {
+                self.shutdown();
+                Ok(None)
+            }
+        }
+    }
+
+    fn reset(&mut self) -> Result<(), SourceError> {
+        self.shutdown();
+        self.spawn_worker();
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl Drop for StreamingEventSource {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

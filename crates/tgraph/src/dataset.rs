@@ -69,6 +69,26 @@ impl EdgeFeatures {
     pub fn size_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
     }
+
+    /// Appends whole feature rows (streaming ingest). For `dim = 0`
+    /// matrices only an empty slice is accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of `dim`.
+    pub fn push_rows(&mut self, rows: &[f32]) {
+        if self.dim == 0 {
+            assert!(rows.is_empty(), "dim 0 features accept no rows");
+            return;
+        }
+        assert_eq!(rows.len() % self.dim, 0, "row data not a multiple of dim");
+        self.data.extend_from_slice(rows);
+    }
+
+    /// Drops all rows, keeping the width (start of a streaming epoch).
+    pub fn clear_rows(&mut self) {
+        self.data.clear();
+    }
 }
 
 /// A named continuous-time dynamic graph dataset with chronological

@@ -24,6 +24,7 @@
 mod dataset;
 mod event;
 mod sampler;
+mod source;
 mod stats;
 mod synth;
 
@@ -34,5 +35,6 @@ pub use event::{Event, EventId, EventStream, NodeId, OrderError, StreamDecodeErr
 // users.
 pub use cascade_util::DetRng;
 pub use sampler::{AdjacencyStore, NegativeSampler, NeighborRef};
+pub use source::{EventChunk, EventSource, InMemorySource, SourceError};
 pub use stats::{batch_degree_histogram, max_batch_degree, DatasetStats, TemporalStats};
 pub use synth::SynthConfig;

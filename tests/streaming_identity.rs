@@ -1,0 +1,232 @@
+//! Out-of-core acceptance: training from a `cascade-store` file through
+//! the streaming driver must be **bit-identical** — gradient effects
+//! (post-step parameters), node memories, and losses — to in-memory
+//! training over the same events with the same chunk geometry, and a
+//! run suspended mid-epoch and resumed from its checkpoint must match
+//! the uninterrupted run bit for bit.
+
+use cascade_core::{
+    train, train_streaming, train_streaming_with_options, BatchingStrategy, CascadeConfig,
+    CascadeScheduler, FixedBatching, StreamCheckpoint, StreamOptions, StreamOutcome, TrainConfig,
+    TrainReport,
+};
+use cascade_models::{MemoryTgnn, ModelConfig};
+use cascade_store::{export_dataset, StreamingEventSource};
+use cascade_tgraph::{Dataset, SynthConfig};
+
+const CHUNK: usize = 128;
+const MODEL_SEED: u64 = 17;
+
+fn dataset() -> Dataset {
+    SynthConfig::wiki().with_scale(0.004).generate(23)
+}
+
+fn model(data: &Dataset) -> MemoryTgnn {
+    MemoryTgnn::new(
+        ModelConfig::tgn().with_dims(8, 4).with_neighbors(3),
+        data.num_nodes(),
+        data.features().dim(),
+        MODEL_SEED,
+    )
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        eval_batch_size: 64,
+        scale_lr_with_batch: true,
+        ..TrainConfig::default()
+    }
+}
+
+fn cascade_strategy() -> CascadeScheduler {
+    CascadeScheduler::new(CascadeConfig {
+        preset_batch_size: 64,
+        chunk_size: Some(CHUNK),
+        ..CascadeConfig::default()
+    })
+}
+
+fn store_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cascade-ident-{}-{}.evt", tag, std::process::id()))
+}
+
+/// Asserts every result field that must be bit-equal between two runs.
+fn assert_bit_identical(a: &TrainReport, b: &TrainReport, what: &str) {
+    assert_eq!(a.batch_sizes, b.batch_sizes, "{what}: batch boundaries");
+    let a_bits: Vec<u32> = a.batch_losses.iter().map(|x| x.to_bits()).collect();
+    let b_bits: Vec<u32> = b.batch_losses.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(a_bits, b_bits, "{what}: batch losses");
+    let a_ep: Vec<u32> = a.epoch_losses.iter().map(|x| x.to_bits()).collect();
+    let b_ep: Vec<u32> = b.epoch_losses.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(a_ep, b_ep, "{what}: epoch losses");
+    assert_eq!(
+        a.val_loss.to_bits(),
+        b.val_loss.to_bits(),
+        "{what}: validation loss"
+    );
+    assert_eq!(
+        a.val_ap.to_bits(),
+        b.val_ap.to_bits(),
+        "{what}: validation AP"
+    );
+}
+
+fn run_streaming(
+    data: &Dataset,
+    path: &std::path::Path,
+    strategy: &mut dyn BatchingStrategy,
+) -> (TrainReport, Vec<u8>) {
+    let mut m = model(data);
+    let mut source = StreamingEventSource::open(path, 2).expect("store opens");
+    let report = train_streaming(&mut m, &mut source, strategy, &cfg()).expect("streams cleanly");
+    (report, m.export_state())
+}
+
+#[test]
+fn streaming_cascade_is_bit_identical_to_in_memory() {
+    let data = dataset();
+    let path = store_path("cascade");
+    export_dataset(&data, &path, CHUNK).expect("export succeeds");
+
+    let mut m_mem = model(&data);
+    let mut s_mem = cascade_strategy();
+    let mem = train(&mut m_mem, &data, &mut s_mem, &cfg());
+
+    let mut s_str = cascade_strategy();
+    let (stream, state) = run_streaming(&data, &path, &mut s_str);
+    std::fs::remove_file(&path).ok();
+
+    assert_bit_identical(&mem, &stream, "cascade streaming vs in-memory");
+    // Post-step parameters, node memories, and mailboxes, bit for bit.
+    assert_eq!(
+        m_mem.export_state(),
+        state,
+        "cascade: model state diverged between streaming and in-memory"
+    );
+    // Out-of-core resident events must be a strict subset of the stream.
+    assert!(
+        stream.space.graph < mem.space.graph,
+        "streaming window ({}) not smaller than full stream ({})",
+        stream.space.graph,
+        mem.space.graph
+    );
+}
+
+#[test]
+fn streaming_fixed_batching_handles_chunk_straddle() {
+    let data = dataset();
+    let path = store_path("fixed");
+    export_dataset(&data, &path, CHUNK).expect("export succeeds");
+
+    // 48 does not divide 128, so batches straddle chunk boundaries and
+    // the rolling window must retain straddled prefixes.
+    let mut m_mem = model(&data);
+    let mut s_mem = FixedBatching::new(48);
+    let mem = train(&mut m_mem, &data, &mut s_mem, &cfg());
+
+    let mut s_str = FixedBatching::new(48);
+    let (stream, state) = run_streaming(&data, &path, &mut s_str);
+    std::fs::remove_file(&path).ok();
+
+    assert_bit_identical(&mem, &stream, "fixed streaming vs in-memory");
+    assert_eq!(m_mem.export_state(), state, "fixed: model state diverged");
+}
+
+fn resume_roundtrip(
+    data: &Dataset,
+    path: &std::path::Path,
+    make_strategy: &dyn Fn() -> Box<dyn BatchingStrategy>,
+    suspend_at: (usize, usize),
+    what: &str,
+) {
+    let mut s_full = make_strategy();
+    let (full, full_state) = run_streaming(data, path, s_full.as_mut());
+
+    // First leg: train until the suspension point, get a checkpoint.
+    let mut m1 = model(data);
+    let mut src1 = StreamingEventSource::open(path, 2).expect("store opens");
+    let mut s1 = make_strategy();
+    let outcome = train_streaming_with_options(
+        &mut m1,
+        &mut src1,
+        s1.as_mut(),
+        &cfg(),
+        StreamOptions {
+            suspend_after: Some(suspend_at),
+            resume_from: None,
+        },
+    )
+    .expect("first leg streams cleanly");
+    let StreamOutcome::Suspended(ck) = outcome else {
+        panic!("{what}: run completed without suspending");
+    };
+    assert_eq!((ck.epoch, ck.chunk), suspend_at);
+
+    // The checkpoint survives serialization (what a file would hold).
+    let restored =
+        StreamCheckpoint::from_bytes(&ck.to_bytes()).expect("checkpoint bytes roundtrip");
+    assert_eq!(restored, *ck);
+
+    // Second leg: fresh model (same constructor seed — the negative
+    // sampler key is configuration), fresh strategy, fresh source.
+    let mut m2 = model(data);
+    let mut src2 = StreamingEventSource::open(path, 2).expect("store reopens");
+    let mut s2 = make_strategy();
+    let outcome = train_streaming_with_options(
+        &mut m2,
+        &mut src2,
+        s2.as_mut(),
+        &cfg(),
+        StreamOptions {
+            suspend_after: None,
+            resume_from: Some(restored),
+        },
+    )
+    .expect("resumed leg streams cleanly");
+    let StreamOutcome::Completed(resumed) = outcome else {
+        panic!("{what}: resumed run suspended again");
+    };
+
+    assert_bit_identical(&full, &resumed, what);
+    assert_eq!(
+        full_state,
+        m2.export_state(),
+        "{what}: model state diverged after resume"
+    );
+}
+
+#[test]
+fn mid_epoch_resume_matches_uninterrupted_cascade() {
+    let data = dataset();
+    let path = store_path("resume-cascade");
+    export_dataset(&data, &path, CHUNK).expect("export succeeds");
+    // Suspend in the second epoch at chunk 1: the restored scheduler
+    // must carry Max_r, ABS convergence state, and stable flags over.
+    resume_roundtrip(
+        &data,
+        &path,
+        &|| Box::new(cascade_strategy()),
+        (1, 1),
+        "cascade resume",
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mid_epoch_resume_matches_uninterrupted_fixed_straddle() {
+    let data = dataset();
+    let path = store_path("resume-fixed");
+    export_dataset(&data, &path, CHUNK).expect("export succeeds");
+    // Batch size 48 straddles the 128-event chunk boundary, so the
+    // checkpoint's start_event lies inside chunk 1 and resume must
+    // replay the processed prefix of that chunk.
+    resume_roundtrip(
+        &data,
+        &path,
+        &|| Box::new(FixedBatching::new(48)),
+        (1, 1),
+        "fixed straddle resume",
+    );
+    std::fs::remove_file(&path).ok();
+}
