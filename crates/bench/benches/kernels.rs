@@ -11,6 +11,7 @@ use std::hint::black_box;
 
 use cascade_core::{max_endurance_profiling, DependencyTable, SgFilter, TgDiffuser};
 use cascade_models::MemoryDelta;
+use cascade_nn::{GatLayer, GruCell, TimeEncode};
 use cascade_tensor::Tensor;
 use cascade_tgraph::{AdjacencyStore, NodeId, SynthConfig};
 use cascade_util::BenchSuite;
@@ -23,6 +24,54 @@ fn bench_tensor_matmul(suite: &mut BenchSuite) {
         let w = Tensor::randn([64, 64], 2);
         suite.bench(&format!("tensor_matmul/{}", b), || black_box(x.matmul(&w)));
     }
+}
+
+fn bench_fused_layers(suite: &mut BenchSuite) {
+    // The fused TGNN layer kernels, forward + backward at a TGN-typical
+    // batch and hidden width. Each closure builds the layer's graph node
+    // and runs its backward pass — the per-batch unit of work the arena
+    // and the fused closures optimize.
+    let b = 256;
+
+    let gru = GruCell::new(32, 32, 5);
+    let gx = Tensor::randn([b, 32], 11);
+    let gh = Tensor::randn([b, 32], 12).requires_grad();
+    suite.bench("gru_cell/fwd_bwd_256x32", || {
+        let out = gru.forward(&gx, &gh);
+        out.sum().backward();
+        gh.zero_grad();
+        for p in cascade_nn::Module::parameters(&gru) {
+            p.zero_grad();
+        }
+        black_box(out.len())
+    });
+
+    let enc = TimeEncode::new(32);
+    let dts = Tensor::randn([b, 1], 13);
+    suite.bench("time_encode/fwd_bwd_256x32", || {
+        let out = enc.forward(&dts);
+        out.sum().backward();
+        for p in cascade_nn::Module::parameters(&enc) {
+            p.zero_grad();
+        }
+        black_box(out.len())
+    });
+
+    let k = 8;
+    let gat = GatLayer::new(32, 32, 6);
+    let center = Tensor::randn([b, 32], 14);
+    let neighbors = Tensor::randn([b * k, 32], 15);
+    let mask: Vec<f32> = (0..b * k)
+        .map(|i| if i % 5 == 0 { 0.0 } else { 1.0 })
+        .collect();
+    suite.bench("gat_attention/fwd_bwd_256x32k8", || {
+        let out = gat.forward(&center, &neighbors, &mask, k);
+        out.sum().backward();
+        for p in cascade_nn::Module::parameters(&gat) {
+            p.zero_grad();
+        }
+        black_box(out.len())
+    });
 }
 
 fn bench_dependency_table(suite: &mut BenchSuite) {
@@ -118,6 +167,7 @@ fn bench_endurance_profiling(suite: &mut BenchSuite) {
 fn main() {
     let mut suite = BenchSuite::new("kernels");
     bench_tensor_matmul(&mut suite);
+    bench_fused_layers(&mut suite);
     bench_dependency_table(&mut suite);
     bench_diffuser_lookup(&mut suite);
     bench_sgfilter_kernel(&mut suite);

@@ -19,6 +19,13 @@ const BATCH: usize = 256;
 const BATCHES: usize = 5;
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// Median serial (`threads1`) time from the committed PR 4 baseline run of
+/// this bench (`bench_results/parallel_compute.json`). The speedup curve
+/// normalizes by the *current* serial median, so it silently forgives
+/// serial regressions; the `serial_baseline` report entry pins this
+/// constant next to the fresh measurement to make serial drift visible.
+const SERIAL_BASELINE_NS: f64 = 67_932_589.0;
+
 fn bench_data() -> Dataset {
     SynthConfig::wiki()
         .with_scale(0.02)
@@ -107,6 +114,14 @@ fn main() {
         if let Json::Obj(fields) = &mut report {
             fields.push(("host_parallelism".into(), Json::from(cores)));
             fields.push(("speedup".into(), Json::Arr(curve)));
+            fields.push((
+                "serial_baseline".into(),
+                Json::Obj(vec![
+                    ("baseline_ns".into(), Json::from(SERIAL_BASELINE_NS)),
+                    ("current_ns".into(), Json::from(base)),
+                    ("drift".into(), Json::from(base / SERIAL_BASELINE_NS)),
+                ]),
+            ));
         }
         std::fs::write(&path, report.to_string())
             .unwrap_or_else(|e| panic!("cannot write {}: {}", path.display(), e));
@@ -117,6 +132,13 @@ fn main() {
                 base / ns
             );
         }
+        eprintln!(
+            "[bench parallel_compute] serial drift: {:.3}x vs committed baseline \
+             ({:.1} ms now, {:.1} ms at baseline)",
+            base / SERIAL_BASELINE_NS,
+            base / 1e6,
+            SERIAL_BASELINE_NS / 1e6
+        );
         if cores < 2 {
             eprintln!(
                 "[bench parallel_compute] host grants {} core(s); \

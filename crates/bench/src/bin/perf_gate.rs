@@ -1,0 +1,181 @@
+//! Tolerance-gated performance check for CI.
+//!
+//! Reads a committed baseline file (`perf_baseline.json` at the repo
+//! root, next to `lint_baseline.json`) listing bench entry ids, the
+//! report file each lives in, and the median that was measured when the
+//! baseline was recorded. Then re-reads the freshly generated
+//! `bench_results/*.json` reports and fails (exit 1) if any gated
+//! median regressed beyond the allowed tolerance.
+//!
+//! The default tolerance is 15% (`1.15x` the baseline median), per
+//! entry-overridable in the baseline file and globally overridable with
+//! `--tolerance` — CI smoke runs use tiny iteration budgets on shared
+//! runners, so a generous margin keeps the gate about real regressions
+//! (like the serial-path substrate tax this gate was introduced to
+//! catch), not scheduler noise.
+//!
+//! Usage:
+//!   perf_gate --baseline perf_baseline.json [--tolerance 0.15]
+//!
+//! Regenerate the baseline after an intentional perf change with
+//! `--write-baseline` (run `cargo bench` first so the reports are
+//! fresh), and review the diff like any other checked-in artifact.
+
+use std::process::ExitCode;
+
+use cascade_util::Json;
+
+struct Entry {
+    file: String,
+    id: String,
+    median_ns: f64,
+    tolerance: Option<f64>,
+}
+
+fn median_from_report(path: &str, id: &str) -> Result<f64, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {}", path, e))?;
+    let report = Json::parse(&raw).map_err(|e| format!("{} is not valid JSON: {:?}", path, e))?;
+    let results = report
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{} has no results array", path))?;
+    for entry in results {
+        if entry.get("id").and_then(Json::as_str) == Some(id) {
+            return entry
+                .get("median_ns")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{}: entry {} has no median_ns", path, id));
+        }
+    }
+    Err(format!("{} has no entry with id {:?}", path, id))
+}
+
+fn parse_baseline(raw: &str) -> Result<(f64, Vec<Entry>), String> {
+    let json = Json::parse(raw).map_err(|e| format!("baseline is not valid JSON: {:?}", e))?;
+    let tolerance = json.get("tolerance").and_then(Json::as_f64).unwrap_or(0.15);
+    let mut entries = Vec::new();
+    for e in json
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no entries array")?
+    {
+        entries.push(Entry {
+            file: e
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or("baseline entry missing file")?
+                .to_string(),
+            id: e
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("baseline entry missing id")?
+                .to_string(),
+            median_ns: e
+                .get("median_ns")
+                .and_then(Json::as_f64)
+                .ok_or("baseline entry missing median_ns")?,
+            tolerance: e.get("tolerance").and_then(Json::as_f64),
+        });
+    }
+    Ok((tolerance, entries))
+}
+
+fn write_baseline(path: &str, tolerance: f64, entries: &[Entry]) -> Result<(), String> {
+    let mut rows = Vec::new();
+    for e in entries {
+        let fresh = median_from_report(&e.file, &e.id)?;
+        let mut obj = vec![
+            ("file".to_string(), Json::from(e.file.as_str())),
+            ("id".to_string(), Json::from(e.id.as_str())),
+            ("median_ns".to_string(), Json::from(fresh)),
+        ];
+        if let Some(t) = e.tolerance {
+            obj.push(("tolerance".to_string(), Json::from(t)));
+        }
+        rows.push(Json::Obj(obj));
+    }
+    let report = Json::Obj(vec![
+        ("tolerance".to_string(), Json::from(tolerance)),
+        ("entries".to_string(), Json::Arr(rows)),
+    ]);
+    std::fs::write(path, report.to_string()).map_err(|e| format!("cannot write {}: {}", path, e))
+}
+
+fn run() -> Result<bool, String> {
+    let mut baseline_path = "perf_baseline.json".to_string();
+    let mut tolerance_override: Option<f64> = None;
+    let mut write = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline_path = args.next().ok_or("--baseline needs a path")?;
+            }
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                tolerance_override = Some(v.parse().map_err(|_| format!("bad tolerance {:?}", v))?);
+            }
+            "--write-baseline" => write = true,
+            other => return Err(format!("unknown argument {:?}", other)),
+        }
+    }
+
+    let raw = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("cannot read {}: {}", baseline_path, e))?;
+    let (default_tol, entries) = parse_baseline(&raw)?;
+    let default_tol = tolerance_override.unwrap_or(default_tol);
+
+    if write {
+        write_baseline(&baseline_path, default_tol, &entries)?;
+        eprintln!(
+            "[perf_gate] rewrote {} from fresh bench reports",
+            baseline_path
+        );
+        return Ok(true);
+    }
+
+    let mut ok = true;
+    for e in &entries {
+        let fresh = median_from_report(&e.file, &e.id)?;
+        let tol = tolerance_override.unwrap_or(e.tolerance.unwrap_or(default_tol));
+        let limit = e.median_ns * (1.0 + tol);
+        let ratio = fresh / e.median_ns;
+        if fresh > limit {
+            ok = false;
+            eprintln!(
+                "[perf_gate] FAIL {}: median {:.0} ns is {:.2}x baseline {:.0} ns \
+                 (allowed {:.2}x)",
+                e.id,
+                fresh,
+                ratio,
+                e.median_ns,
+                1.0 + tol
+            );
+        } else {
+            eprintln!(
+                "[perf_gate] ok   {}: median {:.0} ns is {:.2}x baseline {:.0} ns \
+                 (allowed {:.2}x)",
+                e.id,
+                fresh,
+                ratio,
+                e.median_ns,
+                1.0 + tol
+            );
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("[perf_gate] performance regression detected; see failures above");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("[perf_gate] error: {}", msg);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -645,6 +645,9 @@ pub fn train_streaming_with_provider(
             stages.update.record(update_elapsed);
             model_time += compute_elapsed + update_elapsed;
 
+            // Batch boundary: trim the arena to its steady-state set.
+            cascade_tensor::arena::reset();
+
             strategy.after_batch(batch_idx, loss);
             strategy.observe_updates(&deltas);
 

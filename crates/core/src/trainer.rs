@@ -215,6 +215,10 @@ pub fn train_with_observer(
             stages.update.record(update_elapsed);
             model_time += compute_elapsed + update_elapsed;
 
+            // Batch boundary: the graph is dropped and its buffers are back
+            // in the arena; trim the pool to its steady-state working set.
+            cascade_tensor::arena::reset();
+
             strategy.after_batch(batch_idx, loss);
             strategy.observe_updates(&deltas);
             observer(epoch, &deltas);

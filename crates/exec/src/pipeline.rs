@@ -424,6 +424,10 @@ pub fn train_pipelined(
             };
             stage_c.record(t2.elapsed());
 
+            // Batch boundary: the batch's graph is gone; trim the arena
+            // back to its steady-state working set.
+            cascade_tensor::arena::reset();
+
             let size = plan.end - plan.start;
             batch_sizes.push(size as u32);
             batch_losses.push(loss);

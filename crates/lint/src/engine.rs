@@ -118,6 +118,15 @@ pub fn check_source(path: &str, source: &str) -> FileReport {
     }
     guard_across_channel(&code, &mut raw);
 
+    // ---- Arena lifecycle ----
+    // `arena::reset()` (or `cascade_tensor::arena::reset()`) outside the
+    // designated batch-loop modules.
+    for (i, t) in code.iter().enumerate() {
+        if t.is_ident("arena") && is_path_call(&code, i, "reset") {
+            raw.push((force("arena-reset-confined"), t.line, t.col));
+        }
+    }
+
     // ---- I/O confinement ----
     // Flags `fs` as a path segment (`std::fs::…`, `use std::fs`,
     // `fs::File`); a plain identifier named `fs` with no `::` on either

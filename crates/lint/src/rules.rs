@@ -76,6 +76,16 @@ const IO_MODULES: &[&str] = &[
 /// reading clocks; its outputs land in reports, never in schedules.
 const TELEMETRY: &[&str] = &["crates/core/src/instrument.rs"];
 
+/// Modules allowed to call `arena::reset()`: the batch-loop drivers
+/// (trainer, streaming driver, pipelined executor) and the arena
+/// implementation itself.
+const ARENA_RESET_SITES: &[&str] = &[
+    "crates/core/src/trainer.rs",
+    "crates/core/src/streaming.rs",
+    "crates/exec/src/pipeline.rs",
+    "crates/tensor/src/arena.rs",
+];
+
 /// All rules, in reporting order.
 pub const RULES: &[RuleSpec] = &[
     RuleSpec {
@@ -163,6 +173,16 @@ pub const RULES: &[RuleSpec] = &[
         applies_to_tests: true,
         why: "static mut is unsynchronized shared state (and unsafe to touch); use \
               atomics or pass state explicitly.",
+    },
+    RuleSpec {
+        id: "arena-reset-confined",
+        scopes: DETERMINISM_SCOPE,
+        allowed_paths: ARENA_RESET_SITES,
+        applies_to_tests: false,
+        why: "arena::reset() trims the thread-local tensor buffer pool and is only \
+              safe at a batch boundary, after the previous batch's graph has been \
+              dropped; mid-batch calls silently degrade recycling. Call sites are \
+              confined to the trainer/executor batch loops.",
     },
     RuleSpec {
         id: "io-fs-confined",

@@ -1,0 +1,9 @@
+//@ path: crates/nn/src/attention.rs
+//@ expect: arena-reset-confined
+// A layer resetting the arena mid-forward would trim the pool while the
+// current batch's graph still owns recycled buffers.
+use cascade_tensor::arena;
+
+pub fn forward_and_trim() {
+    arena::reset();
+}

@@ -1,0 +1,6 @@
+//@ path: crates/core/src/trainer.rs
+// The trainer's batch loop is a designated reset site: the previous
+// batch's graph has been dropped before the boundary trim runs.
+pub fn after_batch() {
+    cascade_tensor::arena::reset();
+}

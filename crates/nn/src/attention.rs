@@ -83,7 +83,8 @@ impl GatLayer {
         assert_eq!(mask.len(), b * k, "GatLayer mask length mismatch");
 
         let wh_c = center.matmul(&self.weight); // [B, out]
-        let e_self = wh_c.matmul(&self.attn_src).mul_scalar(2.0).leaky_relu(0.2); // [B,1]
+        let e0 = wh_c.matmul(&self.attn_src); // [B, 1], shared by e_self and e_src
+        let e_self = e0.mul_scalar(2.0).leaky_relu(0.2); // [B, 1]
 
         if k == 0 {
             // No neighborhood: attention collapses onto the self-loop.
@@ -91,24 +92,13 @@ impl GatLayer {
         }
 
         let wh_n = neighbors.matmul(&self.weight); // [B*K, out]
-        let e_src = wh_c.matmul(&self.attn_src); // [B, 1]
-        let e_dst = wh_n.matmul(&self.attn_dst).reshape([b, k]); // [B, K]
-        let e_neigh = e_src.add(&e_dst).leaky_relu(0.2); // [B, K]
+        let e_dst = wh_n.matmul(&self.attn_dst); // [B*K, 1]
 
-        // Mask invalid slots to -1e9 before softmax.
-        let mask_t = Tensor::from_vec(mask.to_vec(), [b, k]);
-        let neg_inf = mask_t.sub_scalar(1.0).mul_scalar(1e9); // 0 valid, -1e9 invalid
-        let e_neigh = e_neigh.mul(&mask_t).add(&neg_inf);
-
-        let e_all = Tensor::concat_cols(&[&e_self, &e_neigh]); // [B, K+1]
+        // Score assembly (leaky-ReLU, mask to -1e9, self-loop in column 0)
+        // and the attention-weighted combine run as fused kernels.
+        let e_all = Tensor::attn_scores_fused(&e_self, &e0, &e_dst, mask, k); // [B, K+1]
         let alpha = e_all.softmax(); // [B, K+1]
-
-        let alpha_self = alpha.slice_cols(0, 1); // [B, 1]
-        let alpha_n = alpha.slice_cols(1, k + 1).reshape([b * k, 1]); // [B*K, 1]
-
-        let self_part = wh_c.mul(&alpha_self); // [B, out]
-        let neigh_part = wh_n.mul(&alpha_n).reshape([b, k, self.out_dim]).sum_axis(1); // [B, out]
-        self_part.add(&neigh_part).relu()
+        Tensor::attn_combine_fused(&wh_c, &wh_n, &alpha, k)
     }
 
     /// Output width.

@@ -61,21 +61,28 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, p) in self.params.iter().enumerate() {
-            let Some(grad) = p.grad() else { continue };
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
-            p.update_data(|data| {
-                for j in 0..data.len() {
-                    let g = grad[j];
-                    m[j] = b1 * m[j] + (1.0 - b1) * g;
-                    v[j] = b2 * v[j] + (1.0 - b2) * g * g;
-                    let m_hat = m[j] / bc1;
-                    let v_hat = v[j] / bc2;
-                    data[j] -= lr * m_hat / (v_hat.sqrt() + eps);
-                }
-            });
-            p.zero_grad();
+            // Borrow the gradient in place rather than copying it out; the
+            // data write happens under the (separate) storage lock.
+            let stepped = p
+                .with_grad(|grad| {
+                    p.update_data(|data| {
+                        for j in 0..data.len() {
+                            let g = grad[j];
+                            m[j] = b1 * m[j] + (1.0 - b1) * g;
+                            v[j] = b2 * v[j] + (1.0 - b2) * g * g;
+                            let m_hat = m[j] / bc1;
+                            let v_hat = v[j] / bc2;
+                            data[j] -= lr * m_hat / (v_hat.sqrt() + eps);
+                        }
+                    });
+                })
+                .is_some();
+            if stepped {
+                p.zero_grad();
+            }
         }
     }
 
@@ -186,14 +193,19 @@ impl Sgd {
     /// Applies one descent step and clears gradients.
     pub fn step(&mut self) {
         for p in &self.params {
-            let Some(grad) = p.grad() else { continue };
             let lr = self.lr;
-            p.update_data(|data| {
-                for (d, g) in data.iter_mut().zip(grad.iter()) {
-                    *d -= lr * g;
-                }
-            });
-            p.zero_grad();
+            let stepped = p
+                .with_grad(|grad| {
+                    p.update_data(|data| {
+                        for (d, g) in data.iter_mut().zip(grad.iter()) {
+                            *d -= lr * g;
+                        }
+                    });
+                })
+                .is_some();
+            if stepped {
+                p.zero_grad();
+            }
         }
     }
 }
@@ -203,20 +215,15 @@ impl Sgd {
 pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
     let mut total = 0.0f64;
     for p in params {
-        if let Some(g) = p.grad() {
-            total += g.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
-        }
+        total += p
+            .with_grad(|g| g.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>())
+            .unwrap_or(0.0);
     }
     let norm = total.sqrt() as f32;
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
-            if let Some(mut g) = p.grad() {
-                for x in &mut g {
-                    *x *= scale;
-                }
-                p.set_grad(&g);
-            }
+            p.scale_grad(scale);
         }
     }
     norm

@@ -78,23 +78,14 @@ impl GruCell {
             "GruCell hidden width mismatch"
         );
         assert_eq!(x.dims()[0], h.dims()[0], "GruCell batch mismatch");
-        let r = x
-            .matmul(&self.w_xr)
-            .add(&h.matmul(&self.w_hr))
-            .add(&self.b_r)
-            .sigmoid();
-        let z = x
-            .matmul(&self.w_xz)
-            .add(&h.matmul(&self.w_hz))
-            .add(&self.b_z)
-            .sigmoid();
-        let n = x
-            .matmul(&self.w_xn)
-            .add(&r.mul(&h.matmul(&self.w_hn)))
-            .add(&self.b_n)
-            .tanh();
-        let one_minus_z = z.neg().add_scalar(1.0);
-        one_minus_z.mul(&n).add(&z.mul(h))
+        Tensor::gru_cell_fused(
+            x,
+            h,
+            &[
+                &self.w_xr, &self.w_hr, &self.b_r, &self.w_xz, &self.w_hz, &self.b_z, &self.w_xn,
+                &self.w_hn, &self.b_n,
+            ],
+        )
     }
 
     /// Hidden width.

@@ -54,7 +54,7 @@ impl TimeEncode {
     pub fn forward(&self, dts: &Tensor) -> Tensor {
         assert_eq!(dts.dims().len(), 2, "TimeEncode input must be [B, 1]");
         assert_eq!(dts.dims()[1], 1, "TimeEncode input must be [B, 1]");
-        dts.matmul(&self.omega).add(&self.phase).cos()
+        Tensor::time_encode_fused(dts, &self.omega, &self.phase)
     }
 
     /// Encoding width.

@@ -96,18 +96,21 @@ impl Tensor {
             }
         }
 
-        // Reverse topological order: outputs before inputs. Intermediate
-        // (non-leaf) gradients are dropped once consumed so that repeated
-        // backward passes accumulate only into leaves, and memory is freed
-        // eagerly.
+        // Reverse topological order: outputs before inputs. Each node's
+        // gradient is *taken* out of its slot and handed to the closure as
+        // an owned buffer: intermediate gradients are consumed exactly once
+        // (so repeated backward passes accumulate only into leaves) and the
+        // buffers flow back into the arena instead of the allocator.
         for node in order.iter().rev() {
             if let Some(backward) = &node.inner.backward {
-                if node.has_grad() {
-                    backward(node, &node.inner.parents, ctx);
+                // Taking (not cloning) the gradient leaves non-leaf slots
+                // empty after their closure fires; leaf slots are never
+                // touched, so parameter gradients persist as before.
+                if let Some(grad) = node.take_grad_raw() {
+                    backward(node, grad, &node.inner.parents, ctx);
                 }
-            }
-            if !node.inner.parents.is_empty() {
-                node.clear_grad_internal();
+            } else if !node.inner.parents.is_empty() {
+                node.zero_grad();
             }
         }
         Ok(())

@@ -86,7 +86,24 @@ impl GradSink {
                 }
             }
             None => {
-                self.slots.insert(t.id(), (t.clone(), g.to_vec()));
+                self.slots
+                    .insert(t.id(), (t.clone(), crate::arena::take_copy(g)));
+            }
+        }
+    }
+
+    /// Owned-buffer variant of [`GradSink::accumulate`]: the buffer becomes
+    /// the slot when empty, else it is added and recycled.
+    pub(crate) fn accumulate_owned(&mut self, t: &Tensor, g: Vec<f32>) {
+        match self.slots.get_mut(&t.id()) {
+            Some((_, existing)) => {
+                for (e, &v) in existing.iter_mut().zip(g.iter()) {
+                    *e += v;
+                }
+                crate::arena::recycle(g);
+            }
+            None => {
+                self.slots.insert(t.id(), (t.clone(), g));
             }
         }
     }
@@ -95,7 +112,7 @@ impl GradSink {
     /// ascending id order.
     pub(crate) fn merge(self) {
         for (_, (tensor, grad)) in self.slots {
-            tensor.accumulate_grad(&grad);
+            tensor.accumulate_grad_owned(grad);
         }
     }
 }
@@ -141,6 +158,20 @@ impl<'a> GradCtx<'a> {
             }
         }
         t.accumulate_grad(g);
+    }
+
+    /// Owned-buffer variant of [`GradCtx::accumulate`]: moves the buffer
+    /// into the destination slot instead of copying it, recycling it when
+    /// the slot already holds a gradient.
+    pub(crate) fn accumulate_owned(&mut self, t: &Tensor, g: Vec<f32>) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let shared = t.is_leaf() || self.barrier.is_some_and(|b| b.contains(&t.id()));
+            if shared {
+                sink.accumulate_owned(t, g);
+                return;
+            }
+        }
+        t.accumulate_grad_owned(g);
     }
 }
 
@@ -193,9 +224,9 @@ impl Tensor {
             vec![total],
             Shape::scalar(),
             parents,
-            Box::new(move |out, _parents, _ctx| {
-                let g = out.grad().expect("backward without gradient")[0];
-                let upstream = [g * scale];
+            Box::new(move |_out, grad, _parents, _ctx| {
+                let upstream = [grad[0] * scale];
+                crate::arena::recycle(grad);
                 let n = shards.len();
                 let mut sinks: Vec<GradSink> = (0..n).map(|_| GradSink::new()).collect();
                 let workers = threads.max(1).min(n);

@@ -35,12 +35,26 @@
 //!
 //! Only what memory-based TGNNs need: broadcasting elementwise algebra,
 //! rank-2 matmul, reductions, softmax, row gather/scatter, concatenation,
-//! and a handful of activations. Tensors are `Send + Sync` (`Arc`-backed
-//! storage behind an `RwLock`/`Mutex` pair) so a batch's independent event
-//! shards can be evaluated on worker threads; the deterministic
-//! shard-parallel reduction [`Tensor::sharded_sum_scaled`] keeps gradients
-//! bit-identical at any thread count by merging per-shard gradient sinks
-//! in fixed shard-index order.
+//! fused TGNN kernels (GRU cell, time encoding, attention scoring), and a
+//! handful of activations. Tensors are `Send + Sync` (`Arc`-backed
+//! storage) so a batch's independent event shards can be evaluated on
+//! worker threads; the deterministic shard-parallel reduction
+//! [`Tensor::sharded_sum_scaled`] keeps gradients bit-identical at any
+//! thread count by merging per-shard gradient sinks in fixed shard-index
+//! order.
+//!
+//! # Memory model
+//!
+//! Intermediate buffers — op outputs, gradients, scratch — come from a
+//! thread-local recycling [`arena`] instead of the global allocator. When
+//! a tensor's last handle drops (the autograd graph dying at the end of a
+//! batch), its buffers flow back into the arena and are reused by the next
+//! batch's ops. Reads take cheap `Arc` snapshots ([`Tensor::data`]), so
+//! forward passes over frozen parameters never hold a lock; writes go
+//! through copy-on-write. Call [`arena::reset`] at batch boundaries to
+//! trim the pool to its steady-state working set.
+
+pub mod arena;
 
 mod autograd;
 mod grad;
@@ -50,7 +64,7 @@ mod tensor;
 
 pub use grad::AutogradError;
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{DataRef, Tensor};
 
 /// Cosine similarity between two equal-length vectors.
 ///

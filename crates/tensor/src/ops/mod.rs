@@ -5,6 +5,7 @@
 //! inputs do not require gradients skip recording history entirely.
 
 mod binary;
+mod fused;
 mod matmul;
 mod reduce;
 mod select;

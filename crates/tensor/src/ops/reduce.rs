@@ -1,5 +1,6 @@
 //! Reductions (`sum`, `mean`, per-axis variants) and row softmax.
 
+use crate::arena;
 use crate::grad::GradCtx;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -13,11 +14,12 @@ impl Tensor {
             vec![total],
             Shape::scalar(),
             vec![self.clone()],
-            Box::new(move |out, parents, ctx: &mut GradCtx| {
-                let g = out.grad().expect("backward without gradient")[0];
+            Box::new(move |_out, grad, parents, ctx: &mut GradCtx| {
+                let g = grad[0];
+                arena::recycle(grad);
                 let p = &parents[0];
                 if p.is_requires_grad() {
-                    ctx.accumulate(p, &vec![g; n]);
+                    ctx.accumulate_owned(p, arena::take_filled(n, g));
                 }
             }),
         )
@@ -54,7 +56,7 @@ impl Tensor {
         out_dims.remove(axis);
 
         let data = self.data();
-        let mut out = vec![0.0; outer * inner];
+        let mut out = arena::take_zeroed(outer * inner);
         for o in 0..outer {
             for a in 0..axis_len {
                 let base = (o * axis_len + a) * inner;
@@ -70,13 +72,13 @@ impl Tensor {
             out,
             Shape::new(out_dims),
             vec![self.clone()],
-            Box::new(move |out, parents, ctx: &mut GradCtx| {
-                let grad = out.grad().expect("backward without gradient");
+            Box::new(move |_out, grad, parents, ctx: &mut GradCtx| {
                 let p = &parents[0];
                 if !p.is_requires_grad() {
+                    arena::recycle(grad);
                     return;
                 }
-                let mut g = vec![0.0; outer * axis_len * inner];
+                let mut g = arena::take_zeroed(outer * axis_len * inner);
                 for o in 0..outer {
                     for a in 0..axis_len {
                         let base = (o * axis_len + a) * inner;
@@ -84,7 +86,8 @@ impl Tensor {
                         g[base..base + inner].copy_from_slice(&grad[src_base..src_base + inner]);
                     }
                 }
-                ctx.accumulate(p, &g);
+                arena::recycle(grad);
+                ctx.accumulate_owned(p, g);
             }),
         )
     }
@@ -114,7 +117,7 @@ impl Tensor {
         let cols = *dims.last().unwrap();
         let rows = self.len() / cols.max(1);
         let data = self.data();
-        let mut out = vec![0.0; data.len()];
+        let mut out = arena::take_zeroed(data.len());
         for r in 0..rows {
             let row = &data[r * cols..(r + 1) * cols];
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -134,28 +137,25 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
-            Box::new(move |out, parents, ctx: &mut GradCtx| {
-                let grad = out.grad().expect("backward without gradient");
+            Box::new(move |out, mut grad, parents, ctx: &mut GradCtx| {
                 let p = &parents[0];
                 if !p.is_requires_grad() {
+                    arena::recycle(grad);
                     return;
                 }
+                // Per row: dot = y·g first, then g ← y ⊙ (g − dot), all in
+                // place on the owned upstream buffer.
                 let y = out.data();
-                let mut g = vec![0.0; grad.len()];
                 for r in 0..rows {
                     let ys = &y[r * cols..(r + 1) * cols];
-                    let gs = &grad[r * cols..(r + 1) * cols];
+                    let gs = &mut grad[r * cols..(r + 1) * cols];
                     let dot: f32 = ys.iter().zip(gs.iter()).map(|(&a, &b)| a * b).sum();
-                    for ((o, &yi), &gi) in g[r * cols..(r + 1) * cols]
-                        .iter_mut()
-                        .zip(ys.iter())
-                        .zip(gs.iter())
-                    {
-                        *o = yi * (gi - dot);
+                    for (g, &yi) in gs.iter_mut().zip(ys.iter()) {
+                        *g = yi * (*g - dot);
                     }
                 }
                 drop(y);
-                ctx.accumulate(p, &g);
+                ctx.accumulate_owned(p, grad);
             }),
         )
     }

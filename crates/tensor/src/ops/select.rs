@@ -1,6 +1,7 @@
 //! Row gathering and scattering — the embedding-table primitives TGNN
 //! memory reads rely on.
 
+use crate::arena;
 use crate::grad::GradCtx;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -23,7 +24,7 @@ impl Tensor {
         );
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         let data = self.data();
-        let mut out = Vec::with_capacity(indices.len() * cols);
+        let mut out = arena::take_empty(indices.len() * cols);
         for &i in indices {
             assert!(i < rows, "index {} out of bounds for {} rows", i, rows);
             out.extend_from_slice(&data[i * cols..(i + 1) * cols]);
@@ -34,19 +35,20 @@ impl Tensor {
             out,
             Shape::new(vec![idx.len(), cols]),
             vec![self.clone()],
-            Box::new(move |out, parents, ctx: &mut GradCtx| {
-                let grad = out.grad().expect("backward without gradient");
+            Box::new(move |_out, grad, parents, ctx: &mut GradCtx| {
                 let p = &parents[0];
                 if !p.is_requires_grad() {
+                    arena::recycle(grad);
                     return;
                 }
-                let mut g = vec![0.0; rows * cols];
+                let mut g = arena::take_zeroed(rows * cols);
                 for (r, &i) in idx.iter().enumerate() {
                     for c in 0..cols {
                         g[i * cols + c] += grad[r * cols + c];
                     }
                 }
-                ctx.accumulate(p, &g);
+                arena::recycle(grad);
+                ctx.accumulate_owned(p, g);
             }),
         )
     }

@@ -1,11 +1,20 @@
 //! Shape manipulation: `reshape`, `transpose`, `concat`, and row slicing.
+//!
+//! `reshape` (and full-range `slice_rows`) are zero-copy views: they share
+//! the source's `Arc` buffer and rely on copy-on-write in the storage
+//! layer, so reinterpreting a batch tensor costs one refcount bump instead
+//! of a full copy.
 
+use crate::arena;
 use crate::grad::GradCtx;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 impl Tensor {
     /// Returns a tensor with the same data viewed under a new shape.
+    ///
+    /// Zero-copy: the view shares the source buffer (copy-on-write makes
+    /// later writes to either side unobservable from the other).
     ///
     /// # Panics
     ///
@@ -19,15 +28,18 @@ impl Tensor {
             self.shape(),
             shape
         );
-        Tensor::from_op(
-            self.to_vec(),
+        Tensor::from_op_arc(
+            self.share_data(),
             shape,
             vec![self.clone()],
-            Box::new(|out, parents, ctx: &mut GradCtx| {
-                let grad = out.grad().expect("backward without gradient");
+            Box::new(|_out, grad, parents, ctx: &mut GradCtx| {
                 let p = &parents[0];
                 if p.is_requires_grad() {
-                    ctx.accumulate(p, &grad);
+                    // A reshape is the identity on the flat buffer: the
+                    // owned upstream moves straight through.
+                    ctx.accumulate_owned(p, grad);
+                } else {
+                    arena::recycle(grad);
                 }
             }),
         )
@@ -47,7 +59,7 @@ impl Tensor {
         );
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let data = self.data();
-        let mut out = vec![0.0; m * n];
+        let mut out = arena::take_zeroed(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = data[i * n + j];
@@ -58,19 +70,20 @@ impl Tensor {
             out,
             Shape::new(vec![n, m]),
             vec![self.clone()],
-            Box::new(move |out, parents, ctx: &mut GradCtx| {
-                let grad = out.grad().expect("backward without gradient");
+            Box::new(move |_out, grad, parents, ctx: &mut GradCtx| {
                 let p = &parents[0];
                 if !p.is_requires_grad() {
+                    arena::recycle(grad);
                     return;
                 }
-                let mut g = vec![0.0; m * n];
+                let mut g = arena::take_zeroed(m * n);
                 for j in 0..n {
                     for i in 0..m {
                         g[i * n + j] = grad[j * m + i];
                     }
                 }
-                ctx.accumulate(p, &g);
+                arena::recycle(grad);
+                ctx.accumulate_owned(p, g);
             }),
         )
     }
@@ -91,7 +104,7 @@ impl Tensor {
         }
         let widths: Vec<usize> = tensors.iter().map(|t| t.dims()[1]).collect();
         let total_w: usize = widths.iter().sum();
-        let mut out = vec![0.0; rows * total_w];
+        let mut out = arena::take_zeroed(rows * total_w);
         let mut col = 0;
         for (t, &w) in tensors.iter().zip(widths.iter()) {
             let data = t.data();
@@ -106,20 +119,20 @@ impl Tensor {
             out,
             Shape::new(vec![rows, total_w]),
             parents,
-            Box::new(move |out, parents, ctx: &mut GradCtx| {
-                let grad = out.grad().expect("backward without gradient");
+            Box::new(move |_out, grad, parents, ctx: &mut GradCtx| {
                 let mut col = 0;
                 for (p, &w) in parents.iter().zip(widths.iter()) {
                     if p.is_requires_grad() {
-                        let mut g = vec![0.0; rows * w];
+                        let mut g = arena::take_zeroed(rows * w);
                         for r in 0..rows {
                             g[r * w..(r + 1) * w]
                                 .copy_from_slice(&grad[r * total_w + col..r * total_w + col + w]);
                         }
-                        ctx.accumulate(p, &g);
+                        ctx.accumulate_owned(p, g);
                     }
                     col += w;
                 }
+                arena::recycle(grad);
             }),
         )
     }
@@ -140,7 +153,7 @@ impl Tensor {
         }
         let heights: Vec<usize> = tensors.iter().map(|t| t.dims()[0]).collect();
         let total_h: usize = heights.iter().sum();
-        let mut out = Vec::with_capacity(total_h * cols);
+        let mut out = arena::take_empty(total_h * cols);
         for t in tensors {
             out.extend_from_slice(&t.data());
         }
@@ -149,8 +162,7 @@ impl Tensor {
             out,
             Shape::new(vec![total_h, cols]),
             parents,
-            Box::new(move |out, parents, ctx: &mut GradCtx| {
-                let grad = out.grad().expect("backward without gradient");
+            Box::new(move |_out, grad, parents, ctx: &mut GradCtx| {
                 let mut row = 0;
                 for (p, &h) in parents.iter().zip(heights.iter()) {
                     if p.is_requires_grad() {
@@ -158,6 +170,7 @@ impl Tensor {
                     }
                     row += h;
                 }
+                arena::recycle(grad);
             }),
         )
     }
@@ -179,7 +192,7 @@ impl Tensor {
         );
         let w = end - start;
         let data = self.data();
-        let mut out = Vec::with_capacity(rows * w);
+        let mut out = arena::take_empty(rows * w);
         for r in 0..rows {
             out.extend_from_slice(&data[r * cols + start..r * cols + end]);
         }
@@ -188,22 +201,25 @@ impl Tensor {
             out,
             Shape::new(vec![rows, w]),
             vec![self.clone()],
-            Box::new(move |out, parents, ctx: &mut GradCtx| {
-                let grad = out.grad().expect("backward without gradient");
+            Box::new(move |_out, grad, parents, ctx: &mut GradCtx| {
                 let p = &parents[0];
                 if !p.is_requires_grad() {
+                    arena::recycle(grad);
                     return;
                 }
-                let mut g = vec![0.0; rows * cols];
+                let mut g = arena::take_zeroed(rows * cols);
                 for r in 0..rows {
                     g[r * cols + start..r * cols + end].copy_from_slice(&grad[r * w..(r + 1) * w]);
                 }
-                ctx.accumulate(p, &g);
+                arena::recycle(grad);
+                ctx.accumulate_owned(p, g);
             }),
         )
     }
 
     /// Extracts rows `[start, end)` of a rank-2 tensor.
+    ///
+    /// A full-range slice is a zero-copy view of the source buffer.
     ///
     /// # Panics
     ///
@@ -218,22 +234,31 @@ impl Tensor {
             end,
             rows
         );
-        let data = self.data()[start * cols..end * cols].to_vec();
-        Tensor::from_op(
-            data,
-            Shape::new(vec![end - start, cols]),
-            vec![self.clone()],
-            Box::new(move |out, parents, ctx: &mut GradCtx| {
-                let grad = out.grad().expect("backward without gradient");
+        let full = start == 0 && end == rows;
+        let backward = Box::new(
+            move |_out: &Tensor, grad: Vec<f32>, parents: &[Tensor], ctx: &mut GradCtx| {
                 let p = &parents[0];
                 if !p.is_requires_grad() {
+                    arena::recycle(grad);
                     return;
                 }
-                let mut g = vec![0.0; rows * cols];
+                if full {
+                    ctx.accumulate_owned(p, grad);
+                    return;
+                }
+                let mut g = arena::take_zeroed(rows * cols);
                 g[start * cols..end * cols].copy_from_slice(&grad);
-                ctx.accumulate(p, &g);
-            }),
-        )
+                arena::recycle(grad);
+                ctx.accumulate_owned(p, g);
+            },
+        );
+        let shape = Shape::new(vec![end - start, cols]);
+        if full {
+            Tensor::from_op_arc(self.share_data(), shape, vec![self.clone()], backward)
+        } else {
+            let data = arena::take_copy(&self.data()[start * cols..end * cols]);
+            Tensor::from_op(data, shape, vec![self.clone()], backward)
+        }
     }
 }
 
@@ -253,6 +278,13 @@ mod tests {
     #[should_panic(expected = "changes element count")]
     fn reshape_rejects_bad_count() {
         let _ = Tensor::zeros([2, 2]).reshape([3]);
+    }
+
+    #[test]
+    fn reshape_backward_flows() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).requires_grad();
+        t.reshape([4]).mul_scalar(2.0).sum().backward();
+        assert_eq!(t.grad().unwrap(), vec![2.0; 4]);
     }
 
     #[test]
@@ -312,6 +344,15 @@ mod tests {
         let t = Tensor::ones([3, 2]).requires_grad();
         t.slice_rows(0, 1).sum().backward();
         assert_eq!(t.grad().unwrap(), vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn slice_rows_full_range_is_view() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).requires_grad();
+        let s = t.slice_rows(0, 2);
+        assert_eq!(s.to_vec(), t.to_vec());
+        s.sum().backward();
+        assert_eq!(t.grad().unwrap(), vec![1.0; 4]);
     }
 
     #[test]

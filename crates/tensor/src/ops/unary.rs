@@ -1,5 +1,6 @@
 //! Elementwise unary operations and activations.
 
+use crate::arena;
 use crate::grad::GradCtx;
 use crate::tensor::Tensor;
 
@@ -9,28 +10,31 @@ fn unary(
     // dy/dx expressed from (x, y) so activations can reuse the output.
     backward: impl Fn(f32, f32) -> f32 + Send + Sync + 'static,
 ) -> Tensor {
-    let data: Vec<f32> = t.data().iter().map(|&x| forward(x)).collect();
+    let src = t.data();
+    let mut data = arena::take_empty(src.len());
+    data.extend(src.iter().map(|&x| forward(x)));
+    drop(src);
     let shape = t.shape().clone();
     Tensor::from_op(
         data,
         shape,
         vec![t.clone()],
-        Box::new(move |out, parents, ctx: &mut GradCtx| {
-            let grad = out.grad().expect("backward without gradient");
+        Box::new(move |out, mut grad, parents, ctx: &mut GradCtx| {
             let p = &parents[0];
             if !p.is_requires_grad() {
+                arena::recycle(grad);
                 return;
             }
+            // The upstream buffer is owned: scale it by dy/dx in place and
+            // pass it along without a copy.
             let x = p.data();
             let y = out.data();
-            let g: Vec<f32> = grad
-                .iter()
-                .zip(x.iter().zip(y.iter()))
-                .map(|(&g, (&x, &y))| g * backward(x, y))
-                .collect();
+            for (g, (&x, &y)) in grad.iter_mut().zip(x.iter().zip(y.iter())) {
+                *g *= backward(x, y);
+            }
             drop(x);
             drop(y);
-            ctx.accumulate(p, &g);
+            ctx.accumulate_owned(p, grad);
         }),
     )
 }

@@ -1,12 +1,27 @@
 //! The core [`Tensor`] type: a reference-counted, row-major, `f32` buffer
 //! participating in a dynamically-built reverse-mode autograd graph.
+//!
+//! # Storage model
+//!
+//! Each tensor's data lives in an `Arc<Vec<f32>>` behind an `RwLock`. The
+//! lock is held only for the instant it takes to clone the `Arc` —
+//! [`Tensor::data`] returns an owned [`DataRef`] snapshot, so kernels and
+//! backward closures compute over plain slices without ever holding a
+//! lock. Writes ([`Tensor::set_data`], [`Tensor::update_data`]) take the
+//! write lock and mutate in place when the buffer is unshared, or
+//! copy-on-write when snapshots are outstanding — a reader therefore
+//! always sees a consistent buffer from some point in time, never a torn
+//! mix. Dead buffers are recycled through the thread-local [`crate::arena`]
+//! instead of returning to the allocator.
 
 use std::fmt;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockWriteGuard};
 
 use cascade_util::DetRng;
 
+use crate::arena;
 use crate::grad::GradCtx;
 use crate::shape::Shape;
 
@@ -16,20 +31,71 @@ fn fresh_id() -> u64 {
     NEXT_ID.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Backward function of an op node: given the node itself (for its data and
-/// gradient), its parents, and the gradient-routing context of the current
-/// backward pass, accumulates gradients into the parents via
-/// [`GradCtx::accumulate`].
-pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[Tensor], &mut GradCtx) + Send + Sync>;
+/// Backward function of an op node: given the node itself, the *owned*
+/// upstream gradient (taken out of the node's grad slot by the engine),
+/// its parents, and the gradient-routing context of the current backward
+/// pass, accumulates gradients into the parents via [`GradCtx::accumulate`]
+/// or [`GradCtx::accumulate_owned`]. Owning the upstream buffer lets
+/// closures transform it in place and pass it along without copies; a
+/// closure that does not forward it should hand it back via
+/// [`arena::recycle`].
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, Vec<f32>, &[Tensor], &mut GradCtx) + Send + Sync>;
 
 pub(crate) struct Inner {
     pub(crate) id: u64,
     pub(crate) shape: Shape,
-    pub(crate) data: RwLock<Vec<f32>>,
+    pub(crate) data: RwLock<Arc<Vec<f32>>>,
     pub(crate) grad: Mutex<Option<Vec<f32>>>,
     pub(crate) requires_grad: bool,
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward: Option<BackwardFn>,
+}
+
+impl Drop for Inner {
+    /// Returns this node's buffers to the thread-local arena. The data
+    /// buffer is only reclaimed when no [`DataRef`] snapshot still holds
+    /// it (then the allocator frees it once the last snapshot drops).
+    fn drop(&mut self) {
+        let data = self.data.get_mut().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = Arc::get_mut(data) {
+            arena::recycle(std::mem::take(v));
+        }
+        let grad = self.grad.get_mut().unwrap_or_else(|e| e.into_inner());
+        if let Some(g) = grad.take() {
+            arena::recycle(g);
+        }
+    }
+}
+
+/// An owned, lock-free read snapshot of a tensor's storage.
+///
+/// Produced by [`Tensor::data`]: the read lock is held only long enough to
+/// clone the internal `Arc`, after which the snapshot can be read for any
+/// length of time — across an entire fused kernel or backward closure —
+/// without touching a lock. Writes to the tensor after the snapshot was
+/// taken copy-on-write and are not visible through it.
+pub struct DataRef {
+    data: Arc<Vec<f32>>,
+}
+
+impl Deref for DataRef {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl AsRef<[f32]> for DataRef {
+    fn as_ref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for DataRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.data.iter().take(8)).finish()
+    }
 }
 
 /// A dense, row-major `f32` tensor.
@@ -40,11 +106,11 @@ pub(crate) struct Inner {
 /// the `grad` buffers of every reachable tensor created with
 /// `requires_grad`.
 ///
-/// Tensors are `Send + Sync`: storage lives behind an `RwLock` (data) and a
-/// `Mutex` (gradient), so shard workers may evaluate independent subgraphs
-/// concurrently. Determinism across thread counts is preserved by the
-/// engine, not the locks: shared gradients are reduced in a fixed
-/// shard-index order (see [`Tensor::sharded_sum_scaled`]).
+/// Tensors are `Send + Sync`: reads snapshot the storage (see [`DataRef`])
+/// and writes go through a brief write lock, so shard workers may evaluate
+/// independent subgraphs concurrently. Determinism across thread counts is
+/// preserved by the engine, not the locks: shared gradients are reduced in
+/// a fixed shard-index order (see [`Tensor::sharded_sum_scaled`]).
 ///
 /// # Examples
 ///
@@ -61,20 +127,58 @@ pub struct Tensor {
     pub(crate) inner: Arc<Inner>,
 }
 
-/// Recovers the read guard even if a worker panicked mid-write; the data
-/// underneath is plain `f32`s, never left in a torn state by our writers
-/// (every write is a full-buffer overwrite or an elementwise loop).
-fn read_data(lock: &RwLock<Vec<f32>>) -> RwLockReadGuard<'_, Vec<f32>> {
-    lock.read().unwrap_or_else(|e| e.into_inner())
+/// Snapshots the storage under a brief read lock (one `Arc` clone).
+///
+/// Poisoning: recovered with `into_inner` — the data underneath is plain
+/// `f32`s behind copy-on-write, so a panicking writer can never leave a
+/// buffer visible to readers in a torn state.
+fn snapshot_data(lock: &RwLock<Arc<Vec<f32>>>) -> Arc<Vec<f32>> {
+    Arc::clone(&lock.read().unwrap_or_else(|e| e.into_inner()))
 }
 
+/// Acquires the storage write lock.
+///
+/// Poisoning: recovered with `into_inner`, same argument as
+/// [`snapshot_data`] — every write is a full-buffer overwrite or an
+/// elementwise loop over an exclusively-held buffer.
+fn write_data(lock: &RwLock<Arc<Vec<f32>>>) -> RwLockWriteGuard<'_, Arc<Vec<f32>>> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquires the gradient slot lock.
+///
+/// Poisoning: recovered with `into_inner` — gradient buffers are replaced
+/// or accumulated whole, never left partially written.
 fn lock_grad(lock: &Mutex<Option<Vec<f32>>>) -> MutexGuard<'_, Option<Vec<f32>>> {
     lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Copy-on-write access to the buffer behind the (held) write lock: in
+/// place when unshared, else the buffer is replaced by an arena-sourced
+/// copy, leaving outstanding [`DataRef`] snapshots on the old one.
+fn cow_mut(d: &mut Arc<Vec<f32>>) -> &mut Vec<f32> {
+    if Arc::get_mut(d).is_none() {
+        *d = Arc::new(arena::take_copy(d));
+    }
+    Arc::get_mut(d).expect("buffer is unique after copy-on-write")
 }
 
 impl Tensor {
     pub(crate) fn from_op(
         data: Vec<f32>,
+        shape: Shape,
+        parents: Vec<Tensor>,
+        backward: BackwardFn,
+    ) -> Tensor {
+        Tensor::from_op_arc(Arc::new(data), shape, parents, backward)
+    }
+
+    /// [`Tensor::from_op`] over already-shared storage: zero-copy ops
+    /// (`reshape`, full-range slices) alias their parent's buffer instead
+    /// of copying it. Writes through either handle copy-on-write, so
+    /// aliasing is never observable.
+    pub(crate) fn from_op_arc(
+        data: Arc<Vec<f32>>,
         shape: Shape,
         parents: Vec<Tensor>,
         backward: BackwardFn,
@@ -109,7 +213,7 @@ impl Tensor {
             inner: Arc::new(Inner {
                 id: fresh_id(),
                 shape,
-                data: RwLock::new(data),
+                data: RwLock::new(Arc::new(data)),
                 grad: Mutex::new(None),
                 requires_grad: true,
                 parents,
@@ -119,6 +223,10 @@ impl Tensor {
     }
 
     fn leaf(data: Vec<f32>, shape: Shape, requires_grad: bool) -> Tensor {
+        Tensor::leaf_arc(Arc::new(data), shape, requires_grad)
+    }
+
+    fn leaf_arc(data: Arc<Vec<f32>>, shape: Shape, requires_grad: bool) -> Tensor {
         assert_eq!(
             data.len(),
             shape.len(),
@@ -215,14 +323,14 @@ impl Tensor {
     /// Marks this tensor as a trainable leaf: gradients will be accumulated
     /// into it during [`Tensor::backward`].
     ///
-    /// Returns a new handle sharing no autograd history (fresh leaf with the
-    /// same data).
+    /// Returns a new handle sharing no autograd history (fresh leaf with
+    /// the same data, shared copy-on-write).
     pub fn requires_grad(self) -> Tensor {
         if self.inner.requires_grad && self.inner.parents.is_empty() {
             return self;
         }
-        let data = read_data(&self.inner.data).clone();
-        Tensor::leaf(data, self.inner.shape.clone(), true)
+        let data = snapshot_data(&self.inner.data);
+        Tensor::leaf_arc(data, self.inner.shape.clone(), true)
     }
 
     /// `true` if gradients flow into (or through) this tensor.
@@ -236,13 +344,14 @@ impl Tensor {
     }
 
     /// Detaches this tensor from the autograd graph: the result shares the
-    /// current values but receives no gradient and holds no history.
+    /// current values (copy-on-write, so no buffer is copied) but receives
+    /// no gradient and holds no history.
     ///
     /// Cascade detaches node memories at batch boundaries, matching the
     /// stop-gradient semantics of memory-based TGNNs.
     pub fn detach(&self) -> Tensor {
-        Tensor::leaf(
-            read_data(&self.inner.data).clone(),
+        Tensor::leaf_arc(
+            snapshot_data(&self.inner.data),
             self.inner.shape.clone(),
             false,
         )
@@ -273,14 +382,25 @@ impl Tensor {
         self.inner.shape.is_empty()
     }
 
-    /// Borrows the flat row-major data (shared read lock).
-    pub fn data(&self) -> RwLockReadGuard<'_, Vec<f32>> {
-        read_data(&self.inner.data)
+    /// Takes a lock-free read snapshot of the flat row-major data.
+    ///
+    /// The lock is released before this returns; the [`DataRef`] can be
+    /// held across arbitrary computation. Writes made to the tensor after
+    /// the snapshot are not visible through it.
+    pub fn data(&self) -> DataRef {
+        DataRef {
+            data: snapshot_data(&self.inner.data),
+        }
+    }
+
+    /// Shares the underlying storage for zero-copy view ops.
+    pub(crate) fn share_data(&self) -> Arc<Vec<f32>> {
+        snapshot_data(&self.inner.data)
     }
 
     /// Copies the data out into a `Vec`.
     pub fn to_vec(&self) -> Vec<f32> {
-        read_data(&self.inner.data).clone()
+        snapshot_data(&self.inner.data).as_ref().clone()
     }
 
     /// The single element of a scalar or 1-element tensor.
@@ -289,7 +409,7 @@ impl Tensor {
     ///
     /// Panics if the tensor holds more than one element.
     pub fn item(&self) -> f32 {
-        let data = read_data(&self.inner.data);
+        let data = self.data();
         assert_eq!(
             data.len(),
             1,
@@ -301,7 +421,7 @@ impl Tensor {
 
     /// Element at flat offset `i`.
     pub fn at(&self, i: usize) -> f32 {
-        read_data(&self.inner.data)[i]
+        self.data()[i]
     }
 
     /// Overwrites the data in place without touching autograd history.
@@ -312,25 +432,33 @@ impl Tensor {
     ///
     /// Panics if `data.len()` differs from the tensor's element count.
     pub fn set_data(&self, data: &[f32]) {
-        let mut d = self.inner.data.write().unwrap_or_else(|e| e.into_inner());
+        let mut d = write_data(&self.inner.data);
         assert_eq!(d.len(), data.len(), "set_data length mismatch");
-        d.copy_from_slice(data);
+        cow_mut(&mut d).copy_from_slice(data);
     }
 
     /// Applies `f` to the data in place (optimizer updates).
     pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
-        let mut d = self.inner.data.write().unwrap_or_else(|e| e.into_inner());
-        f(&mut d);
+        let mut d = write_data(&self.inner.data);
+        f(cow_mut(&mut d));
     }
 
-    /// The accumulated gradient, if any.
+    /// The accumulated gradient, if any (copied out).
     pub fn grad(&self) -> Option<Vec<f32>> {
         lock_grad(&self.inner.grad).clone()
     }
 
+    /// Applies `f` to the accumulated gradient without copying it out.
+    /// Returns `None` (without calling `f`) when no gradient is present.
+    pub fn with_grad<R>(&self, f: impl FnOnce(&[f32]) -> R) -> Option<R> {
+        lock_grad(&self.inner.grad).as_deref().map(f)
+    }
+
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        *lock_grad(&self.inner.grad) = None;
+        if let Some(g) = lock_grad(&self.inner.grad).take() {
+            arena::recycle(g);
+        }
     }
 
     /// Replaces the accumulated gradient (used by gradient clipping).
@@ -340,7 +468,20 @@ impl Tensor {
     /// Panics if `g.len()` differs from the element count.
     pub fn set_grad(&self, g: &[f32]) {
         assert_eq!(g.len(), self.len(), "set_grad length mismatch");
-        *lock_grad(&self.inner.grad) = Some(g.to_vec());
+        let mut grad = lock_grad(&self.inner.grad);
+        match grad.as_mut() {
+            Some(existing) => existing.copy_from_slice(g),
+            None => *grad = Some(arena::take_copy(g)),
+        }
+    }
+
+    /// Rescales the accumulated gradient in place; no-op without one.
+    pub fn scale_grad(&self, scale: f32) {
+        if let Some(g) = lock_grad(&self.inner.grad).as_mut() {
+            for x in g.iter_mut() {
+                *x *= scale;
+            }
+        }
     }
 
     pub(crate) fn accumulate_grad(&self, g: &[f32]) {
@@ -351,22 +492,36 @@ impl Tensor {
                     *e += v;
                 }
             }
-            None => *grad = Some(g.to_vec()),
+            None => *grad = Some(arena::take_copy(g)),
         }
     }
 
-    pub(crate) fn has_grad(&self) -> bool {
-        lock_grad(&self.inner.grad).is_some()
+    /// Like [`Tensor::accumulate_grad`] but takes ownership of the buffer:
+    /// it becomes the grad slot when empty, else it is added and recycled.
+    pub(crate) fn accumulate_grad_owned(&self, g: Vec<f32>) {
+        let mut grad = lock_grad(&self.inner.grad);
+        match grad.as_mut() {
+            Some(existing) => {
+                for (e, &v) in existing.iter_mut().zip(g.iter()) {
+                    *e += v;
+                }
+                drop(grad);
+                arena::recycle(g);
+            }
+            None => *grad = Some(g),
+        }
     }
 
-    pub(crate) fn clear_grad_internal(&self) {
-        *lock_grad(&self.inner.grad) = None;
+    /// Takes the gradient out of the slot, leaving it empty. The engine
+    /// uses this to hand each backward closure its owned upstream buffer.
+    pub(crate) fn take_grad_raw(&self) -> Option<Vec<f32>> {
+        lock_grad(&self.inner.grad).take()
     }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let data = read_data(&self.inner.data);
+        let data = self.data();
         let preview: Vec<f32> = data.iter().take(8).copied().collect();
         f.debug_struct("Tensor")
             .field("shape", &self.inner.shape)
@@ -442,6 +597,27 @@ mod tests {
     }
 
     #[test]
+    fn detach_is_isolated_from_later_writes() {
+        // detach shares storage copy-on-write; writes to either side must
+        // not leak into the other.
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let d = a.detach();
+        a.set_data(&[9.0, 9.0]);
+        assert_eq!(d.to_vec(), vec![1.0, 2.0]);
+        d.set_data(&[5.0, 5.0]);
+        assert_eq!(a.to_vec(), vec![9.0, 9.0]);
+    }
+
+    #[test]
+    fn snapshot_survives_later_writes() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let snap = t.data();
+        t.set_data(&[7.0, 8.0]);
+        assert_eq!(&snap[..], &[1.0, 2.0], "snapshot is frozen at read time");
+        assert_eq!(t.to_vec(), vec![7.0, 8.0]);
+    }
+
+    #[test]
     fn item_on_scalar() {
         assert_eq!(Tensor::scalar(2.5).item(), 2.5);
     }
@@ -469,9 +645,29 @@ mod tests {
     }
 
     #[test]
+    fn with_grad_borrows_without_copy() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], [2]).requires_grad();
+        assert!(t.with_grad(|_| ()).is_none());
+        t.square().sum().backward();
+        let norm2 = t
+            .with_grad(|g| g.iter().map(|x| x * x).sum::<f32>())
+            .expect("gradient was just accumulated");
+        assert!((norm2 - (36.0 + 64.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scale_grad_rescales_in_place() {
+        let t = Tensor::from_vec(vec![3.0], [1]).requires_grad();
+        t.square().sum().backward(); // grad 6
+        t.scale_grad(0.5);
+        assert!((t.grad().expect("grad present")[0] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
     fn tensor_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Tensor>();
+        assert_send_sync::<DataRef>();
     }
 
     #[test]
