@@ -1,0 +1,352 @@
+//! cascade-serve load generator: HTTP round-trip micro-benches plus a
+//! concurrent open-loop phase (predict clients hammering the server
+//! while an ingest client streams events) measuring tail latency and
+//! throughput.
+//!
+//! Under `cargo bench` the report lands in `bench_results/serve.json`,
+//! extended with a `load_gen` object holding client-side p50/p95/p99
+//! latency, events/sec, queries/sec, and the server's own `/stats`
+//! view of the same run. Under `cargo test` each target runs once as a
+//! smoke test and the load-gen phase shrinks to a handful of requests.
+//!
+//! Numbers from the 1-core dev container measure the serial HTTP +
+//! scoring path, not multi-core capacity; see EXPERIMENTS.md.
+
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use cascade_models::{MemoryTgnn, ModelConfig};
+use cascade_serve::{Engine, EngineConfig, Server};
+use cascade_util::{BenchSuite, Json};
+
+const NODES: usize = 128;
+const FEAT_DIM: usize = 8;
+const INGEST_BATCH: usize = 64;
+
+/// Globally monotonic event clock shared by every ingest source, so the
+/// engine's time-ordering validation holds across bench targets.
+static EVENT_CLOCK: AtomicUsize = AtomicUsize::new(0);
+
+fn bench_model() -> MemoryTgnn {
+    MemoryTgnn::new(
+        ModelConfig::tgn().with_dims(16, 8).with_neighbors(4),
+        NODES,
+        FEAT_DIM,
+        1,
+    )
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cascade_serve_bench");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let p = dir.join(format!("{}_{}", std::process::id(), name));
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+// ---------------------------------------------------------------- client --
+
+fn send_request(stream: &mut TcpStream, method: &str, path: &str, body: &str) {
+    let req = format!(
+        "{} {} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{}",
+        method,
+        path,
+        body.len(),
+        body
+    );
+    stream.write_all(req.as_bytes()).expect("request written");
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code present")
+        .parse()
+        .expect("status code numeric");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content-length numeric");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body read");
+    (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+/// A keep-alive connection issuing sequential requests.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("server reachable");
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        Client { stream, reader }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        send_request(&mut self.stream, method, path, body);
+        read_response(&mut self.reader)
+    }
+}
+
+fn predict_body(src: usize) -> String {
+    format!(
+        r#"{{"src": {}, "dsts": [1, 2, 3, 4], "time": 1.0e9}}"#,
+        src % NODES
+    )
+}
+
+/// Next ingest batch off the shared event clock.
+fn ingest_body(n: usize) -> String {
+    let base = EVENT_CLOCK.fetch_add(n, Ordering::Relaxed);
+    let events: Vec<String> = (base..base + n)
+        .map(|i| {
+            let feats: Vec<String> = (0..FEAT_DIM)
+                .map(|j| format!("{:.3}", ((i + j) % 17) as f64 * 0.05))
+                .collect();
+            format!(
+                r#"{{"src": {}, "dst": {}, "time": {}.0, "features": [{}]}}"#,
+                i % NODES,
+                (i * 7 + 3) % NODES,
+                i,
+                feats.join(",")
+            )
+        })
+        .collect();
+    format!(r#"{{"events": [{}]}}"#, events.join(","))
+}
+
+// -------------------------------------------------------------- load gen --
+
+struct LoadGenResult {
+    clients: usize,
+    queries: usize,
+    events: usize,
+    wall_secs: f64,
+    predict_us: Vec<f64>,
+    ingest_us: Vec<f64>,
+}
+
+/// `clients` predict connections fire `queries_per_client` requests each
+/// while the calling thread streams `batches` ingest batches over its
+/// own connection: open-loop, no coordination beyond the shared server.
+fn run_load(
+    addr: SocketAddr,
+    clients: usize,
+    queries_per_client: usize,
+    batches: usize,
+) -> LoadGenResult {
+    let start = Instant::now();
+    let mut readers = Vec::new();
+    for c in 0..clients {
+        readers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr);
+            let mut lat = Vec::with_capacity(queries_per_client);
+            for q in 0..queries_per_client {
+                let body = predict_body(c * 31 + q);
+                let t = Instant::now();
+                let (status, resp) = client.request("POST", "/predict", &body);
+                lat.push(t.elapsed().as_secs_f64() * 1e6);
+                assert_eq!(status, 200, "predict failed under load: {}", resp);
+            }
+            lat
+        }));
+    }
+
+    let mut ingest_client = Client::connect(addr);
+    let mut ingest_us = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let body = ingest_body(INGEST_BATCH);
+        let t = Instant::now();
+        let (status, resp) = ingest_client.request("POST", "/ingest", &body);
+        ingest_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(status, 200, "ingest failed under load: {}", resp);
+    }
+
+    let mut predict_us = Vec::new();
+    for r in readers {
+        predict_us.extend(r.join().expect("predict client finished"));
+    }
+    LoadGenResult {
+        clients,
+        queries: clients * queries_per_client,
+        events: batches * INGEST_BATCH,
+        wall_secs: start.elapsed().as_secs_f64(),
+        predict_us,
+        ingest_us,
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn latency_json(mut samples: Vec<f64>) -> Json {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let max = samples.last().copied().unwrap_or(0.0);
+    Json::Obj(vec![
+        ("count".into(), Json::from(samples.len())),
+        (
+            "p50_ms".into(),
+            Json::from(percentile(&samples, 0.50) / 1e3),
+        ),
+        (
+            "p95_ms".into(),
+            Json::from(percentile(&samples, 0.95) / 1e3),
+        ),
+        (
+            "p99_ms".into(),
+            Json::from(percentile(&samples, 0.99) / 1e3),
+        ),
+        ("max_ms".into(), Json::from(max / 1e3)),
+    ])
+}
+
+// ------------------------------------------------------------------ main --
+
+fn main() {
+    let wal = tmp("bench.wal");
+    let snap = tmp("bench.ckpt");
+    let engine = Engine::open(
+        bench_model(),
+        EngineConfig::new(&wal, &snap).with_wal_chunk(INGEST_BATCH),
+    )
+    .expect("engine opens on a fresh WAL");
+    // Each keep-alive connection occupies a worker for its lifetime, so
+    // the pool must cover the peak concurrent connections below (two
+    // predict clients + one ingest client + one stats probe).
+    let server = Server::start(engine, "127.0.0.1:0", 4).expect("server starts");
+    let addr = server.addr();
+    let shared = server.shared();
+
+    // Micro-benches: single-request round-trip over one keep-alive
+    // connection, through the full parse → route → score/WAL → respond
+    // path.
+    let mut suite = BenchSuite::new("serve");
+    let mut client = Client::connect(addr);
+    let mut q = 0usize;
+    suite.bench("http/predict_roundtrip", || {
+        q += 1;
+        let (status, resp) = client.request("POST", "/predict", &predict_body(q));
+        assert_eq!(status, 200, "{}", resp);
+        black_box(resp.len())
+    });
+    suite.bench("http/ingest_roundtrip_batch64", || {
+        let (status, resp) = client.request("POST", "/ingest", &ingest_body(INGEST_BATCH));
+        assert_eq!(status, 200, "{}", resp);
+        black_box(resp.len())
+    });
+    suite.bench("http/stats_roundtrip", || {
+        let (status, resp) = client.request("GET", "/stats", "");
+        assert_eq!(status, 200, "{}", resp);
+        black_box(resp.len())
+    });
+
+    // Free the micro-bench connection's worker before the load-gen
+    // phase opens its own connections.
+    drop(client);
+
+    // Load-gen phase: sized down to a handful of requests in smoke mode
+    // (no report file), real volume under `cargo bench`.
+    let report_path = suite.finish();
+    let load = if report_path.is_some() {
+        run_load(addr, 2, 300, 32)
+    } else {
+        run_load(addr, 1, 20, 4)
+    };
+    let (status, server_stats) = Client::connect(addr).request("GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert!(
+        load.predict_us.len() == load.queries,
+        "all queries answered"
+    );
+
+    if let Some(path) = report_path {
+        let load_json = Json::Obj(vec![
+            ("predict_clients".into(), Json::from(load.clients)),
+            ("queries".into(), Json::from(load.queries)),
+            ("events_ingested".into(), Json::from(load.events)),
+            ("wall_secs".into(), Json::from(load.wall_secs)),
+            (
+                "queries_per_sec".into(),
+                Json::from(load.queries as f64 / load.wall_secs),
+            ),
+            (
+                "events_per_sec".into(),
+                Json::from(load.events as f64 / load.wall_secs),
+            ),
+            (
+                "predict_latency".into(),
+                latency_json(load.predict_us.clone()),
+            ),
+            (
+                "ingest_latency".into(),
+                latency_json(load.ingest_us.clone()),
+            ),
+        ]);
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot re-read {}: {}", path.display(), e));
+        let mut report = Json::parse(&raw).expect("suite report is valid JSON");
+        if let Json::Obj(fields) = &mut report {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            fields.push(("host_parallelism".into(), Json::from(cores)));
+            fields.push(("load_gen".into(), load_json));
+            fields.push((
+                "server_stats".into(),
+                Json::parse(&server_stats).expect("/stats is valid JSON"),
+            ));
+        }
+        std::fs::write(&path, report.to_string())
+            .unwrap_or_else(|e| panic!("cannot write {}: {}", path.display(), e));
+
+        let mut p = load.predict_us.clone();
+        p.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        eprintln!(
+            "[bench serve] {} queries / {} events in {:.2}s: \
+             {:.0} q/s, {:.0} ev/s; predict p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms",
+            load.queries,
+            load.events,
+            load.wall_secs,
+            load.queries as f64 / load.wall_secs,
+            load.events as f64 / load.wall_secs,
+            percentile(&p, 0.50) / 1e3,
+            percentile(&p, 0.95) / 1e3,
+            percentile(&p, 0.99) / 1e3,
+        );
+        eprintln!(
+            "[bench serve] appended load_gen report to {}",
+            path.display()
+        );
+    }
+
+    // Staleness contract held throughout: everything acked was published.
+    assert_eq!(shared.stats.staleness_lag(), 0);
+    server.shutdown();
+    std::fs::remove_file(&wal).ok();
+    std::fs::remove_file(&snap).ok();
+}

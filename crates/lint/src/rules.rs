@@ -30,23 +30,31 @@ pub struct RuleSpec {
 /// Crates whose compute paths must stay deterministic: the pipelined
 /// executor's staleness-0 bit-identity guarantee (DESIGN.md §6) is only
 /// checkable if no iteration-order or wall-clock dependence leaks into
-/// the schedule these crates produce.
+/// the schedule these crates produce. The serving engine is bound too —
+/// its restart guarantee (snapshot + WAL replay reproduces memories
+/// bit-for-bit, DESIGN.md §11) dies the moment a clock or hash order
+/// leaks into ingest; only its telemetry module may read clocks.
 const DETERMINISM_SCOPE: &[&str] = &[
     "crates/core/src/",
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
+    "crates/serve/src/",
     "crates/store/src/",
     "crates/tensor/src/",
 ];
 
 /// Hot-path crates where an unexpected panic kills a pipeline stage
-/// mid-training (the executor reports it, but the run is lost).
+/// mid-training (the executor reports it, but the run is lost). The
+/// serving crate is held to the same bar: a panic there drops a client
+/// connection at best and the ingest thread — the whole server — at
+/// worst.
 const PANIC_SCOPE: &[&str] = &[
     "crates/core/src/",
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
+    "crates/serve/src/",
     "crates/store/src/",
 ];
 
@@ -60,21 +68,25 @@ const IO_CONFINED_SCOPE: &[&str] = &[
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
+    "crates/serve/src/",
     "crates/tensor/src/",
     "crates/tgraph/src/",
 ];
 
-/// The designated I/O modules: parameter checkpointing and CSV ingest.
+/// The designated I/O modules: parameter checkpointing, CSV ingest, and
+/// the serving persistence layer (WAL + snapshot paths).
 /// (`crates/store` is the storage layer itself and sits outside the
 /// confinement scope entirely.)
 const IO_MODULES: &[&str] = &[
     "crates/models/src/checkpoint.rs",
+    "crates/serve/src/persist.rs",
     "crates/tgraph/src/dataset.rs",
 ];
 
-/// Telemetry module: timing/space instrumentation whose whole job is
-/// reading clocks; its outputs land in reports, never in schedules.
-const TELEMETRY: &[&str] = &["crates/core/src/instrument.rs"];
+/// Telemetry modules: timing/space instrumentation whose whole job is
+/// reading clocks; their outputs land in reports and `/stats` payloads,
+/// never in schedules or ingested state.
+const TELEMETRY: &[&str] = &["crates/core/src/instrument.rs", "crates/serve/src/stats.rs"];
 
 /// Modules allowed to call `arena::reset()`: the batch-loop drivers
 /// (trainer, streaming driver, pipelined executor) and the arena
@@ -150,12 +162,13 @@ pub const RULES: &[RuleSpec] = &[
     },
     RuleSpec {
         id: "conc-spawn",
-        scopes: &["crates/exec/src/"],
-        allowed_paths: &["crates/exec/src/pipeline.rs"],
+        scopes: &["crates/exec/src/", "crates/serve/src/"],
+        allowed_paths: &["crates/exec/src/pipeline.rs", "crates/serve/src/server.rs"],
         applies_to_tests: false,
-        why: "Detached thread::spawn outside the pipeline module escapes the \
-              executor's panic-safe shutdown protocol (scoped threads + channel \
-              disconnection); all concurrency belongs in pipeline.rs.",
+        why: "Detached thread::spawn outside the designated concurrency modules \
+              escapes the panic-safe shutdown protocols (scoped threads + channel \
+              disconnection); executor threads belong in exec/pipeline.rs and \
+              serving threads (accept loop, workers, ingest) in serve/server.rs.",
     },
     RuleSpec {
         id: "conc-guard-across-channel",
@@ -262,6 +275,29 @@ mod tests {
         assert!(in_scope(spawn, "crates/exec/src/workers.rs"));
         assert!(!in_scope(spawn, "crates/exec/src/pipeline.rs"));
         assert!(!in_scope(spawn, "crates/core/src/scheduler.rs"));
+    }
+
+    #[test]
+    fn serve_crate_is_bound_with_its_designated_escapes() {
+        // The engine is determinism/panic/io bound like any compute path.
+        let wall = rule("det-wallclock").expect("det-wallclock is registered");
+        assert!(in_scope(wall, "crates/serve/src/engine.rs"));
+        // … but the telemetry module may read clocks for latency stats.
+        assert!(!in_scope(wall, "crates/serve/src/stats.rs"));
+
+        let fs = rule("io-fs-confined").expect("io-fs-confined is registered");
+        assert!(in_scope(fs, "crates/serve/src/engine.rs"));
+        assert!(!in_scope(fs, "crates/serve/src/persist.rs"));
+
+        // Threads are confined to the server module, mirroring
+        // exec/pipeline.rs.
+        let spawn = rule("conc-spawn").expect("conc-spawn is registered");
+        assert!(in_scope(spawn, "crates/serve/src/engine.rs"));
+        assert!(!in_scope(spawn, "crates/serve/src/server.rs"));
+
+        let unwrap = rule("panic-unwrap").expect("panic-unwrap is registered");
+        assert!(in_scope(unwrap, "crates/serve/src/http.rs"));
+        assert!(in_scope(unwrap, "crates/serve/src/bin/cascade_serve.rs"));
     }
 
     #[test]

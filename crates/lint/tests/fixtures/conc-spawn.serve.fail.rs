@@ -1,0 +1,5 @@
+//@ path: crates/serve/src/engine.rs
+//@ expect: conc-spawn
+pub fn background_apply() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,7 @@
+//@ path: crates/serve/src/engine.rs
+//@ expect: det-wallclock
+use std::time::Instant;
+
+pub fn ingest_deadline() -> u128 {
+    Instant::now().elapsed().as_micros()
+}

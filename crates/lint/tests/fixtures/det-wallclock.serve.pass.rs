@@ -1,0 +1,8 @@
+//@ path: crates/serve/src/stats.rs
+// The serve telemetry module is allowlisted: timings here only fill the
+// /stats latency histograms, never model state.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+//@ path: crates/serve/src/engine.rs
+//@ expect: io-fs-confined
+//@ expect: io-fs-confined
+use std::fs;
+
+pub fn dump_snapshot(bytes: &[u8]) -> std::io::Result<()> {
+    fs::write("/tmp/serve_state.bin", bytes)
+}

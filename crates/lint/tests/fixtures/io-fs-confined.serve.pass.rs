@@ -1,0 +1,9 @@
+//@ path: crates/serve/src/persist.rs
+// The serve persistence module owns WAL + snapshot file handling and is
+// a designated I/O module; everywhere else in the crate, durable state
+// must flow through it.
+use std::fs;
+
+pub fn snapshot_len(path: &std::path::Path) -> std::io::Result<u64> {
+    Ok(fs::metadata(path)?.len())
+}

@@ -5,8 +5,26 @@
 //! served later. Parameter order is the module's `parameters()` order,
 //! which is stable for every model in this workspace.
 //!
-//! Format: magic `CSC1`, `u32` parameter count, then per parameter a
-//! `u32` element count followed by little-endian `f32` data.
+//! Two formats share the `.ckpt` extension and are distinguished by
+//! magic:
+//!
+//! * `CSC1` — parameters only: `u32` parameter count, then per
+//!   parameter a `u32` element count followed by little-endian `f32`
+//!   data ([`save_parameters`]/[`load_parameters`]).
+//! * `CSC2` — full mutable state: `u64` events-applied watermark, `u64`
+//!   blob length, then the [`export_state`](MemoryTgnn::export_state)
+//!   blob (parameters, node memories, last-update times, mailboxes) —
+//!   one call round-trips everything a serving process needs
+//!   ([`save_state`]/[`load_state`]).
+//!
+//! [`load_checkpoint`] sniffs the magic and accepts either.
+//!
+//! State snapshots are written to a sibling temp file and renamed into
+//! place, so a crash mid-write leaves the previous snapshot intact and
+//! a reader never observes a half-written file. A truncated `CSC2` file
+//! (e.g. from a copy that died) is still *detected* — the declared blob
+//! length is checked against what the file holds and reported as the
+//! typed [`CheckpointError::PartialSnapshot`].
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -14,7 +32,10 @@ use std::path::Path;
 
 use cascade_nn::Module;
 
+use crate::MemoryTgnn;
+
 const MAGIC: &[u8; 4] = b"CSC1";
+const STATE_MAGIC: &[u8; 4] = b"CSC2";
 
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
@@ -39,6 +60,17 @@ pub enum CheckpointError {
         /// Parameters found in the file.
         found: usize,
     },
+    /// A state snapshot is shorter than its header declares — the write
+    /// (or a later copy) was cut off before completing.
+    PartialSnapshot {
+        /// Bytes the snapshot header declares.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The state blob decoded but does not fit the receiving model
+    /// (wrong architecture, node count, or dimensions).
+    StateMismatch(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -60,6 +92,14 @@ impl fmt::Display for CheckpointError {
                 "file holds {} parameters, module expects {}",
                 found, expected
             ),
+            CheckpointError::PartialSnapshot { expected, found } => write!(
+                f,
+                "partial state snapshot: header declares {} bytes, file holds {}",
+                expected, found
+            ),
+            CheckpointError::StateMismatch(msg) => {
+                write!(f, "state blob does not fit this model: {}", msg)
+            }
         }
     }
 }
@@ -165,6 +205,102 @@ pub fn load_parameters<M: Module>(module: &mut M, path: &Path) -> Result<(), Che
     Ok(())
 }
 
+/// Atomically snapshots the model's full mutable state — parameters,
+/// node memories, last-update times, and pending mailbox messages — to
+/// `path`, tagged with `events_applied`, the number of stream events the
+/// state reflects.
+///
+/// The snapshot is written to a sibling `<name>.tmp` file and renamed
+/// into place, so a crash mid-write never clobbers an existing good
+/// snapshot and concurrent readers never see a partial file.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failures.
+pub fn save_state(
+    model: &MemoryTgnn,
+    path: &Path,
+    events_applied: u64,
+) -> Result<(), CheckpointError> {
+    let blob = model.export_state();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        f.write_all(STATE_MAGIC)?;
+        f.write_all(&events_applied.to_le_bytes())?;
+        f.write_all(&(blob.len() as u64).to_le_bytes())?;
+        f.write_all(&blob)?;
+        f.flush()?;
+        f.get_ref().sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Restores a state snapshot written by [`save_state`] into `model`,
+/// returning the events-applied watermark it was tagged with.
+///
+/// # Errors
+///
+/// I/O failures, wrong magic, [`CheckpointError::PartialSnapshot`] when
+/// the file is shorter than its header declares, and
+/// [`CheckpointError::StateMismatch`] when the blob does not fit the
+/// receiving model. The model is modified only after the blob has been
+/// fully read and size-checked.
+pub fn load_state(model: &mut MemoryTgnn, path: &Path) -> Result<u64, CheckpointError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic)?;
+    if &magic != STATE_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut u64buf = [0u8; 8];
+    f.read_exact(&mut u64buf)?;
+    let events_applied = u64::from_le_bytes(u64buf);
+    f.read_exact(&mut u64buf)?;
+    let declared = u64::from_le_bytes(u64buf) as usize;
+    let mut blob = Vec::with_capacity(declared.min(1 << 30));
+    f.read_to_end(&mut blob)?;
+    if blob.len() != declared {
+        return Err(CheckpointError::PartialSnapshot {
+            expected: declared,
+            found: blob.len(),
+        });
+    }
+    model
+        .import_state(&blob)
+        .map_err(CheckpointError::StateMismatch)?;
+    Ok(events_applied)
+}
+
+/// Loads either checkpoint flavor into `model` by sniffing the magic:
+/// a `CSC2` state snapshot restores parameters *and* mutable state and
+/// returns `Some(events_applied)`; a `CSC1` parameter file restores
+/// weights only and returns `None` (memories stay as built — a fresh
+/// model starts cold).
+///
+/// # Errors
+///
+/// The union of [`load_parameters`] and [`load_state`] errors, plus
+/// [`CheckpointError::BadMagic`] when the file is neither format.
+pub fn load_checkpoint(
+    model: &mut MemoryTgnn,
+    path: &Path,
+) -> Result<Option<u64>, CheckpointError> {
+    let mut magic = [0u8; 4];
+    {
+        let mut f = std::fs::File::open(path)?;
+        f.read_exact(&mut magic)?;
+    }
+    if &magic == STATE_MAGIC {
+        load_state(model, path).map(Some)
+    } else if &magic == MAGIC {
+        load_parameters(model, path).map(|()| None)
+    } else {
+        Err(CheckpointError::BadMagic)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +380,102 @@ mod tests {
             load_parameters(&mut m, Path::new("/nonexistent/nope.ckpt")),
             Err(CheckpointError::Io(_))
         ));
+    }
+
+    /// A model with evolved memories, restored from a state snapshot.
+    fn evolved() -> (MemoryTgnn, Vec<Event>, cascade_tgraph::EdgeFeatures) {
+        let events = vec![
+            Event::new(0u32, 1u32, 1.0),
+            Event::new(2u32, 3u32, 2.0),
+            Event::new(1u32, 4u32, 3.0),
+            Event::new(0u32, 2u32, 4.0),
+        ];
+        let feats = synth_features(8, 4, 11);
+        let mut m = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 3);
+        m.process_batch(&events[..2], 0, &feats);
+        m.process_batch(&events[2..], 2, &feats);
+        (m, events, feats)
+    }
+
+    #[test]
+    fn state_roundtrip_restores_memories_and_watermark() {
+        let path = tmp("state_roundtrip.ckpt");
+        let (a, _, _) = evolved();
+        save_state(&a, &path, 4).unwrap();
+
+        let mut b = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 77);
+        let applied = load_state(&mut b, &path).unwrap();
+        assert_eq!(applied, 4);
+        assert_eq!(a.export_state(), b.export_state(), "bit-identical state");
+    }
+
+    #[test]
+    fn sniffer_dispatches_both_formats() {
+        let (a, _, _) = evolved();
+        let p1 = tmp("sniff_params.ckpt");
+        let p2 = tmp("sniff_state.ckpt");
+        save_parameters(&a, &p1).unwrap();
+        save_state(&a, &p2, 9).unwrap();
+
+        let mut m = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 1);
+        assert_eq!(load_checkpoint(&mut m, &p1).unwrap(), None);
+        assert_eq!(load_checkpoint(&mut m, &p2).unwrap(), Some(9));
+        assert_eq!(a.export_state(), m.export_state());
+        let garbage = tmp("sniff_garbage.ckpt");
+        std::fs::write(&garbage, b"XXXXtrailing").unwrap();
+        assert!(matches!(
+            load_checkpoint(&mut m, &garbage),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncated_snapshot_is_partial_and_leaves_model_untouched() {
+        let path = tmp("state_truncated.ckpt");
+        let (a, _, _) = evolved();
+        save_state(&a, &path, 4).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 32]).unwrap();
+
+        let mut b = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 77);
+        let before = b.export_state();
+        assert!(matches!(
+            load_state(&mut b, &path),
+            Err(CheckpointError::PartialSnapshot { .. })
+        ));
+        assert_eq!(b.export_state(), before, "failed load mutates nothing");
+    }
+
+    #[test]
+    fn state_into_wrong_architecture_is_mismatch() {
+        let path = tmp("state_wrong_arch.ckpt");
+        let (a, _, _) = evolved();
+        save_state(&a, &path, 4).unwrap();
+        let mut wrong = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 9, 4, 1);
+        assert!(matches!(
+            load_state(&mut wrong, &path),
+            Err(CheckpointError::StateMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn clone_shares_parameters_but_not_state() {
+        let (mut a, events, feats) = evolved();
+        let frozen = a.clone();
+        let frozen_mem = frozen.export_state();
+
+        // Evolve the original further: the clone's memories must not move.
+        a.process_batch(&events, 4, &feats);
+        assert_eq!(frozen.export_state(), frozen_mem, "clone state is frozen");
+        assert_ne!(a.export_state(), frozen_mem, "original kept evolving");
+
+        // But parameters are shared handles: poke one through the
+        // original and observe it through the clone.
+        let pa = a.parameters();
+        let v0 = pa[0].to_vec();
+        let mut bumped = v0.clone();
+        bumped[0] += 1.0;
+        pa[0].set_data(&bumped);
+        assert_eq!(frozen.parameters()[0].to_vec(), bumped);
     }
 }

@@ -38,7 +38,9 @@ mod config;
 mod memory;
 mod model;
 
-pub use checkpoint::{load_parameters, save_parameters, CheckpointError};
+pub use checkpoint::{
+    load_checkpoint, load_parameters, load_state, save_parameters, save_state, CheckpointError,
+};
 pub use classifier::NodeClassifier;
 pub use config::{EmbedderKind, ModelConfig, Sampling, UpdaterKind};
 pub use memory::{Mailbox, NodeMemory};

@@ -104,6 +104,7 @@ struct ShardForward {
     busy: Duration,
 }
 
+#[derive(Clone)]
 enum Updater {
     Rnn(RnnCell),
     Gru(GruCell),
@@ -116,6 +117,7 @@ enum Updater {
     Identity(Linear),
 }
 
+#[derive(Clone)]
 enum Embedder {
     Jodie { decay: Tensor },
     Identity,
@@ -152,6 +154,37 @@ pub struct MemoryTgnn {
     predictor: EdgePredictor,
     neg_sampler: NegativeSampler,
     compute_threads: usize,
+}
+
+/// Cloning shares the *parameter* tensors (a [`Tensor`] clone is a
+/// shallow handle onto the same storage, so both clones see the same
+/// trained weights) while deep-copying the mutable per-node state:
+/// memories, mailboxes, and the temporal adjacency store.
+///
+/// That split is exactly what online serving needs — a frozen,
+/// internally consistent read snapshot of the evolving state, scored
+/// with the live weights. It also means a clone is **not** an
+/// independent trainable model: stepping an optimizer on either clone
+/// moves the weights of both. Use
+/// [`export_state`](MemoryTgnn::export_state) /
+/// [`import_state`](MemoryTgnn::import_state) into a freshly built model
+/// for a fully detached copy.
+impl Clone for MemoryTgnn {
+    fn clone(&self) -> Self {
+        MemoryTgnn {
+            config: self.config.clone(),
+            edge_feat_dim: self.edge_feat_dim,
+            memory: self.memory.clone(),
+            mailbox: self.mailbox.clone(),
+            adjacency: self.adjacency.clone(),
+            time_enc: self.time_enc.clone(),
+            updater: self.updater.clone(),
+            embedder: self.embedder.clone(),
+            predictor: self.predictor.clone(),
+            neg_sampler: self.neg_sampler.clone(),
+            compute_threads: self.compute_threads,
+        }
+    }
 }
 
 impl MemoryTgnn {
@@ -241,6 +274,11 @@ impl MemoryTgnn {
     /// Number of nodes covered.
     pub fn num_nodes(&self) -> usize {
         self.memory.num_nodes()
+    }
+
+    /// Edge-feature width this model was built for.
+    pub fn edge_feat_dim(&self) -> usize {
+        self.edge_feat_dim
     }
 
     /// Read access to the node-memory store.

@@ -1,0 +1,69 @@
+//! Typed serving errors.
+
+use std::fmt;
+
+use cascade_models::CheckpointError;
+use cascade_store::StoreError;
+
+/// Everything that can go wrong while opening or running a serving
+/// engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// WAL read/write failure (typed store error underneath).
+    Wal(StoreError),
+    /// Snapshot save/load failure (typed checkpoint error underneath).
+    Snapshot(CheckpointError),
+    /// The snapshot claims more applied events than the WAL holds — the
+    /// WAL was truncated or swapped out from under its snapshot, so the
+    /// tail needed to reach the snapshot's state is gone.
+    SnapshotAheadOfWal {
+        /// Events the snapshot has applied.
+        snapshot: usize,
+        /// Events recoverable from the WAL.
+        wal: usize,
+    },
+    /// The WAL or snapshot disagrees with the model's shape (node count
+    /// or feature width).
+    ShapeMismatch(String),
+    /// A client request was malformed or out of range.
+    BadRequest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Wal(e) => write!(f, "write-ahead log error: {}", e),
+            ServeError::Snapshot(e) => write!(f, "snapshot error: {}", e),
+            ServeError::SnapshotAheadOfWal { snapshot, wal } => write!(
+                f,
+                "snapshot has applied {} events but the WAL only holds {}; \
+                 the log this snapshot depends on is gone",
+                snapshot, wal
+            ),
+            ServeError::ShapeMismatch(msg) => write!(f, "shape mismatch: {}", msg),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Wal(e) => Some(e),
+            ServeError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}

@@ -1,0 +1,196 @@
+//! A deliberately small HTTP/1.1 subset: request parsing and response
+//! writing over a [`TcpStream`], enough for the serving endpoints and
+//! nothing more (no chunked encoding, no continuations, no TLS).
+//!
+//! Zero-dependency policy: this replaces an HTTP crate, not the
+//! protocol — requests are `METHOD PATH HTTP/1.x`, headers until a
+//! blank line, and an optional `Content-Length` body. Every deviation
+//! is a typed [`HttpError`], never a panic, so a hostile or broken
+//! client can at worst get its own connection closed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request body, in bytes (a 16 MiB ingest batch).
+pub const MAX_BODY: usize = 16 << 20;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, e.g. `/predict`.
+    pub path: String,
+    /// Decoded body (empty without `Content-Length`).
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The bytes were not a well-formed request.
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY`].
+    TooLarge(usize),
+    /// The client closed the connection cleanly at a request boundary.
+    Closed,
+    /// A read timeout fired at a request boundary (nothing of a next
+    /// request read yet) — the connection is idle, not broken; the
+    /// caller may poll again.
+    Idle,
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from `reader` (a buffered wrapper the caller keeps
+/// alive across keep-alive requests, so pipelined bytes are not lost).
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] when the connection ends cleanly at a request
+/// boundary (the normal end of a keep-alive connection) and
+/// [`HttpError::Idle`] when a read timeout fires there — poll again.
+/// Everything else is a real error: [`HttpError::Malformed`] for
+/// protocol violations (including a timeout mid-request),
+/// [`HttpError::TooLarge`] for oversized bodies, [`HttpError::Io`] for
+/// transport failures.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(HttpError::Closed),
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) && line.is_empty() => return Err(HttpError::Idle),
+        Err(e) if is_timeout(&e) => {
+            return Err(HttpError::Malformed("timed out mid-request".to_string()))
+        }
+        Err(e) => return Err(HttpError::Io(e)),
+    }
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_string(), p.to_string(), v)
+        }
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line: {:?}",
+                line
+            )))
+        }
+    };
+    // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Err(HttpError::Malformed("eof inside headers".to_string())),
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::Malformed("timed out in headers".to_string()))
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            if content_length > MAX_BODY {
+                return Err(HttpError::TooLarge(content_length));
+            }
+            let mut body = vec![0u8; content_length];
+            if content_length > 0 {
+                read_exact_with_timeout(reader, &mut body)?;
+            }
+            let body = String::from_utf8(body)
+                .map_err(|_| HttpError::Malformed("body is not UTF-8".to_string()))?;
+            return Ok(Request {
+                method,
+                path,
+                body,
+                keep_alive,
+            });
+        }
+        let (name, value) = match header.split_once(':') {
+            Some((n, v)) => (n.trim(), v.trim()),
+            None => return Err(HttpError::Malformed(format!("bad header: {:?}", header))),
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length: {:?}", value)))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    Err(HttpError::Malformed("too many headers".to_string()))
+}
+
+fn read_exact_with_timeout(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut [u8],
+) -> Result<(), HttpError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match reader.read(&mut buf[got..]) {
+            Ok(0) => return Err(HttpError::Malformed("eof inside body".to_string())),
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::Malformed("timed out in body".to_string()))
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one response with a JSON body.
+///
+/// # Errors
+///
+/// [`std::io::Error`] on transport failure (the caller drops the
+/// connection).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    // One write per response: splitting head and body into separate
+    // segments interacts with Nagle + delayed ACK and costs ~40ms per
+    // round-trip on loopback.
+    let response = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
+        status,
+        reason,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+        body,
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}

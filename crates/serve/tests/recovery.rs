@@ -1,0 +1,235 @@
+//! Fault-injection: kill the serving engine at arbitrary points and
+//! prove restart reproduces memories **bit-identically** over the acked
+//! prefix — the durability contract behind every `/ingest` 200.
+
+use cascade_models::{MemoryTgnn, ModelConfig};
+use cascade_serve::{Engine, EngineConfig, ServeError};
+use cascade_tgraph::Event;
+
+const NODES: usize = 12;
+const FEAT_DIM: usize = 4;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cascade_serve_recovery_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{}_{}", std::process::id(), name));
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+/// The serving base model: every open starts from this exact state, as
+/// a restarted server does when reloading the same training checkpoint.
+fn base_model() -> MemoryTgnn {
+    MemoryTgnn::new(
+        ModelConfig::tgn().with_dims(8, 4).with_neighbors(2),
+        NODES,
+        FEAT_DIM,
+        5,
+    )
+}
+
+/// Deterministic time-ordered event stream with feature rows.
+fn batch(range: std::ops::Range<usize>) -> (Vec<Event>, Vec<f32>) {
+    let events: Vec<Event> = range
+        .clone()
+        .map(|i| Event::new((i % NODES) as u32, ((i * 3 + 1) % NODES) as u32, i as f64))
+        .collect();
+    let feats: Vec<f32> = range
+        .flat_map(|i| (0..FEAT_DIM).map(move |j| (i * FEAT_DIM + j) as f32 * 0.01))
+        .collect();
+    (events, feats)
+}
+
+fn config(wal: &std::path::Path, snap: &std::path::Path) -> EngineConfig {
+    EngineConfig::new(wal, snap).with_wal_chunk(4)
+}
+
+/// Reference: the uninterrupted run over `n` events in ingest calls of
+/// `per`, returning the engine's final serialized state.
+fn uninterrupted_state(n: usize, per: usize, tag: &str) -> Vec<u8> {
+    let wal = tmp(&format!("ref_{}.wal", tag));
+    let snap = tmp(&format!("ref_{}.ckpt", tag));
+    let mut engine = Engine::open(base_model(), config(&wal, &snap)).unwrap();
+    let mut at = 0;
+    while at < n {
+        let hi = (at + per).min(n);
+        let (events, feats) = batch(at..hi);
+        engine.ingest(&events, &feats).unwrap();
+        at = hi;
+    }
+    let state = engine.export_state();
+    std::fs::remove_file(&wal).ok();
+    state
+}
+
+#[test]
+fn kill_and_restart_is_bit_identical_over_acked_events() {
+    let wal = tmp("kill.wal");
+    let snap = tmp("kill.ckpt");
+
+    // Serve 10 events in two acked ingests, then die without any
+    // orderly shutdown.
+    let mut engine = Engine::open(base_model(), config(&wal, &snap)).unwrap();
+    let (e1, f1) = batch(0..6);
+    let ack = engine.ingest(&e1, &f1).unwrap();
+    assert_eq!((ack.acked, ack.total_acked), (6, 6));
+    let (e2, f2) = batch(6..10);
+    assert_eq!(engine.ingest(&e2, &f2).unwrap().total_acked, 10);
+    std::mem::forget(engine); // kill -9
+
+    // Restart from the same base checkpoint: the WAL replays both
+    // ingests with their original sub-batch boundaries.
+    let restarted = Engine::open(base_model(), config(&wal, &snap)).unwrap();
+    assert_eq!(restarted.applied(), 10);
+    let rec = restarted.recovery();
+    assert_eq!(rec.wal_events, 10);
+    assert_eq!(rec.snapshot_events, 0, "no snapshot was ever written");
+
+    assert_eq!(
+        restarted.export_state(),
+        uninterrupted_state(10, 6, "kill"),
+        "restarted memories must match the uninterrupted run bit-for-bit"
+    );
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn torn_wal_tail_is_discarded_and_prefix_restored_exactly() {
+    let wal = tmp("torn.wal");
+    let snap = tmp("torn.ckpt");
+
+    let mut engine = Engine::open(base_model(), config(&wal, &snap)).unwrap();
+    let (e1, f1) = batch(0..8);
+    engine.ingest(&e1, &f1).unwrap();
+    std::mem::forget(engine);
+
+    // A kill mid-append leaves half a frame of garbage at the tail.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(&[0xCD; 23]).unwrap();
+    }
+
+    let restarted = Engine::open(base_model(), config(&wal, &snap)).unwrap();
+    assert!(restarted.recovery().torn_tail_discarded);
+    assert_eq!(restarted.applied(), 8, "only acked events are served");
+    assert_eq!(restarted.export_state(), uninterrupted_state(8, 8, "torn"));
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn restart_via_snapshot_plus_tail_matches_full_replay() {
+    let wal = tmp("snaptail.wal");
+    let snap = tmp("snaptail.ckpt");
+
+    // Snapshot cadence 8 with 20 events in 4-event frames: a snapshot
+    // lands at watermark 8 and again at 16, leaving a 4-event tail.
+    let cfg = config(&wal, &snap).with_snapshot_every(8);
+    let mut engine = Engine::open(base_model(), cfg.clone()).unwrap();
+    let mut at = 0;
+    while at < 20 {
+        let (events, feats) = batch(at..at + 4);
+        engine.ingest(&events, &feats).unwrap();
+        at += 4;
+    }
+    std::mem::forget(engine);
+
+    let restarted = Engine::open(base_model(), cfg).unwrap();
+    let rec = restarted.recovery();
+    assert_eq!(rec.wal_events, 20);
+    assert_eq!(
+        rec.snapshot_events, 16,
+        "restart took the snapshot shortcut"
+    );
+    assert_eq!(restarted.applied(), 20);
+    assert_eq!(
+        restarted.export_state(),
+        uninterrupted_state(20, 4, "snaptail"),
+        "snapshot + tail replay must equal replaying everything"
+    );
+    std::fs::remove_file(&wal).ok();
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn double_restart_survives_and_keeps_accepting() {
+    let wal = tmp("double.wal");
+    let snap = tmp("double.ckpt");
+
+    let mut engine = Engine::open(base_model(), config(&wal, &snap)).unwrap();
+    let (e1, f1) = batch(0..5);
+    engine.ingest(&e1, &f1).unwrap();
+    std::mem::forget(engine);
+
+    let mut engine = Engine::open(base_model(), config(&wal, &snap)).unwrap();
+    let (e2, f2) = batch(5..9);
+    engine.ingest(&e2, &f2).unwrap();
+    std::mem::forget(engine);
+
+    let restarted = Engine::open(base_model(), config(&wal, &snap)).unwrap();
+    assert_eq!(restarted.applied(), 9);
+    assert_eq!(
+        restarted.export_state(),
+        uninterrupted_state(9, 5, "double")
+    );
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn snapshot_without_its_wal_is_refused() {
+    let wal = tmp("orphan.wal");
+    let snap = tmp("orphan.ckpt");
+
+    let cfg = config(&wal, &snap).with_snapshot_every(4);
+    let mut engine = Engine::open(base_model(), cfg.clone()).unwrap();
+    let (e1, f1) = batch(0..8);
+    engine.ingest(&e1, &f1).unwrap();
+    std::mem::forget(engine);
+
+    // Losing the WAL strands the snapshot: the tail (and the proof the
+    // snapshot matches the log) is gone. That must be a typed refusal,
+    // not silent service of unverifiable state.
+    std::fs::remove_file(&wal).unwrap();
+    assert!(matches!(
+        Engine::open(base_model(), cfg),
+        Err(ServeError::SnapshotAheadOfWal {
+            snapshot: 8,
+            wal: 0
+        })
+    ));
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn bad_requests_leave_no_trace_in_the_log() {
+    let wal = tmp("badreq.wal");
+    let snap = tmp("badreq.ckpt");
+
+    let mut engine = Engine::open(base_model(), config(&wal, &snap)).unwrap();
+    let (e1, f1) = batch(0..4);
+    engine.ingest(&e1, &f1).unwrap();
+
+    // Out-of-range node, wrong feature width, and a time regression:
+    // all rejected before anything is framed.
+    let bad_node = vec![Event::new(NODES as u32, 0u32, 100.0)];
+    assert!(matches!(
+        engine.ingest(&bad_node, &[0.0; FEAT_DIM]),
+        Err(ServeError::BadRequest(_))
+    ));
+    let (e2, _) = batch(4..5);
+    assert!(matches!(
+        engine.ingest(&e2, &[0.0; FEAT_DIM - 1]),
+        Err(ServeError::BadRequest(_))
+    ));
+    let regress = vec![Event::new(0u32, 1u32, 0.5)];
+    assert!(matches!(
+        engine.ingest(&regress, &[0.0; FEAT_DIM]),
+        Err(ServeError::BadRequest(_))
+    ));
+    assert_eq!(engine.applied(), 4);
+    std::mem::forget(engine);
+
+    let restarted = Engine::open(base_model(), config(&wal, &snap)).unwrap();
+    assert_eq!(restarted.recovery().wal_events, 4);
+    std::fs::remove_file(&wal).ok();
+}

@@ -14,7 +14,10 @@
 //! [`StreamingEventSource`] feeds training directly from disk through a
 //! bounded prefetch thread, yielding chunks bit-identical to the
 //! in-memory [`InMemorySource`](cascade_tgraph::InMemorySource) over the
-//! same events.
+//! same events. [`ChunkWriter::sync`] and [`recover_log`] turn the same
+//! format into a crash-consistent write-ahead log: every synced frame
+//! survives a kill, and recovery returns the valid frame prefix while
+//! discarding a torn tail.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@ mod error;
 mod format;
 mod reader;
 mod source;
+mod wal;
 mod writer;
 
 pub use crc::{crc32, Crc32};
@@ -46,4 +50,5 @@ pub use error::StoreError;
 pub use format::{FrameHeader, StoreMeta, MAGIC, VERSION};
 pub use reader::{import_dataset, ChunkReader, StoredChunk};
 pub use source::StreamingEventSource;
+pub use wal::{recover_log, WalRecovery};
 pub use writer::{export_dataset, ChunkWriter, StoreSummary};

@@ -75,13 +75,31 @@ impl ChunkReader {
     /// header, [`StoreError::CrcMismatch`] when the checksum fails, and
     /// [`StoreError::Io`] on other read failures.
     pub fn next_frame(&mut self) -> Result<Option<StoredChunk>, StoreError> {
+        self.read_frame(true)
+    }
+
+    /// Like [`next_frame`](Self::next_frame), but a clean end of file at
+    /// a frame boundary is `Ok(None)` even when the header's declared
+    /// event count has not been reached.
+    ///
+    /// This is the write-ahead-log read mode: a WAL produced by
+    /// [`ChunkWriter::sync`](crate::ChunkWriter::sync) is never
+    /// `finish`ed, so its header permanently declares zero events while
+    /// the frames behind it are valid. All per-frame validation (CRC,
+    /// shape, base continuity) is unchanged — only the end-of-stream
+    /// accounting is relaxed.
+    pub fn next_frame_tolerant(&mut self) -> Result<Option<StoredChunk>, StoreError> {
+        self.read_frame(false)
+    }
+
+    fn read_frame(&mut self, strict_eof: bool) -> Result<Option<StoredChunk>, StoreError> {
         let chunk = self.next_index;
         let mut header_buf = [0u8; FRAME_HEADER_LEN];
-        // A clean EOF at a frame boundary ends the stream — but only if
-        // the declared event count has been reached.
+        // A clean EOF at a frame boundary ends the stream — but (in
+        // strict mode) only if the declared event count has been reached.
         let first = self.file.read(&mut header_buf)?;
         if first == 0 {
-            if self.events_seen != self.meta.num_events {
+            if strict_eof && self.events_seen != self.meta.num_events {
                 return Err(StoreError::TruncatedFrame { chunk });
             }
             return Ok(None);

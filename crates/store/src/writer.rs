@@ -58,6 +58,10 @@ impl ChunkWriter {
         };
         let mut file = BufWriter::new(File::create(path)?);
         file.write_all(&meta.encode())?;
+        // Push the provisional header out of the userspace buffer right
+        // away: a process killed before its first frame flush then
+        // leaves a readable empty store, not a zero-byte file.
+        file.flush()?;
         Ok(ChunkWriter {
             file,
             meta,
@@ -97,6 +101,39 @@ impl ChunkWriter {
             self.flush_frame()?;
         }
         Ok(())
+    }
+
+    /// Flushes any buffered partial frame as its own chunk and syncs the
+    /// file to stable storage — the durability point for write-ahead-log
+    /// use: every event pushed before a `sync` survives a process kill.
+    ///
+    /// The header still declares zero events (only
+    /// [`finish`](ChunkWriter::finish) rewrites it), so a synced-but-
+    /// unfinished file is read back with
+    /// [`recover_log`](crate::recover_log), which accepts the valid frame
+    /// prefix instead of demanding the declared count. Because `sync`
+    /// closes the pending frame, frame boundaries record exactly the
+    /// caller's ack boundaries — recovery can replay batch-for-batch.
+    ///
+    /// Returns the total events durably framed so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the flush or fsync fails.
+    pub fn sync(&mut self) -> Result<usize, StoreError> {
+        assert!(!self.finished, "sync after finish");
+        if !self.pending.is_empty() {
+            self.flush_frame()?;
+        }
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        Ok(self.written)
+    }
+
+    /// Events flushed into completed frames so far (excludes any pending
+    /// partial frame not yet closed by `push`/`sync`/`finish`).
+    pub fn written(&self) -> usize {
+        self.written
     }
 
     /// Flushes any partial final chunk, rewrites the header's event

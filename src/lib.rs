@@ -16,6 +16,8 @@
 //! | [`models`] | `cascade-models` | JODIE / TGN / APAN / DySAT / TGAT |
 //! | [`core`] | `cascade-core` | the Cascade scheduler + trainer |
 //! | [`exec`] | `cascade-exec` | staleness-aware pipelined executor |
+//! | [`store`] | `cascade-store` | chunked on-disk event store + WAL |
+//! | [`serve`] | `cascade-serve` | online serving with live ingest |
 //! | [`baselines`] | `cascade-baselines` | TGL, TGLite, NeutronStream, ETC |
 //!
 //! The [`prelude`] collects the handful of types a typical training
@@ -51,6 +53,8 @@ pub use cascade_core as core;
 pub use cascade_exec as exec;
 pub use cascade_models as models;
 pub use cascade_nn as nn;
+pub use cascade_serve as serve;
+pub use cascade_store as store;
 pub use cascade_tensor as tensor;
 pub use cascade_tgraph as tgraph;
 
