@@ -1,17 +1,23 @@
-//! The rule engine: runs every registered rule over one file's token
-//! stream, honoring test-code exemptions and in-source suppressions.
+//! The rule engine: token rules and intraprocedural flow analyses per
+//! file ([`check_file`]), interprocedural analyses over every file's
+//! facts ([`analyze_program`]), honoring test-code exemptions and
+//! in-source suppressions throughout.
 //!
-//! The engine is deliberately token-based, not AST-based: the invariants
-//! it guards (no hash iteration in schedules, no bare unwraps in hot
-//! paths, no lock guard across a channel op) are all visible in the
-//! token stream, and a ~600-line analyzer that the whole team can read
-//! beats a parser dependency the zero-dependency policy forbids. The
-//! price is documented heuristics (e.g. guard tracking is per-block, not
-//! dataflow-precise); every heuristic errs toward *flagging*, and the
-//! suppression mechanism — with a mandatory reason — is the escape
-//! hatch.
+//! The engine is deliberately grammar-light: token rules catch what is
+//! visible in the token stream (hash containers, unwraps, panics), and
+//! the flow layer ([`crate::parse`], [`crate::flow`],
+//! [`crate::callgraph`]) adds exactly the structure those rules lack —
+//! function boundaries, guard scopes, call edges — without a parser
+//! dependency the zero-dependency policy forbids. The price is
+//! documented heuristics (linear-path scans, name-based call
+//! resolution, not dataflow lattices); every heuristic errs toward
+//! *flagging*, and the suppression mechanism — with a mandatory
+//! reason — is the escape hatch.
 
+use crate::callgraph::{det_taint_findings, lock_order_findings, ProgramFn};
+use crate::flow::{self, LockFacts, TaintFacts};
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parse::{calls_in, parse_fns};
 use crate::rules::{in_scope, rule, RuleSpec, RULES};
 
 /// One rule violation at a source location.
@@ -52,22 +58,80 @@ struct Directive {
     known: bool,
 }
 
-/// Checks one Rust source file against every rule in scope for `path`.
+/// Per-function facts extracted by the flow layer.
+struct FnFacts {
+    name: String,
+    lock: LockFacts,
+    taint: TaintFacts,
+}
+
+/// Everything [`analyze_program`] needs about one scanned file: the
+/// per-function flow facts plus the suppression and test-region context
+/// to filter interprocedural findings at emission.
+pub struct FileFacts {
+    /// Workspace-relative path.
+    pub path: String,
+    lines: Vec<String>,
+    fns: Vec<FnFacts>,
+    directives: Vec<Directive>,
+    test_lines: Vec<u32>,
+}
+
+impl FileFacts {
+    /// Whether a valid reasoned directive silences `rule_id` at `line`.
+    fn allows(&self, rule_id: &str, line: u32) -> bool {
+        self.directives.iter().any(|d| {
+            d.known
+                && d.has_reason
+                && d.rule_id == rule_id
+                && (d.target_line.is_none() || d.target_line == Some(line))
+        })
+    }
+}
+
+/// The offending source line, trimmed and whitespace-collapsed.
+fn snippet_of(lines: &[String], line: u32) -> String {
+    let raw = lines
+        .get(line as usize - 1)
+        .map(String::as_str)
+        .unwrap_or("");
+    let mut s = raw.split_whitespace().collect::<Vec<_>>().join(" ");
+    if s.len() > 120 {
+        s.truncate(117);
+        s.push_str("...");
+    }
+    s
+}
+
+/// Deterministic finding order: (file, line, col, rule), deduplicated.
+pub(crate) fn sort_findings(findings: &mut Vec<Finding>) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    findings.dedup();
+}
+
+/// Checks one Rust source file against every rule in scope for `path`,
+/// running the per-file analyses *and* the interprocedural ones over
+/// this file alone. Workspace scans use [`check_file`] +
+/// [`analyze_program`] instead, so call-graph analyses see every file
+/// at once.
 pub fn check_source(path: &str, source: &str) -> FileReport {
+    let (mut report, facts) = check_file(path, source);
+    let (extra, suppressed) = analyze_program(std::slice::from_ref(&facts));
+    report.findings.extend(extra);
+    report.suppressed += suppressed;
+    sort_findings(&mut report.findings);
+    report
+}
+
+/// Runs the token rules and intraprocedural flow analyses over one
+/// file, returning its report plus the facts [`analyze_program`] needs.
+pub fn check_file(path: &str, source: &str) -> (FileReport, FileFacts) {
     let toks = lex(source);
     let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
     let in_test = test_regions(&code);
     let (directives, comment_lines) = parse_directives(&toks, &code);
-
-    let snippet = |line: u32| -> String {
-        let raw = source.lines().nth(line as usize - 1).unwrap_or("");
-        let mut s = raw.split_whitespace().collect::<Vec<_>>().join(" ");
-        if s.len() > 120 {
-            s.truncate(117);
-            s.push_str("...");
-        }
-        s
-    };
 
     let mut report = FileReport::default();
     let mut raw: Vec<(&'static RuleSpec, u32, u32)> = Vec::new();
@@ -116,7 +180,27 @@ pub fn check_source(path: &str, source: &str) -> FileReport {
             raw.push((force("conc-static-mut"), t.line, t.col));
         }
     }
-    guard_across_channel(&code, &mut raw);
+
+    // ---- Flow analyses (per function) ----
+    // Guard-across-blocking and arena balance report here; lock and
+    // taint facts feed `analyze_program`'s call-graph passes.
+    let items = parse_fns(&code);
+    let mut fn_facts: Vec<FnFacts> = Vec::with_capacity(items.len());
+    for item in &items {
+        let mut flow_raw: Vec<flow::RawFinding> = Vec::new();
+        let mut lock = flow::scan_locks(&code, item, &mut flow_raw);
+        let calls = calls_in(&code, item.body, &item.nested);
+        lock.calls = flow::scan_calls_with_held(&code, item, &calls).calls;
+        flow::scan_arena_balance(&code, item, &mut flow_raw);
+        for (id, line, col) in flow_raw {
+            raw.push((force(id), line, col));
+        }
+        fn_facts.push(FnFacts {
+            name: item.name.clone(),
+            lock,
+            taint: flow::scan_taint(&code, item),
+        });
+    }
 
     // ---- Arena lifecycle ----
     // `arena::reset()` (or `cascade_tensor::arena::reset()`) outside the
@@ -166,32 +250,31 @@ pub fn check_source(path: &str, source: &str) -> FileReport {
     }
 
     // ---- Scope, test-code, and suppression filtering ----
-    let file_allows: Vec<&str> = directives
-        .iter()
-        .filter(|d| d.known && d.has_reason && d.target_line.is_none())
-        .map(|d| d.rule_id.as_str())
-        .collect();
     let test_lines: Vec<u32> = code
         .iter()
         .zip(&in_test)
         .filter(|(_, &t)| t)
         .map(|(tok, _)| tok.line)
         .collect();
+    let facts = FileFacts {
+        path: path.to_string(),
+        lines: source.lines().map(str::to_string).collect(),
+        fns: fn_facts,
+        directives,
+        test_lines,
+    };
 
     for (spec, line, col) in raw {
         if !in_scope(spec, path) {
             continue;
         }
-        if !spec.applies_to_tests && test_lines.binary_search(&line).is_ok() {
+        if !spec.applies_to_tests && facts.test_lines.binary_search(&line).is_ok() {
             continue;
         }
         // `policy-bare-suppression` is the one rule that cannot be
         // suppressed — silencing the silencer defeats the audit trail.
         let suppressible = spec.id != "policy-bare-suppression";
-        let line_allowed = directives.iter().any(|d| {
-            d.known && d.has_reason && d.rule_id == spec.id && d.target_line == Some(line)
-        });
-        if suppressible && (line_allowed || file_allows.contains(&spec.id)) {
+        if suppressible && facts.allows(spec.id, line) {
             report.suppressed += 1;
             continue;
         }
@@ -200,15 +283,58 @@ pub fn check_source(path: &str, source: &str) -> FileReport {
             file: path.to_string(),
             line,
             col,
-            snippet: snippet(line),
+            snippet: snippet_of(&facts.lines, line),
             why: spec.why,
         });
     }
-    report
-        .findings
-        .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    report.findings.dedup();
-    report
+    sort_findings(&mut report.findings);
+    (report, facts)
+}
+
+/// Runs the interprocedural analyses — lock-order cycle detection and
+/// determinism taint — over every scanned file's facts at once,
+/// applying scope, test-code, and suppression filtering at emission.
+pub fn analyze_program(files: &[FileFacts]) -> (Vec<Finding>, usize) {
+    let mut program: Vec<ProgramFn> = Vec::new();
+    for (idx, f) in files.iter().enumerate() {
+        for ff in &f.fns {
+            program.push(ProgramFn {
+                name: ff.name.clone(),
+                file_idx: idx,
+                lock: ff.lock.clone(),
+                taint: ff.taint.clone(),
+            });
+        }
+    }
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for pf in lock_order_findings(&program)
+        .into_iter()
+        .chain(det_taint_findings(&program))
+    {
+        let spec = force(pf.rule);
+        let file = &files[pf.file_idx];
+        if !in_scope(spec, &file.path) {
+            continue;
+        }
+        if !spec.applies_to_tests && file.test_lines.binary_search(&pf.line).is_ok() {
+            continue;
+        }
+        if file.allows(spec.id, pf.line) {
+            suppressed += 1;
+            continue;
+        }
+        findings.push(Finding {
+            rule: spec.id,
+            file: file.path.clone(),
+            line: pf.line,
+            col: pf.col,
+            snippet: snippet_of(&file.lines, pf.line),
+            why: spec.why,
+        });
+    }
+    sort_findings(&mut findings);
+    (findings, suppressed)
 }
 
 /// Resolves a rule id that is statically known to exist.
@@ -329,59 +455,6 @@ fn unchecked_index(code: &[&Tok], raw: &mut Vec<(&'static RuleSpec, u32, u32)>) 
         if !has_range && !empty {
             raw.push((force("panic-index"), t.line, t.col));
         }
-    }
-}
-
-/// conc-guard-across-channel: a `let <name> = ….lock()…;` binding whose
-/// guard is still live (same block, not yet `drop`ped) when a `.send(`
-/// or `.recv(` occurs. Block-scoped, not dataflow-precise; see module
-/// docs.
-fn guard_across_channel(code: &[&Tok], raw: &mut Vec<(&'static RuleSpec, u32, u32)>) {
-    let mut depth = 0usize;
-    let mut guards: Vec<(String, usize)> = Vec::new();
-    let mut i = 0usize;
-    while i < code.len() {
-        let t = code[i];
-        if t.is_punct('{') {
-            depth += 1;
-        } else if t.is_punct('}') {
-            depth = depth.saturating_sub(1);
-            guards.retain(|g| g.1 <= depth);
-        } else if t.is_ident("let") {
-            // `let [mut] name = … .lock() … ;`
-            let mut j = i + 1;
-            if code.get(j).is_some_and(|n| n.is_ident("mut")) {
-                j += 1;
-            }
-            if let Some(name) = code.get(j).filter(|n| n.kind == TokKind::Ident) {
-                let mut locked = false;
-                let mut k = j + 1;
-                while let Some(n) = code.get(k) {
-                    if n.is_punct(';') {
-                        break;
-                    }
-                    if n.is_ident("lock") && is_method_call(code, k) {
-                        locked = true;
-                    }
-                    k += 1;
-                }
-                if locked {
-                    guards.push((name.text.clone(), depth));
-                    i = k;
-                    continue;
-                }
-            }
-        } else if t.is_ident("drop") && code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
-            if let Some(arg) = code.get(i + 2) {
-                guards.retain(|g| g.0 != arg.text);
-            }
-        } else if (t.is_ident("send") || t.is_ident("recv"))
-            && is_method_call(code, i)
-            && !guards.is_empty()
-        {
-            raw.push((force("conc-guard-across-channel"), t.line, t.col));
-        }
-        i += 1;
     }
 }
 
@@ -700,14 +773,30 @@ mod tests {
     }
 
     #[test]
-    fn guard_across_channel_detected_and_released_guards_pass() {
+    fn guard_across_blocking_detected_and_released_guards_pass() {
         let bad = "fn f() { let g = m.lock().unwrap(); tx.send(1).ok(); let _ = g; }";
         let hits = rules_hit(CORE, bad);
-        assert!(hits.contains(&"conc-guard-across-channel"), "{:?}", hits);
+        assert!(hits.contains(&"conc-guard-across-blocking"), "{:?}", hits);
         let dropped = "fn f() { let g = m.lock(); drop(g); tx.send(1).ok(); }";
-        assert!(!rules_hit(CORE, dropped).contains(&"conc-guard-across-channel"));
+        assert!(!rules_hit(CORE, dropped).contains(&"conc-guard-across-blocking"));
         let scoped = "fn f() { { let g = m.lock(); let _ = g; } tx.send(1).ok(); }";
-        assert!(!rules_hit(CORE, scoped).contains(&"conc-guard-across-channel"));
+        assert!(!rules_hit(CORE, scoped).contains(&"conc-guard-across-blocking"));
+        // The generalized rule also covers join/sync_all/accept/wait.
+        let joined = "fn f() { let g = m.lock(); h.join(); let _ = g; }";
+        assert!(rules_hit(CORE, joined).contains(&"conc-guard-across-blocking"));
+    }
+
+    #[test]
+    fn single_file_check_runs_the_interprocedural_analyses() {
+        let cycle = "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); drop(b); drop(a); }\n\
+                     fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); drop(a); drop(b); }\n";
+        let hits = rules_hit(CORE, cycle);
+        assert!(hits.contains(&"conc-lock-order"), "{:?}", hits);
+
+        let taint = "fn source() -> f64 { let t = Instant::now(); t.elapsed().as_secs_f64() }\n\
+                     fn train(&mut self) { let lr = source(); self.opt.step(lr); }\n";
+        let hits = rules_hit(CORE, taint);
+        assert!(hits.contains(&"det-taint"), "{:?}", hits);
     }
 
     #[test]

@@ -1,0 +1,1005 @@
+//! Intraprocedural flow analyses over parsed function bodies.
+//!
+//! Three scanners run per function (see [`crate::parse`] for the item
+//! parser and [`crate::callgraph`] for the interprocedural passes built
+//! on the facts extracted here):
+//!
+//! * **Guard/lock scan** — tracks `let g = x.lock()/.read()/.write()`
+//!   guard bindings through real scopes (shadowing, `drop`, block exit),
+//!   flags a guard live across a blocking call
+//!   (`conc-guard-across-blocking`), and records lock-acquisition order
+//!   facts (which resources were held when each lock was taken or each
+//!   call was made) for the interprocedural `conc-lock-order` cycle
+//!   detection.
+//! * **Arena balance** — follows each `let v = …take_*(…)…` arena
+//!   binding and flags paths out of the function (early `return`, `?`,
+//!   scope end, end of body) on which the buffer was neither recycled,
+//!   returned, nor moved into a call (`arena-take-balance`).
+//! * **Taint facts** — records, per function, which local bindings are
+//!   initialized from wall-clock/hash-iteration sources, what each
+//!   `return`/trailing expression mentions, and every call with the
+//!   identifiers each argument uses, for the interprocedural
+//!   `det-taint` propagation.
+//!
+//! All three are linear-scan approximations, not dataflow lattices:
+//! consumption or release observed anywhere earlier in token order
+//! counts for every later path. Each heuristic's supported shapes are
+//! pinned by fixtures; the escape hatch for the rest is, as always, a
+//! reasoned suppression.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{calls_in, in_ranges, receiver_chain, Call, FnItem};
+
+/// Method names that block the calling thread: channel ops, thread
+/// joins, fsync, socket accept, and condvar waits.
+const BLOCKING_CALLS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "join",
+    "sync_all",
+    "sync_data",
+    "accept",
+    "wait",
+    "wait_timeout",
+];
+
+/// Lock-acquisition order facts for one function, consumed by
+/// [`crate::callgraph::lock_order_findings`].
+#[derive(Clone, Debug, Default)]
+pub struct LockFacts {
+    /// `(held, acquired, line, col)`: `acquired` was locked while
+    /// `held` was live, at the given location.
+    pub edges: Vec<(String, String, u32, u32)>,
+    /// Every call made by this function: `(callee, resources held at
+    /// the call, line, col)`.
+    pub calls: Vec<(String, Vec<String>, u32, u32)>,
+    /// Every lock resource this function acquires directly.
+    pub acquires: Vec<String>,
+}
+
+/// A live lock guard.
+struct Guard {
+    /// Binding name; `None` for a temporary held to end of statement.
+    name: Option<String>,
+    resource: String,
+    depth: usize,
+}
+
+/// A raw (pre-filtering) finding produced by a flow analysis.
+pub type RawFinding = (&'static str, u32, u32);
+
+/// Whether the method call at `i` acquires a lock guard: `.lock()`,
+/// `.read()`, or `.write()` **with empty parens** (`io::Write::write`
+/// and `Read::read` always take a buffer argument, so the empty
+/// argument list is the disambiguator).
+fn is_lock_acquisition(code: &[&Tok], i: usize) -> bool {
+    let t = code[i];
+    (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+        && i > 0
+        && code[i - 1].is_punct('.')
+        && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        && code.get(i + 2).is_some_and(|n| n.is_punct(')'))
+}
+
+/// Whether the method call at `i` blocks. `join` is additionally
+/// required to have empty parens so `Vec::<String>::join(", ")` never
+/// fires.
+fn is_blocking_call(code: &[&Tok], i: usize) -> bool {
+    let t = code[i];
+    if t.kind != TokKind::Ident
+        || !BLOCKING_CALLS.contains(&t.text.as_str())
+        || i == 0
+        || !code[i - 1].is_punct('.')
+        || !code.get(i + 1).is_some_and(|n| n.is_punct('('))
+    {
+        return false;
+    }
+    if t.text == "join" {
+        return code.get(i + 2).is_some_and(|n| n.is_punct(')'));
+    }
+    true
+}
+
+/// Names the lock resource acquired at method-call index `i`: the
+/// receiver chain joined with `.` (`self.state.lock()` → `"state"`),
+/// or a position-unique placeholder for compound receivers.
+fn lock_resource(code: &[&Tok], i: usize) -> String {
+    let chain = receiver_chain(code, i);
+    if chain.is_empty() {
+        format!("<expr@{}:{}>", code[i].line, code[i].col)
+    } else {
+        chain.join(".")
+    }
+}
+
+/// The binding of the `let` pattern starting at `j` (just past
+/// `let [mut]`): the name token and the index where the initializer
+/// scan should resume. Handles plain `name` (followed by `=`, `:`, or
+/// `;`) and single-ident enum patterns (`Some(name)`, `Ok(name)`).
+/// `None` for tuple, struct, and multi-binding patterns, which bind no
+/// single trackable value.
+fn binding_tok<'a>(code: &[&'a Tok], j: usize) -> Option<(&'a Tok, usize)> {
+    let t = code.get(j).copied().filter(|n| n.kind == TokKind::Ident)?;
+    let next = code.get(j + 1)?;
+    if next.is_punct('(') {
+        let inner = code
+            .get(j + 2)
+            .copied()
+            .filter(|n| n.kind == TokKind::Ident)?;
+        return code
+            .get(j + 3)
+            .filter(|p| p.is_punct(')'))
+            .map(|_| (inner, j + 4));
+    }
+    if next.is_punct('=') || next.is_punct(':') || next.is_punct(';') {
+        return Some((t, j + 1));
+    }
+    None
+}
+
+/// Token ranges (exclusive of the closing brace) of `move |…| …`
+/// closure bodies inside `body`. A binding from the enclosing scope
+/// mentioned inside one of these is captured **by value** — a move.
+fn move_closure_bodies(code: &[&Tok], body: (usize, usize)) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let (start, end) = body;
+    let mut i = start;
+    while i < end.min(code.len()) {
+        if code[i].is_ident("move") && code.get(i + 1).is_some_and(|n| n.is_punct('|')) {
+            // Parameters run to the next `|`.
+            let mut k = i + 2;
+            while k < end.min(code.len()) && !code[k].is_punct('|') {
+                k += 1;
+            }
+            k += 1;
+            let close = if code.get(k).is_some_and(|n| n.is_punct('{')) {
+                crate::parse::match_brace(code, k)
+            } else {
+                // Expression body: runs to the first `,`, `;`, or
+                // unmatched `)` at closure-relative nesting zero.
+                let mut nest = 0usize;
+                let mut m = k;
+                while m < end.min(code.len()) {
+                    let t = code[m];
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        nest += 1;
+                    } else if t.is_punct(']') || t.is_punct('}') {
+                        nest = nest.saturating_sub(1);
+                    } else if t.is_punct(')') {
+                        if nest == 0 {
+                            break;
+                        }
+                        nest -= 1;
+                    } else if (t.is_punct(',') || t.is_punct(';')) && nest == 0 {
+                        break;
+                    }
+                    m += 1;
+                }
+                m
+            };
+            ranges.push((k, close));
+            i = k;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// The guard/lock scan: emits `conc-guard-across-blocking` raw findings
+/// and returns the [`LockFacts`] for the interprocedural pass.
+pub fn scan_locks(code: &[&Tok], item: &FnItem, raw: &mut Vec<RawFinding>) -> LockFacts {
+    let mut facts = LockFacts::default();
+    let mut guards: Vec<Guard> = Vec::new();
+    let (start, end) = item.body;
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < end.min(code.len()) {
+        if in_ranges(&item.nested, i) {
+            i += 1;
+            continue;
+        }
+        let t = code[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_punct(';') {
+            guards.retain(|g| g.name.is_some());
+        } else if t.is_ident("let") {
+            // `let [mut] name = …;` — scan the initializer as one unit.
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some((name, after)) = binding_tok(code, j) {
+                // Shadowing ends the previous guard of this name.
+                guards.retain(|g| g.name.as_deref() != Some(&name.text));
+                let mut k = after;
+                let mut nest = 0usize;
+                // `(resource, nest at acquisition)`: a lock taken inside
+                // a nested block of the initializer
+                // (`let next = { let rx = m.lock(); rx.recv() }`) dies
+                // with that block; only nest-0 acquisitions become the
+                // binding's own guard.
+                let mut bound_resources: Vec<(String, usize)> = Vec::new();
+                while let Some(n) = code.get(k).filter(|_| k < end) {
+                    if n.is_punct('(') || n.is_punct('[') || n.is_punct('{') {
+                        nest += 1;
+                    } else if n.is_punct(')') || n.is_punct(']') || n.is_punct('}') {
+                        nest = nest.saturating_sub(1);
+                        bound_resources.retain(|(_, at)| *at <= nest);
+                    } else if n.is_punct(';') && nest == 0 {
+                        break;
+                    } else if is_lock_acquisition(code, k) {
+                        let resource = lock_resource(code, k);
+                        for g in &guards {
+                            facts
+                                .edges
+                                .push((g.resource.clone(), resource.clone(), n.line, n.col));
+                        }
+                        for (held, _) in &bound_resources {
+                            facts
+                                .edges
+                                .push((held.clone(), resource.clone(), n.line, n.col));
+                        }
+                        facts.acquires.push(resource.clone());
+                        bound_resources.push((resource, nest));
+                    } else if is_blocking_call(code, k)
+                        && (!guards.is_empty() || !bound_resources.is_empty())
+                    {
+                        raw.push(("conc-guard-across-blocking", n.line, n.col));
+                    }
+                    k += 1;
+                }
+                for (resource, _) in bound_resources {
+                    guards.push(Guard {
+                        name: Some(name.text.clone()),
+                        resource,
+                        depth,
+                    });
+                }
+                i = k;
+                continue;
+            }
+        } else if t.is_ident("drop") && code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if let Some(arg) = code.get(i + 2) {
+                guards.retain(|g| g.name.as_deref() != Some(&arg.text));
+            }
+        } else if is_lock_acquisition(code, i) {
+            // Temporary guard: held to the end of the statement.
+            let resource = lock_resource(code, i);
+            for g in &guards {
+                facts
+                    .edges
+                    .push((g.resource.clone(), resource.clone(), t.line, t.col));
+            }
+            facts.acquires.push(resource.clone());
+            guards.push(Guard {
+                name: None,
+                resource,
+                depth,
+            });
+        } else if is_blocking_call(code, i) && !guards.is_empty() {
+            raw.push(("conc-guard-across-blocking", t.line, t.col));
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Second guard pass dedicated to call sites: records, for every call
+/// in the body, which bound-guard resources were live at that point.
+pub fn scan_calls_with_held(code: &[&Tok], item: &FnItem, calls: &[Call]) -> LockFacts {
+    let mut facts = LockFacts::default();
+    let mut guards: Vec<Guard> = Vec::new();
+    let (start, end) = item.body;
+    let mut depth = 0usize;
+    let mut call_iter = calls.iter().peekable();
+    let mut i = start;
+    while i < end.min(code.len()) {
+        if in_ranges(&item.nested, i) {
+            i += 1;
+            continue;
+        }
+        let t = code[i];
+        while call_iter.peek().is_some_and(|c| c.name_idx < i) {
+            call_iter.next();
+        }
+        if let Some(c) = call_iter.peek() {
+            if c.name_idx == i {
+                facts.calls.push((
+                    c.callee.clone(),
+                    guards.iter().map(|g| g.resource.clone()).collect(),
+                    c.line,
+                    c.col,
+                ));
+            }
+        }
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_punct(';') {
+            guards.retain(|g| g.name.is_some());
+        } else if t.is_ident("drop") && code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if let Some(arg) = code.get(i + 2) {
+                guards.retain(|g| g.name.as_deref() != Some(&arg.text));
+            }
+        } else if is_lock_acquisition(code, i) {
+            let resource = lock_resource(code, i);
+            // Attribute the guard to the `let` binding when the
+            // statement is one: walk back to see if this statement
+            // started with `let name =`.
+            let name = binding_name_of_statement(code, start, i);
+            guards.push(Guard {
+                name,
+                resource,
+                depth,
+            });
+        } else if t.is_ident("let") {
+            if let Some(name) = code
+                .get(i + 1)
+                .filter(|n| n.kind == TokKind::Ident && !n.is_ident("mut"))
+                .or_else(|| code.get(i + 2).filter(|n| n.kind == TokKind::Ident))
+            {
+                guards.retain(|g| g.name.as_deref() != Some(&name.text));
+            }
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// The `let` binding name of the statement containing token `i`, if the
+/// statement begins with `let [mut] name =`.
+fn binding_name_of_statement(code: &[&Tok], body_start: usize, i: usize) -> Option<String> {
+    // Walk backwards to the previous statement boundary.
+    let mut k = i;
+    while k > body_start {
+        let t = code[k - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        k -= 1;
+    }
+    if !code.get(k).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let mut j = k + 1;
+    if code.get(j).is_some_and(|n| n.is_ident("mut")) {
+        j += 1;
+    }
+    code.get(j)
+        .filter(|n| n.kind == TokKind::Ident)
+        .map(|n| n.text.clone())
+}
+
+/// A live arena `take_*` binding.
+struct TakeBinding {
+    name: String,
+    depth: usize,
+    /// Token index of the binding's declaration, to tell enclosing-scope
+    /// captures apart from closure-local bindings.
+    decl: usize,
+    line: u32,
+    col: u32,
+    consumed: bool,
+}
+
+/// Whether the ident at `k` is an `arena::take_*(` call. The `arena::`
+/// path is required: `take_*` *methods* (`node.take_grad_raw()`) hand
+/// ownership to their caller's caller and are not pool checkouts.
+fn is_arena_take(code: &[&Tok], k: usize) -> bool {
+    code[k].kind == TokKind::Ident
+        && code[k].text.starts_with("take_")
+        && code.get(k + 1).is_some_and(|p| p.is_punct('('))
+        && k >= 3
+        && code[k - 1].is_punct(':')
+        && code[k - 2].is_punct(':')
+        && code[k - 3].is_ident("arena")
+}
+
+/// The arena-balance scan: flags `arena::take_*` bindings that can
+/// leave the function unconsumed (`arena-take-balance`).
+///
+/// A binding is *consumed* by any later occurrence of its name in a
+/// moving position — not behind `&`, and not as a method/index receiver
+/// (`v.len()`, `v[i]`) — which covers `arena::recycle(v)`, `return v`,
+/// `f(v)`, `Some(v)`, struct literals, and trailing expressions. Any
+/// mention inside a `move` closure body also consumes: the closure
+/// captures the buffer by value and owns its fate from then on.
+pub fn scan_arena_balance(code: &[&Tok], item: &FnItem, raw: &mut Vec<RawFinding>) {
+    let mut bindings: Vec<TakeBinding> = Vec::new();
+    let (start, end) = item.body;
+    let move_bodies = move_closure_bodies(code, item.body);
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < end.min(code.len()) {
+        if in_ranges(&item.nested, i) {
+            i += 1;
+            continue;
+        }
+        let t = code[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            // Scope exit: a binding dying unconsumed leaks its buffer.
+            for b in bindings.iter().filter(|b| b.depth > depth && !b.consumed) {
+                raw.push(("arena-take-balance", b.line, b.col));
+            }
+            bindings.retain(|b| b.depth <= depth);
+        } else if t.is_ident("let") {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some((name, after)) = binding_tok(code, j) {
+                // Scan the initializer for a take_* call. Only nest-0
+                // takes bind the buffer to this name: a take inside a
+                // nested block (`let gb = if cond { …take_copy(…)… }`)
+                // belongs to the inner scope's own `let`.
+                let mut k = after;
+                let mut nest = 0usize;
+                let mut takes = false;
+                while let Some(n) = code.get(k).filter(|_| k < end) {
+                    if n.is_punct('(') || n.is_punct('[') || n.is_punct('{') {
+                        nest += 1;
+                    } else if n.is_punct(')') || n.is_punct(']') || n.is_punct('}') {
+                        nest = nest.saturating_sub(1);
+                    } else if n.is_punct(';') && nest == 0 {
+                        break;
+                    } else if nest == 0 && is_arena_take(code, k) {
+                        takes = true;
+                    }
+                    k += 1;
+                }
+                // Shadowing: the old buffer becomes unreachable.
+                if let Some(old) = bindings.iter().find(|b| b.name == name.text && !b.consumed) {
+                    raw.push(("arena-take-balance", old.line, old.col));
+                }
+                bindings.retain(|b| b.name != name.text);
+                if takes {
+                    bindings.push(TakeBinding {
+                        name: name.text.clone(),
+                        depth,
+                        decl: j,
+                        line: name.line,
+                        col: name.col,
+                        consumed: false,
+                    });
+                }
+                // The initializer may itself consume other bindings
+                // (`let w = combine(v)`), so fall through and let the
+                // consumption logic re-walk it token by token.
+            }
+        } else if t.is_ident("return") || t.is_punct('?') {
+            // Early exit. For `return`, first credit consumption inside
+            // the return expression itself (`return v` is a move out).
+            if t.is_ident("return") {
+                let mut k = i + 1;
+                let mut nest = 0usize;
+                while let Some(n) = code.get(k).filter(|_| k < end) {
+                    if n.is_punct('(') || n.is_punct('[') || n.is_punct('{') {
+                        nest += 1;
+                    } else if n.is_punct(')') || n.is_punct(']') || n.is_punct('}') {
+                        nest = nest.saturating_sub(1);
+                    } else if n.is_punct(';') && nest == 0 {
+                        break;
+                    } else if n.kind == TokKind::Ident {
+                        mark_consumed(code, k, &mut bindings, &move_bodies);
+                    }
+                    k += 1;
+                }
+            }
+            // A `return`/`?` inside a closure body exits the closure,
+            // not the enclosing function: bindings of the enclosing
+            // scope stay live there.
+            let in_closure = move_bodies.iter().any(|&(s, e)| i >= s && i < e);
+            for b in bindings.iter().filter(|b| !b.consumed) {
+                if in_closure
+                    && b.decl < i
+                    && !move_bodies.iter().any(|&(s, e)| b.decl >= s && b.decl < e)
+                {
+                    continue;
+                }
+                raw.push(("arena-take-balance", t.line, t.col));
+                let _ = b;
+            }
+        } else if t.kind == TokKind::Ident {
+            mark_consumed(code, i, &mut bindings, &move_bodies);
+        }
+        i += 1;
+    }
+    // End of body: the trailing expression has already credited its
+    // consumptions via the main loop.
+    for b in bindings.iter().filter(|b| !b.consumed) {
+        raw.push(("arena-take-balance", b.line, b.col));
+    }
+}
+
+/// Marks the binding named by token `i` consumed when the occurrence is
+/// a moving position, or any position inside a `move` closure body the
+/// binding was declared outside of (capture by value).
+fn mark_consumed(
+    code: &[&Tok],
+    i: usize,
+    bindings: &mut [TakeBinding],
+    move_bodies: &[(usize, usize)],
+) {
+    let t = code[i];
+    let Some(b) = bindings
+        .iter_mut()
+        .find(|b| !b.consumed && b.name == t.text)
+    else {
+        return;
+    };
+    // Skip the binding occurrence itself (`let name = …`).
+    if i >= 1 && (code[i - 1].is_ident("let") || code[i - 1].is_ident("mut")) {
+        return;
+    }
+    if move_bodies
+        .iter()
+        .any(|&(s, e)| i >= s && i < e && b.decl < s)
+    {
+        b.consumed = true;
+        return;
+    }
+    let borrowed = i >= 1 && code[i - 1].is_punct('&');
+    let next = code.get(i + 1);
+    let non_moving_use = next.is_some_and(|n| n.is_punct('.') || n.is_punct('['));
+    // `v = …` reassignment and `v == w` comparison are uses, not moves.
+    let assigned = next.is_some_and(|n| n.is_punct('='));
+    if !borrowed && !non_moving_use && !assigned {
+        b.consumed = true;
+    }
+}
+
+/// Wall-clock / hash-state type sources for `det-taint`.
+const TAINT_TYPE_SOURCES: &[&str] = &["Instant", "SystemTime", "DefaultHasher", "RandomState"];
+
+/// Hash-container iteration methods (sources only next to a
+/// `HashMap`/`HashSet` mention in the same expression).
+const HASH_ITER_METHODS: &[&str] = &["iter", "keys", "values", "drain", "into_iter"];
+
+/// One `let` binding's taint-relevant shape.
+#[derive(Clone, Debug)]
+pub struct LetInfo {
+    /// Binding name.
+    pub name: String,
+    /// The initializer mentions a taint source directly.
+    pub direct: bool,
+    /// Call names appearing in the initializer (for return-taint
+    /// propagation).
+    pub callees: Vec<String>,
+    /// Other identifiers the initializer mentions (taint flows through
+    /// local aliasing).
+    pub uses: Vec<String>,
+    /// 1-based line of the binding.
+    pub line: u32,
+}
+
+/// What a `return` (or trailing) expression mentions.
+#[derive(Clone, Debug)]
+pub struct RetInfo {
+    /// Direct taint source in the expression.
+    pub direct: bool,
+    /// Call names in the expression.
+    pub callees: Vec<String>,
+    /// Identifiers the expression mentions.
+    pub uses: Vec<String>,
+}
+
+/// One argument of a call, summarized for taint propagation.
+#[derive(Clone, Debug)]
+pub struct ArgInfo {
+    /// Identifiers the argument mentions.
+    pub uses: Vec<String>,
+    /// Call names inside the argument.
+    pub callees: Vec<String>,
+    /// The argument mentions a taint source directly
+    /// (`m.step(t.elapsed())`).
+    pub direct: bool,
+}
+
+/// A call site, summarized for taint propagation (token-free so the
+/// interprocedural pass needs no source access).
+#[derive(Clone, Debug)]
+pub struct CallInfo {
+    /// Callee name (last path/method segment).
+    pub callee: String,
+    /// Receiver / path chain before the name, `self` stripped.
+    pub receiver: Vec<String>,
+    /// Per-argument summaries.
+    pub args: Vec<ArgInfo>,
+    /// 1-based line of the callee name.
+    pub line: u32,
+    /// 1-based column of the callee name.
+    pub col: u32,
+}
+
+/// Taint facts for one function.
+#[derive(Clone, Debug, Default)]
+pub struct TaintFacts {
+    /// Parameter binding names, in order.
+    pub params: Vec<String>,
+    /// `let` bindings in body order.
+    pub lets: Vec<LetInfo>,
+    /// Return and trailing expressions.
+    pub rets: Vec<RetInfo>,
+    /// Every call site in the body.
+    pub calls: Vec<CallInfo>,
+}
+
+/// Whether `[start, end)` mentions a taint source directly: a
+/// wall-clock/hasher type, `.elapsed()`, or hash-container iteration —
+/// either in one expression (`HashMap::from(..).values()`) or via a
+/// local known to hold a hash container (`cache.values()` with
+/// `cache` in `containers`).
+fn range_has_source(
+    code: &[&Tok],
+    start: usize,
+    end: usize,
+    containers: &std::collections::BTreeSet<String>,
+) -> bool {
+    let mut has_hash_container = false;
+    let mut has_hash_iter = false;
+    for k in start..end.min(code.len()) {
+        let t = code[k];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if TAINT_TYPE_SOURCES.contains(&t.text.as_str()) {
+            return true;
+        }
+        if t.is_ident("elapsed") && k > 0 && code[k - 1].is_punct('.') {
+            return true;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            has_hash_container = true;
+        }
+        if HASH_ITER_METHODS.contains(&t.text.as_str()) && k > 0 && code[k - 1].is_punct('.') {
+            has_hash_iter = true;
+            // Iteration over a known hash-container local is a source
+            // even with the container's construction statements away.
+            if k >= 2 && containers.contains(&code[k - 2].text) {
+                return true;
+            }
+        }
+    }
+    has_hash_container && has_hash_iter
+}
+
+/// Locals bound to a `HashMap`/`HashSet` value: a forward pre-pass over
+/// the `let` statements of the body.
+///
+/// Classification is deliberately strict — the initializer *expression*
+/// (after `=`) must begin with the container path (`HashMap::new()`,
+/// `std::collections::HashSet::from(…)`) or be a plain alias/clone of
+/// an already-known container. A `Vec<HashSet<_>>` built with `vec![…]`
+/// is **not** a container: iterating the outer `Vec` is deterministic,
+/// and the type annotation alone must not poison the binding.
+fn hash_container_locals(code: &[&Tok], item: &FnItem) -> std::collections::BTreeSet<String> {
+    let mut containers = std::collections::BTreeSet::new();
+    let (start, end) = item.body;
+    // Two passes pick up alias chains declared before their source only
+    // under shadow-reordering, which the scanner does not model; mostly
+    // this just makes in-order chains converge in one sweep.
+    for _ in 0..2 {
+        let mut i = start;
+        while i < end.min(code.len()) {
+            if in_ranges(&item.nested, i) {
+                i += 1;
+                continue;
+            }
+            if code[i].is_ident("let") {
+                let mut j = i + 1;
+                if code.get(j).is_some_and(|n| n.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some((name, after)) = binding_tok(code, j) {
+                    let (expr_end, _) = statement_end(code, after, end);
+                    // The expression starts past the `=` (a type
+                    // annotation has no `=` of its own).
+                    let eq = (after..expr_end.min(code.len())).find(|&k| code[k].is_punct('='));
+                    if let Some(eq) = eq {
+                        if container_expr(code, eq + 1, expr_end, &containers) {
+                            containers.insert(name.text.clone());
+                        }
+                    }
+                    i = expr_end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    containers
+}
+
+/// Whether the expression at `[s, e)` evaluates to a hash container:
+/// starts with `[std::collections::]HashMap`/`HashSet`, or is a known
+/// container local (optionally `.clone()`d).
+fn container_expr(
+    code: &[&Tok],
+    s: usize,
+    e: usize,
+    containers: &std::collections::BTreeSet<String>,
+) -> bool {
+    let mut k = s;
+    if code.get(k).is_some_and(|t| t.is_ident("std"))
+        && code.get(k + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(k + 2).is_some_and(|t| t.is_punct(':'))
+        && code.get(k + 3).is_some_and(|t| t.is_ident("collections"))
+        && code.get(k + 4).is_some_and(|t| t.is_punct(':'))
+        && code.get(k + 5).is_some_and(|t| t.is_punct(':'))
+    {
+        k += 6;
+    }
+    let Some(head) = code.get(k).filter(|t| t.kind == TokKind::Ident) else {
+        return false;
+    };
+    if head.is_ident("HashMap") || head.is_ident("HashSet") {
+        return true;
+    }
+    if !containers.contains(&head.text) {
+        return false;
+    }
+    // `cache` or `cache.clone()` — anything longer is a computation.
+    k + 1 >= e.min(code.len())
+        || (code.get(k + 1).is_some_and(|t| t.is_punct('.'))
+            && code.get(k + 2).is_some_and(|t| t.is_ident("clone")))
+}
+
+/// Summarizes a parsed [`Call`] for taint propagation.
+fn call_info(code: &[&Tok], c: &Call, containers: &std::collections::BTreeSet<String>) -> CallInfo {
+    CallInfo {
+        callee: c.callee.clone(),
+        receiver: c.receiver.clone(),
+        args: c
+            .arg_ranges
+            .iter()
+            .map(|&(s, e)| ArgInfo {
+                uses: ident_names(code, s, e),
+                callees: call_names(code, s, e),
+                direct: range_has_source(code, s, e, containers),
+            })
+            .collect(),
+        line: c.line,
+        col: c.col,
+    }
+}
+
+/// Extracts the taint facts for one function.
+pub fn scan_taint(code: &[&Tok], item: &FnItem) -> TaintFacts {
+    let containers = hash_container_locals(code, item);
+    let mut facts = TaintFacts {
+        params: item.params.clone(),
+        calls: calls_in(code, item.body, &item.nested)
+            .iter()
+            .map(|c| call_info(code, c, &containers))
+            .collect(),
+        ..TaintFacts::default()
+    };
+    let (start, end) = item.body;
+    let mut i = start;
+    let mut last_stmt_start = start;
+    let mut depth = 0usize;
+    while i < end.min(code.len()) {
+        if in_ranges(&item.nested, i) {
+            i += 1;
+            continue;
+        }
+        let t = code[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                last_stmt_start = i + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            last_stmt_start = i + 1;
+        } else if t.is_ident("let") {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some((name, after)) = binding_tok(code, j) {
+                let (expr_end, _) = statement_end(code, after, end);
+                facts.lets.push(LetInfo {
+                    name: name.text.clone(),
+                    direct: range_has_source(code, after, expr_end, &containers),
+                    callees: call_names(code, after, expr_end),
+                    uses: ident_names(code, after, expr_end),
+                    line: name.line,
+                });
+                i = expr_end;
+                continue;
+            }
+        } else if t.is_ident("return") {
+            let (expr_end, _) = statement_end(code, i + 1, end);
+            facts.rets.push(RetInfo {
+                direct: range_has_source(code, i + 1, expr_end, &containers),
+                callees: call_names(code, i + 1, expr_end),
+                uses: ident_names(code, i + 1, expr_end),
+            });
+            i = expr_end;
+            continue;
+        }
+        i += 1;
+    }
+    // Trailing expression: the tokens after the last top-level
+    // statement boundary form the function's result.
+    let tail = (last_stmt_start, end.min(code.len()));
+    if tail.1 > tail.0 {
+        facts.rets.push(RetInfo {
+            direct: range_has_source(code, tail.0, tail.1, &containers),
+            callees: call_names(code, tail.0, tail.1),
+            uses: ident_names(code, tail.0, tail.1),
+        });
+    }
+    facts
+}
+
+/// Index of the `;` ending the statement starting at `from` (nesting
+/// aware), capped at `end`.
+fn statement_end(code: &[&Tok], from: usize, end: usize) -> (usize, bool) {
+    let mut nest = 0usize;
+    let mut k = from;
+    while k < end.min(code.len()) {
+        let n = code[k];
+        if n.is_punct('(') || n.is_punct('[') || n.is_punct('{') {
+            nest += 1;
+        } else if n.is_punct(')') || n.is_punct(']') || n.is_punct('}') {
+            nest = nest.saturating_sub(1);
+        } else if n.is_punct(';') && nest == 0 {
+            return (k, true);
+        }
+        k += 1;
+    }
+    (k, false)
+}
+
+/// Call names (`ident (`) in a token range, macros excluded.
+fn call_names(code: &[&Tok], start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in start..end.min(code.len()) {
+        let t = code[k];
+        if t.kind == TokKind::Ident && code.get(k + 1).is_some_and(|n| n.is_punct('(')) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// All identifiers in a token range.
+fn ident_names(code: &[&Tok], start: usize, end: usize) -> Vec<String> {
+    code[start.min(code.len())..end.min(code.len())]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_fns;
+
+    fn scan(src: &str) -> (Vec<RawFinding>, Vec<LockFacts>) {
+        let toks = lex(src);
+        let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let fns = parse_fns(&code);
+        let mut raw = Vec::new();
+        let mut facts = Vec::new();
+        for f in &fns {
+            facts.push(scan_locks(&code, f, &mut raw));
+            scan_arena_balance(&code, f, &mut raw);
+        }
+        (raw, facts)
+    }
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        scan(src).0.into_iter().map(|(r, _, _)| r).collect()
+    }
+
+    #[test]
+    fn guard_across_recv_fires_and_scoped_release_passes() {
+        let bad = "fn f() { let g = m.lock(); rx.recv_timeout(d); let _ = g; }";
+        assert_eq!(rules(bad), ["conc-guard-across-blocking"]);
+        let scoped = "fn f() { { let g = m.lock(); let _ = g; } rx.recv(); }";
+        assert!(rules(scoped).is_empty());
+        let dropped = "fn f() { let g = m.lock(); drop(g); tx.send(1); }";
+        assert!(rules(dropped).is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_guards_are_tracked() {
+        let bad = "fn f(&self) { let snap = self.snapshot.read(); h.join(); let _ = snap; }";
+        assert_eq!(rules(bad), ["conc-guard-across-blocking"]);
+        // `write` with arguments is io::Write, not a lock.
+        let io = "fn f() { let n = file.write(buf); tx.send(n); }";
+        assert!(rules(io).is_empty());
+        // `join` with arguments is slice join, not thread join.
+        let sj = "fn f() { let g = m.lock(); let s = parts.join(sep); let _ = (g, s); }";
+        assert!(rules(sj).is_empty());
+    }
+
+    #[test]
+    fn shadowing_releases_the_old_guard() {
+        let src = "fn f() { let g = m.lock(); let g = 1u32; tx.send(g); }";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn lock_edges_record_acquisition_order() {
+        let src = "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); drop(b); drop(a); }";
+        let (_, facts) = scan(src);
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0].acquires, vec!["alpha", "beta"]);
+        assert_eq!(facts[0].edges.len(), 1);
+        assert_eq!(
+            (facts[0].edges[0].0.as_str(), facts[0].edges[0].1.as_str()),
+            ("alpha", "beta")
+        );
+    }
+
+    #[test]
+    fn arena_take_without_consumption_leaks() {
+        let leak = "fn f(n: usize) { let v = arena::take_zeroed(n); v.fill(1.0); }";
+        assert_eq!(rules(leak), ["arena-take-balance"]);
+        let recycled =
+            "fn f(n: usize) { let v = arena::take_zeroed(n); v.fill(1.0); arena::recycle(v); }";
+        assert!(rules(recycled).is_empty());
+    }
+
+    #[test]
+    fn returning_or_moving_the_buffer_discharges_it() {
+        let returned = "fn f(n: usize) -> Vec<f32> { let v = arena::take_zeroed(n); v }";
+        assert!(rules(returned).is_empty());
+        let explicit = "fn f(n: usize) -> Vec<f32> { let v = arena::take_zeroed(n); return v; }";
+        assert!(rules(explicit).is_empty());
+        let moved = "fn f(n: usize) { let v = arena::take_zeroed(n); ctx.accumulate_owned(p, v); }";
+        assert!(rules(moved).is_empty());
+        let wrapped =
+            "fn f(n: usize) -> Option<Vec<f32>> { let g = arena::take_zeroed(n); Some(g) }";
+        assert!(rules(wrapped).is_empty());
+    }
+
+    #[test]
+    fn early_return_before_recycle_leaks() {
+        let src = "fn f(n: usize, bad: bool) { let v = arena::take_zeroed(n); if bad { return; } arena::recycle(v); }";
+        assert_eq!(rules(src), ["arena-take-balance"]);
+    }
+
+    #[test]
+    fn borrows_and_method_calls_do_not_discharge() {
+        let src = "fn f(n: usize) -> usize { let v = arena::take_zeroed(n); helper(&v); v.len() }";
+        assert_eq!(rules(src), ["arena-take-balance"]);
+    }
+
+    #[test]
+    fn taint_facts_capture_sources_and_returns() {
+        let toks = lex(
+            "fn now_ms() -> f64 { let t = Instant::now(); t.elapsed().as_secs_f64() }\n\
+             fn clean(x: f64) -> f64 { x * 2.0 }\n",
+        );
+        let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let fns = parse_fns(&code);
+        let now = scan_taint(&code, &fns[0]);
+        assert!(now.lets[0].direct, "Instant::now is a direct source");
+        assert!(now
+            .rets
+            .iter()
+            .any(|r| r.direct || r.uses.contains(&"t".into())));
+        let clean = scan_taint(&code, &fns[1]);
+        assert!(clean.lets.is_empty());
+        assert!(clean.rets.iter().all(|r| !r.direct));
+    }
+}

@@ -412,6 +412,72 @@ mod tests {
     }
 
     #[test]
+    fn raw_string_hash_counts_must_match() {
+        // `r##"…"##` ignores a lone `"#` inside; zero-hash `r"…"` ends
+        // at the first quote.
+        let toks = kinds(r####"r##"has "# inside"## after"####);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[0].1.ends_with("\"##"));
+        assert_eq!(toks[1], (TokKind::Ident, "after".into()));
+
+        let toks = kinds(r#"r"plain" x"#);
+        assert_eq!(toks[0], (TokKind::Str, "r\"plain\"".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_byte_strings_are_strings() {
+        let toks = kinds(r###"br#"bytes "q" here"# tail"###);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn multiline_raw_string_advances_lines() {
+        let toks = lex("r#\"a\nb\nc\"# x");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        let x = &toks[1];
+        assert_eq!((x.text.as_str(), x.line), ("x", 3));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_with_deceptive_content() {
+        // Quotes and `/*` openers inside the comment must not confuse
+        // depth tracking; idents inside never surface as tokens.
+        let toks = kinds("a /* 1 /* 2 /* \"not a str\" unwrap() */ 2 */ 1 */ b");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b"]);
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::Str));
+    }
+
+    #[test]
+    fn line_comment_inside_block_comment_does_not_end_it() {
+        let toks = kinds("a /* x // not the end\nstill comment */ b");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lifetime_ticks_in_generics_and_wildcards() {
+        let toks = kinds("Vec<'a> fn f<'de>(x: &'_ str) {}");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'de", "'_"]);
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::Char));
+    }
+
+    #[test]
     fn unterminated_inputs_do_not_panic() {
         for src in ["\"abc", "/* never closed", "'x", "r#\"open", "b\"xyz", "\\"] {
             let _ = lex(src);

@@ -19,11 +19,22 @@
 //! * **panic-safety** — no bare `unwrap()` / one-word `expect()` /
 //!   `panic!`-family macros in hot paths; unchecked indexing is banned
 //!   in the executor.
-//! * **concurrency** — in `exec`: no detached `thread::spawn` outside
-//!   the pipeline module, no lock guard held across a channel
-//!   send/recv, no `static mut` anywhere.
+//! * **concurrency** — no detached `thread::spawn` outside the
+//!   designated modules, no lock guard held across a blocking call
+//!   (channel ops, joins, fsync, accept), no lock-order cycles across
+//!   the workspace call graph, no `static mut` anywhere.
+//! * **lifecycle** — arena `take_*` buffers recycled or moved out on
+//!   every path out of a function; `arena::reset()` confined to batch
+//!   boundaries.
 //! * **policy** — no unexplained `#[allow(clippy::…)]`, no registry
 //!   dependencies in any manifest, no suppression without a reason.
+//!
+//! The determinism and concurrency families are *flow-aware* since v2:
+//! a lightweight item parser ([`parse`]) recovers function boundaries
+//! and call edges, per-function scans ([`flow`]) track guard scopes,
+//! arena buffer lifetimes, and taint sources, and the call-graph layer
+//! ([`callgraph`]) propagates lock orders and determinism taint across
+//! the whole workspace (`conc-lock-order`, `det-taint`).
 //!
 //! Findings are diffed against a checked-in [`baseline`] so CI fails
 //! only on *new* violations, and every finding can be silenced in place
@@ -46,15 +57,18 @@
 //! ```
 
 pub mod baseline;
+pub mod callgraph;
 pub mod engine;
+pub mod flow;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod walk;
 
 pub use baseline::{Baseline, BaselineEntry, Diff};
-pub use engine::{check_source, FileReport, Finding};
+pub use engine::{analyze_program, check_file, check_source, FileFacts, FileReport, Finding};
 pub use lexer::{lex, Tok, TokKind};
 pub use manifest::check_manifest;
 pub use report::RunSummary;
@@ -66,6 +80,12 @@ use std::path::Path;
 /// Scans every workspace file under `root` and returns all findings
 /// (pre-baseline) plus the suppressed count and the file count.
 ///
+/// Per-file rules run file by file; the interprocedural analyses
+/// (lock order, determinism taint) then run once over every file's
+/// facts, so call-graph edges cross crate boundaries. Findings are
+/// sorted by (path, line, col, rule) so the report — and any baseline
+/// written from it — is byte-identical across runs.
+///
 /// # Errors
 ///
 /// Returns a description of the first unreadable file or directory.
@@ -73,6 +93,7 @@ pub fn scan_workspace(root: &Path) -> Result<(Vec<Finding>, usize, usize), Strin
     let files = workspace_files(root)?;
     let mut findings = Vec::new();
     let mut suppressed = 0usize;
+    let mut facts: Vec<FileFacts> = Vec::new();
     let count = files.len();
     for file in &files {
         let text = std::fs::read_to_string(&file.disk_path)
@@ -80,10 +101,15 @@ pub fn scan_workspace(root: &Path) -> Result<(Vec<Finding>, usize, usize), Strin
         if file.is_manifest {
             findings.extend(check_manifest(&file.rel_path, &text));
         } else {
-            let report = check_source(&file.rel_path, &text);
+            let (report, file_facts) = check_file(&file.rel_path, &text);
             findings.extend(report.findings);
             suppressed += report.suppressed;
+            facts.push(file_facts);
         }
     }
+    let (global, global_suppressed) = analyze_program(&facts);
+    findings.extend(global);
+    suppressed += global_suppressed;
+    engine::sort_findings(&mut findings);
     Ok((findings, suppressed, count))
 }

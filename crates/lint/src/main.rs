@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run -p cascade-lint -- [--root DIR] [--format text|json]
 //!                              [--baseline FILE] [--write-baseline]
-//!                              [--list-rules]
+//!                              [--list-rules] [--list-files]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` new findings, `2` usage or I/O error.
@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cascade_lint::{scan_workspace, Baseline, RunSummary, RULES};
+use cascade_lint::{scan_workspace, workspace_files, Baseline, RunSummary, RULES};
 
 struct Options {
     root: Option<PathBuf>,
@@ -20,6 +20,7 @@ struct Options {
     baseline: Option<PathBuf>,
     write_baseline: bool,
     list_rules: bool,
+    list_files: bool,
 }
 
 #[derive(PartialEq)]
@@ -30,7 +31,7 @@ enum Format {
 
 fn usage() -> &'static str {
     "usage: cascade-lint [--root DIR] [--format text|json] [--baseline FILE] \
-     [--write-baseline] [--list-rules]"
+     [--write-baseline] [--list-rules] [--list-files]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -40,6 +41,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline: None,
         write_baseline: false,
         list_rules: false,
+        list_files: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -68,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--write-baseline" => opts.write_baseline = true,
             "--list-rules" => opts.list_rules = true,
+            "--list-files" => opts.list_files = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument `{}`\n{}", other, usage())),
         }
@@ -106,6 +109,13 @@ fn run() -> Result<bool, String> {
                 .ok_or("no workspace root found above the current directory; pass --root")?
         }
     };
+
+    if opts.list_files {
+        for f in workspace_files(&root)? {
+            println!("{}", f.rel_path);
+        }
+        return Ok(true);
+    }
 
     let (findings, suppressed, files_scanned) = scan_workspace(&root)?;
 

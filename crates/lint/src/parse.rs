@@ -1,0 +1,414 @@
+//! A lightweight item parser on top of the lexer: function boundaries,
+//! parameter names, and call sites with receiver chains.
+//!
+//! This is deliberately **not** a Rust grammar. The flow analyses
+//! ([`crate::flow`], [`crate::callgraph`]) need exactly three structural
+//! facts the token stream alone cannot give them — where a function's
+//! body starts and ends, what its parameters are named, and which calls
+//! it makes (with the identifier chain each argument mentions) — and a
+//! ~300-line scanner that the whole team can read recovers those facts
+//! with brace/paren matching plus a handful of keyword rules. Everything
+//! it cannot parse it skips: an unparseable item simply contributes no
+//! functions, and the analyses err toward silence rather than noise on
+//! exotic syntax (macros, const generics in weird positions). The
+//! fixtures in `tests/fixtures/` and the seeded tree in
+//! `tests/fixture_tree/` define the supported shapes.
+
+use crate::lexer::Tok;
+use crate::lexer::TokKind;
+
+/// One `fn` item: its name, parameter binding names, and the code-token
+/// index range of its body (exclusive of the braces).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name (`fn name(...)`).
+    pub name: String,
+    /// Parameter binding names, in order (`self` counts; pattern
+    /// parameters contribute their first identifier).
+    pub params: Vec<String>,
+    /// `[start, end)` code-token indices of the body, inside the braces.
+    pub body: (usize, usize),
+    /// Body token ranges of *directly nested* `fn` items, which the flow
+    /// analyses skip (each nested fn is analyzed as its own item).
+    pub nested: Vec<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// The called name: method name for `x.m(...)`, last path segment
+    /// for `a::b::c(...)`, the identifier itself for `f(...)`.
+    pub callee: String,
+    /// The identifier chain before the call: `self.a.b.m()` yields
+    /// `["a", "b"]` (a leading `self` is dropped), `arena::recycle()`
+    /// yields `["arena"]`, a free `f()` yields `[]`.
+    pub receiver: Vec<String>,
+    /// Per top-level argument: every identifier the argument mentions.
+    pub args: Vec<Vec<String>>,
+    /// Code-token index ranges of each top-level argument.
+    pub arg_ranges: Vec<(usize, usize)>,
+    /// Code-token index of the callee identifier.
+    pub name_idx: usize,
+    /// 1-based source location of the callee identifier.
+    pub line: u32,
+    /// 1-based column of the callee identifier.
+    pub col: u32,
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "move", "as", "in", "else", "let",
+    "mut", "ref", "pub", "use", "impl", "where", "struct", "enum", "trait", "type", "const",
+    "static", "break", "continue", "crate", "super",
+];
+
+/// Extracts every `fn` item (at any nesting depth) from a comment-free
+/// token slice. Items whose body cannot be delimited are skipped.
+pub fn parse_fns(code: &[&Tok]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1; // `fn(` pointer type or malformed item
+            continue;
+        };
+        let mut j = i + 2;
+        // Skip generics between the name and the parameter list.
+        if code.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 1usize;
+            j += 1;
+            while depth > 0 {
+                match code.get(j) {
+                    Some(t) if t.is_punct('<') => depth += 1,
+                    Some(t) if t.is_punct('>') && !code[j - 1].is_punct('-') => depth -= 1,
+                    Some(_) => {}
+                    None => break,
+                }
+                j += 1;
+            }
+        }
+        if !code.get(j).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let (params, after_params) = parse_params(code, j);
+        // Scan past return type / where clause to the body or a `;`.
+        let mut k = after_params;
+        let mut body = None;
+        while let Some(t) = code.get(k) {
+            if t.is_punct(';') {
+                break; // trait method declaration: no body
+            }
+            if t.is_punct('{') {
+                let end = match_brace(code, k);
+                body = Some((k + 1, end));
+                break;
+            }
+            k += 1;
+        }
+        if let Some(body) = body {
+            fns.push(FnItem {
+                name: name_tok.text.clone(),
+                params,
+                body,
+                nested: Vec::new(),
+                line: code[i].line,
+            });
+        }
+        i += 2; // continue inside: nested fns are collected too
+    }
+    // Record, for each fn, the bodies of fns nested directly inside it.
+    let bodies: Vec<(usize, usize)> = fns.iter().map(|f| f.body).collect();
+    for f in &mut fns {
+        f.nested = bodies
+            .iter()
+            .filter(|&&(s, e)| s > f.body.0 && e < f.body.1)
+            .copied()
+            .collect();
+    }
+    fns
+}
+
+/// Parses the parameter list starting at the `(` at `open`. Returns the
+/// binding names and the index just past the matching `)`.
+fn parse_params(code: &[&Tok], open: usize) -> (Vec<String>, usize) {
+    let close = match_paren(code, open);
+    let mut params = Vec::new();
+    let mut seg_start = open + 1;
+    let mut depth = 0usize;
+    let mut k = open + 1;
+    while k <= close {
+        let at_end = k == close;
+        let t = code.get(k);
+        if let Some(t) = t {
+            // `->` return arrows inside `impl Fn() -> T` types must not
+            // count as closing angle brackets.
+            let arrow = t.is_punct('>') && k >= 1 && code[k - 1].is_punct('-');
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                depth += 1;
+            } else if (t.is_punct(')') && k != close)
+                || t.is_punct(']')
+                || (t.is_punct('>') && !arrow)
+            {
+                depth = depth.saturating_sub(1);
+            }
+        }
+        if at_end || (depth == 0 && t.is_some_and(|t| t.is_punct(','))) {
+            if let Some(name) = code[seg_start..k]
+                .iter()
+                .find(|t| t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref")
+            {
+                params.push(name.text.clone());
+            }
+            seg_start = k + 1;
+        }
+        k += 1;
+    }
+    (params, close + 1)
+}
+
+/// Index of the token just past the `}` matching the `{` at `open`
+/// (or `code.len()` when unterminated).
+pub(crate) fn match_brace(code: &[&Tok], open: usize) -> usize {
+    let mut depth = 1usize;
+    let mut k = open + 1;
+    while depth > 0 {
+        match code.get(k) {
+            Some(t) if t.is_punct('{') => depth += 1,
+            Some(t) if t.is_punct('}') => depth -= 1,
+            Some(_) => {}
+            None => return code.len(),
+        }
+        k += 1;
+    }
+    k - 1
+}
+
+/// Index of the `)` matching the `(` at `open` (or `code.len()`).
+fn match_paren(code: &[&Tok], open: usize) -> usize {
+    let mut depth = 1usize;
+    let mut k = open + 1;
+    while depth > 0 {
+        match code.get(k) {
+            Some(t) if t.is_punct('(') => depth += 1,
+            Some(t) if t.is_punct(')') => depth -= 1,
+            Some(_) => {}
+            None => return code.len(),
+        }
+        k += 1;
+    }
+    k - 1
+}
+
+/// Whether code-token `i` falls inside any of the given (nested-fn)
+/// ranges.
+pub fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+    ranges.iter().any(|&(s, e)| i >= s && i < e)
+}
+
+/// The identifier chain ending in the token *before* index `i`'s `.` or
+/// `::` separator — for `self.a.b.m` with `i` at `m`, returns
+/// `["a", "b"]` (leading `self` dropped). Empty when the receiver is a
+/// compound expression (`f().lock()`).
+pub fn receiver_chain(code: &[&Tok], i: usize) -> Vec<String> {
+    let mut chain: Vec<String> = Vec::new();
+    let mut k = i;
+    loop {
+        // Expect a separator before position k: `.` or `::`.
+        let (sep_width, matched) = if k >= 1 && code[k - 1].is_punct('.') {
+            (1, true)
+        } else if k >= 2 && code[k - 1].is_punct(':') && code[k - 2].is_punct(':') {
+            (2, true)
+        } else {
+            (0, false)
+        };
+        if !matched {
+            break;
+        }
+        let prev = k.checked_sub(sep_width + 1).map(|p| code[p]);
+        match prev {
+            Some(t) if t.kind == TokKind::Ident => {
+                chain.push(t.text.clone());
+                k -= sep_width + 1;
+            }
+            _ => break, // `foo().bar` — unresolvable receiver
+        }
+    }
+    chain.reverse();
+    if chain.first().is_some_and(|s| s == "self") {
+        chain.remove(0);
+    }
+    chain
+}
+
+/// Extracts every call site in `[start, end)`, skipping `skip` ranges
+/// (nested fn bodies) and macro invocations (`name!(…)`).
+pub fn calls_in(code: &[&Tok], range: (usize, usize), skip: &[(usize, usize)]) -> Vec<Call> {
+    let mut calls = Vec::new();
+    let (start, end) = range;
+    for i in start..end.min(code.len()) {
+        if in_ranges(skip, i) {
+            continue;
+        }
+        let t = code[i];
+        if t.kind != TokKind::Ident
+            || NON_CALL_KEYWORDS.contains(&t.text.as_str())
+            || !code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        // `name!(…)` macros never reach here: the token after the name
+        // is `!`, not `(`, so the call pattern above already rejects
+        // them.
+        let open = i + 1;
+        let close = match_paren(code, open);
+        let mut args: Vec<Vec<String>> = Vec::new();
+        let mut arg_ranges: Vec<(usize, usize)> = Vec::new();
+        let mut seg_start = open + 1;
+        let mut depth = 0usize;
+        for k in open + 1..=close.min(code.len()) {
+            let at_end = k == close;
+            if !at_end {
+                let a = code[k];
+                if a.is_punct('(') || a.is_punct('[') || a.is_punct('{') {
+                    depth += 1;
+                } else if a.is_punct(')') || a.is_punct(']') || a.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                }
+            }
+            if at_end || (depth == 0 && code[k].is_punct(',')) {
+                if k > seg_start {
+                    args.push(
+                        code[seg_start..k]
+                            .iter()
+                            .filter(|t| t.kind == TokKind::Ident)
+                            .map(|t| t.text.clone())
+                            .collect(),
+                    );
+                    arg_ranges.push((seg_start, k));
+                }
+                seg_start = k + 1;
+            }
+        }
+        calls.push(Call {
+            callee: t.text.clone(),
+            receiver: receiver_chain(code, i),
+            args,
+            arg_ranges,
+            name_idx: i,
+            line: t.line,
+            col: t.col,
+        });
+    }
+    calls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code(src: &str) -> Vec<Tok> {
+        lex(src)
+    }
+
+    fn fns_of(src: &str) -> Vec<FnItem> {
+        let toks = code(src);
+        let refs: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        parse_fns(&refs)
+    }
+
+    #[test]
+    fn finds_fn_names_params_and_bodies() {
+        let fns = fns_of("fn a(x: u32, mut y: &str) -> u32 { x }\nfn b() {}\n");
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert_eq!(fns[0].params, vec!["x", "y"]);
+        assert_eq!(fns[1].name, "b");
+        assert!(fns[1].params.is_empty());
+        assert_eq!(fns[1].body.0, fns[1].body.1, "empty body is empty range");
+    }
+
+    #[test]
+    fn self_and_generic_fns_parse() {
+        let fns = fns_of("impl S { fn m<T: Clone>(&self, v: Vec<T>) -> usize { v.len() } }");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "m");
+        assert_eq!(fns[0].params, vec!["self", "v"]);
+    }
+
+    #[test]
+    fn nested_fns_are_separate_items_with_skip_ranges() {
+        let fns = fns_of("fn outer() { fn inner(q: u32) -> u32 { q } inner(1); }");
+        assert_eq!(fns.len(), 2);
+        let outer = fns
+            .iter()
+            .find(|f| f.name == "outer")
+            .expect("outer parsed");
+        let inner = fns
+            .iter()
+            .find(|f| f.name == "inner")
+            .expect("inner parsed");
+        assert_eq!(outer.nested, vec![inner.body]);
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let fns = fns_of("trait T { fn decl(&self) -> u32; fn with_body(&self) -> u32 { 1 } }");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "with_body");
+    }
+
+    #[test]
+    fn calls_capture_callee_receiver_and_args() {
+        let toks = code("fn f() { self.engine.apply(batch, arena::take_zeroed(n)); }");
+        let refs: Vec<&Tok> = toks.iter().collect();
+        let fns = parse_fns(&refs);
+        let calls = calls_in(&refs, fns[0].body, &[]);
+        let apply = calls
+            .iter()
+            .find(|c| c.callee == "apply")
+            .expect("apply call found");
+        assert_eq!(apply.receiver, vec!["engine"]);
+        assert_eq!(apply.args.len(), 2);
+        assert_eq!(apply.args[0], vec!["batch"]);
+        assert!(apply.args[1].contains(&"take_zeroed".to_string()));
+        let take = calls
+            .iter()
+            .find(|c| c.callee == "take_zeroed")
+            .expect("nested call found");
+        assert_eq!(take.receiver, vec!["arena"]);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let toks = code("fn f(v: &[u32]) { assert_eq!(v.len(), 1); if (v.len()) > 0 {} }");
+        let refs: Vec<&Tok> = toks.iter().collect();
+        let fns = parse_fns(&refs);
+        let calls = calls_in(&refs, fns[0].body, &[]);
+        let names: Vec<&str> = calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(!names.contains(&"assert_eq"), "{:?}", names);
+        assert!(!names.contains(&"if"), "{:?}", names);
+        assert!(names.contains(&"len"), "{:?}", names);
+    }
+
+    #[test]
+    fn receiver_chain_drops_self_and_stops_at_expressions() {
+        let toks = code("a.b.c.m() self.x.m2() make().m3()");
+        let refs: Vec<&Tok> = toks.iter().collect();
+        let idx = |name: &str| {
+            refs.iter()
+                .position(|t| t.is_ident(name))
+                .expect("token present")
+        };
+        assert_eq!(receiver_chain(&refs, idx("m")), vec!["a", "b", "c"]);
+        assert_eq!(receiver_chain(&refs, idx("m2")), vec!["x"]);
+        assert_eq!(receiver_chain(&refs, idx("m3")), Vec::<String>::new());
+    }
+}

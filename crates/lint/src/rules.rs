@@ -42,6 +42,12 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/serve/src/",
     "crates/store/src/",
     "crates/tensor/src/",
+    // Examples and the top-level integration tests exercise the same
+    // compute paths; a wall-clock or hash-order dependence there would
+    // teach users the exact pattern the compute crates ban. (`#[test]`
+    // bodies stay exempt via `applies_to_tests: false`.)
+    "examples/",
+    "tests/",
 ];
 
 /// Hot-path crates where an unexpected panic kills a pipeline stage
@@ -96,6 +102,19 @@ const ARENA_RESET_SITES: &[&str] = &[
     "crates/core/src/streaming.rs",
     "crates/exec/src/pipeline.rs",
     "crates/tensor/src/arena.rs",
+];
+
+/// Crates with real lock graphs: the tensor substrate (per-tensor
+/// RwLocks), the pipelined executor, the serving stack, the storage
+/// prefetcher, and the core drivers that compose them. These are the
+/// paths cascade-dist will multiply (ROADMAP item 3), so their lock
+/// acquisition orders are checked globally.
+const LOCK_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/exec/src/",
+    "crates/serve/src/",
+    "crates/store/src/",
+    "crates/tensor/src/",
 ];
 
 /// All rules, in reporting order.
@@ -171,13 +190,25 @@ pub const RULES: &[RuleSpec] = &[
               serving threads (accept loop, workers, ingest) in serve/server.rs.",
     },
     RuleSpec {
-        id: "conc-guard-across-channel",
-        scopes: &["crates/core/src/", "crates/exec/src/"],
+        id: "conc-guard-across-blocking",
+        scopes: LOCK_SCOPE,
         allowed_paths: &[],
         applies_to_tests: false,
-        why: "Holding a lock guard across a blocking channel send/recv couples the \
-              lock to queue backpressure — the classic pipeline deadlock. Drop the \
-              guard before touching a channel.",
+        why: "Holding a lock guard across a blocking call (channel send/recv, thread \
+              join, fsync, accept, condvar wait) couples the lock to external \
+              progress — the classic pipeline deadlock. Drop the guard before \
+              blocking. (Flow-aware successor to conc-guard-across-channel: tracks \
+              real scopes, drop(), and shadowing.)",
+    },
+    RuleSpec {
+        id: "conc-lock-order",
+        scopes: LOCK_SCOPE,
+        allowed_paths: &[],
+        applies_to_tests: false,
+        why: "Two code paths acquiring the same pair of named locks in opposite \
+              orders (directly or through calls) deadlock the first time they \
+              interleave; pick one global order per lock pair. Checked across the \
+              whole workspace call graph.",
     },
     RuleSpec {
         id: "conc-static-mut",
@@ -196,6 +227,27 @@ pub const RULES: &[RuleSpec] = &[
               safe at a batch boundary, after the previous batch's graph has been \
               dropped; mid-batch calls silently degrade recycling. Call sites are \
               confined to the trainer/executor batch loops.",
+    },
+    RuleSpec {
+        id: "arena-take-balance",
+        scopes: &["crates/tensor/src/"],
+        allowed_paths: &[],
+        applies_to_tests: false,
+        why: "A buffer from arena::take_* that is neither recycled, returned, nor \
+              moved out on some path out of the function silently leaks from the \
+              recycling pool — recycle rates degrade without any test failing. \
+              Every take_* needs a recycle/move on every exit path.",
+    },
+    RuleSpec {
+        id: "det-taint",
+        scopes: DETERMINISM_SCOPE,
+        allowed_paths: TELEMETRY,
+        applies_to_tests: false,
+        why: "A wall-clock or hash-iteration value flowing (possibly through \
+              helpers) into a function that mutates training state — params, \
+              memory, mailboxes — silently breaks bit-identical replay even when \
+              the clock read itself sits in allowlisted telemetry code. Flagged at \
+              the call site where the tainted value enters the mutation chain.",
     },
     RuleSpec {
         id: "io-fs-confined",

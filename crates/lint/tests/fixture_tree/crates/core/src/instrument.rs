@@ -1,0 +1,12 @@
+//! Telemetry module: allowlisted for wall-clock reads (`det-wallclock`
+//! never fires here) — but the *value* it returns is still tainted, and
+//! trainer.rs feeding it into an optimizer step is caught cross-file by
+//! `det-taint`.
+
+use std::time::Instant;
+
+/// Seconds since the call — a wall-clock read, fine for reports.
+pub fn stamp_secs() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}

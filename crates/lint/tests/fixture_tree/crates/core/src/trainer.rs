@@ -1,0 +1,23 @@
+//! Seeded violation: a wall-clock value from the allowlisted telemetry
+//! module (instrument.rs) flows into a parameter update — `det-taint`
+//! flags the sink call site even though the clock read itself was
+//! legitimate.
+
+pub struct Trainer {
+    opt: Opt,
+}
+
+impl Trainer {
+    /// The learning rate comes from a clock: replay is no longer
+    /// bit-identical.
+    pub fn tune(&mut self) {
+        let lr = stamp_secs();
+        self.opt.step(lr);
+    }
+
+    /// Config-derived updates are deterministic: clean.
+    pub fn tune_fixed(&mut self, lr: f64) {
+        let scaled = lr * 0.5;
+        self.opt.step(scaled);
+    }
+}

@@ -1,0 +1,38 @@
+//! Seeded violations: one half of a cross-file lock-order cycle
+//! (`scan` → `compute`; stage.rs takes the opposite order) and a guard
+//! held across a blocking channel send.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Pipeline {
+    scan: Mutex<Vec<u64>>,
+    compute: Mutex<Vec<f32>>,
+    tx: Sender<u64>,
+}
+
+impl Pipeline {
+    /// Acquires `scan` then `compute` — stage.rs's `flush` does the
+    /// reverse, so the cycle only exists across files.
+    pub fn drain(&self) {
+        let s = self.scan.lock();
+        let c = self.compute.lock();
+        drop(c);
+        drop(s);
+    }
+
+    /// The `scan` guard is live across the blocking `send`.
+    pub fn publish(&self) {
+        let s = self.scan.lock();
+        self.tx.send(s.len() as u64);
+        drop(s);
+    }
+
+    /// Locks `scan` alone — clean by itself, but stage.rs calls this
+    /// while holding `compute`, closing the cycle through the call
+    /// graph.
+    pub fn rescan(&self) {
+        let s = self.scan.lock();
+        drop(s);
+    }
+}

@@ -1,0 +1,36 @@
+//! Seeded violations: the other half of the cross-file lock-order
+//! cycle (`compute` → `scan`), directly and through a call edge.
+
+use std::sync::Mutex;
+
+pub struct Stage {
+    compute: Mutex<Vec<f32>>,
+    scan: Mutex<Vec<u64>>,
+}
+
+impl Stage {
+    /// Acquires `compute` then `scan` — the reverse of pipeline.rs's
+    /// `drain`.
+    pub fn flush(&self) {
+        let c = self.compute.lock();
+        let s = self.scan.lock();
+        drop(s);
+        drop(c);
+    }
+
+    /// Holds `compute` while calling `rescan` (pipeline.rs), which
+    /// locks `scan`: the same cycle, but only visible interprocedurally.
+    pub fn reconcile(&self) {
+        let c = self.compute.lock();
+        self.rescan();
+        drop(c);
+    }
+
+    /// Consistent `compute`-only usage: clean.
+    pub fn tally(&self) -> usize {
+        let c = self.compute.lock();
+        let n = c.len();
+        drop(c);
+        n
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded violation: an `arena::take_*` buffer that is neither
+//! recycled nor moved out — it leaks from the recycling pool at the end
+//! of `scale`.
+
+use crate::arena;
+
+/// Scales into an arena scratch buffer and forgets to recycle it.
+pub fn scale(v: &[f32], k: f32) {
+    let mut buf = arena::take_copy(v);
+    for x in buf.iter_mut() {
+        *x *= k;
+    }
+    publish(&buf);
+}
+
+/// The balanced twin: recycled on the way out — clean.
+pub fn scale_balanced(v: &[f32], k: f32) {
+    let mut buf = arena::take_copy(v);
+    for x in buf.iter_mut() {
+        *x *= k;
+    }
+    publish(&buf);
+    arena::recycle(buf);
+}

@@ -1,0 +1,15 @@
+//@ path: crates/tensor/src/ops/norm.rs
+//@ expect: arena-take-balance
+use crate::arena;
+
+// The early return skips the recycle: the buffer leaks on exactly the
+// path a length-zero input takes.
+pub fn norm(v: &[f32]) -> f32 {
+    let buf = arena::take_copy(v);
+    if v.is_empty() {
+        return 0.0;
+    }
+    let total: f32 = buf.iter().map(|x| x * x).sum();
+    arena::recycle(buf);
+    total.sqrt()
+}

@@ -1,0 +1,14 @@
+//@ path: crates/tensor/src/ops/scale.rs
+//@ expect: arena-take-balance
+use crate::arena;
+
+// The taken buffer is only ever borrowed; nothing recycles or returns
+// it, so it silently leaks from the recycling pool at scope end.
+pub fn sum_scaled(v: &[f32], k: f32) -> f32 {
+    let out = arena::take_copy(v);
+    let mut acc = 0.0f32;
+    for x in out.iter() {
+        acc += x * k;
+    }
+    acc
+}

@@ -1,0 +1,18 @@
+//@ path: crates/tensor/src/ops/add.rs
+use crate::arena;
+use crate::Tensor;
+
+// Moving the buffer out — into a Tensor or back to the caller — hands
+// off ownership; the receiver recycles it when the graph drops.
+pub fn add_scaled(v: &[f32], k: f32) -> Tensor {
+    let mut out = arena::take_copy(v);
+    for x in out.iter_mut() {
+        *x += k;
+    }
+    Tensor::from_vec(out)
+}
+
+pub fn zeros(n: usize) -> Vec<f32> {
+    let buf = arena::take_zeroed(n);
+    buf
+}

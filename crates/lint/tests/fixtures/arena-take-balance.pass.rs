@@ -1,0 +1,18 @@
+//@ path: crates/tensor/src/ops/scale.rs
+use crate::arena;
+
+// Balanced: the buffer is recycled on the main path and before the
+// early return.
+pub fn sum_scaled(v: &[f32], k: f32) -> f32 {
+    let out = arena::take_copy(v);
+    if v.is_empty() {
+        arena::recycle(out);
+        return 0.0;
+    }
+    let mut acc = 0.0f32;
+    for x in out.iter() {
+        acc += x * k;
+    }
+    arena::recycle(out);
+    acc
+}

@@ -1,5 +1,5 @@
 //@ path: crates/exec/src/pipeline.rs
-//@ expect: conc-guard-across-channel
+//@ expect: conc-guard-across-blocking
 use std::sync::mpsc::SyncSender;
 use std::sync::Mutex;
 

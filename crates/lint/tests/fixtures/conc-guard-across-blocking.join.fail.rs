@@ -1,0 +1,10 @@
+//@ path: crates/serve/src/engine.rs
+//@ expect: conc-guard-across-blocking
+use std::sync::RwLock;
+use std::thread::JoinHandle;
+
+pub fn drain(snapshot: &RwLock<Vec<u64>>, worker: JoinHandle<()>) {
+    let snap = snapshot.read().expect("serving threads never poison this lock");
+    worker.join().ok();
+    drop(snap);
+}

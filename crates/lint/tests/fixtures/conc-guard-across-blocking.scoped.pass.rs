@@ -1,0 +1,12 @@
+//@ path: crates/serve/src/engine.rs
+use std::sync::RwLock;
+use std::thread::JoinHandle;
+
+pub fn drain(snapshot: &RwLock<Vec<u64>>, worker: JoinHandle<()>) {
+    let len = {
+        let snap = snapshot.read().expect("serving threads never poison this lock");
+        snap.len()
+    };
+    worker.join().ok();
+    let _ = len;
+}

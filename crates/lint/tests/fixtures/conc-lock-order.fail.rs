@@ -1,0 +1,25 @@
+//@ path: crates/exec/src/pipeline.rs
+//@ expect: conc-lock-order
+//@ expect: conc-lock-order
+use std::sync::Mutex;
+
+pub struct Stages {
+    scan: Mutex<u64>,
+    compute: Mutex<u64>,
+}
+
+impl Stages {
+    pub fn forward(&self) {
+        let scan = self.scan.lock().expect("stage locks are never poisoned");
+        let compute = self.compute.lock().expect("stage locks are never poisoned");
+        drop(compute);
+        drop(scan);
+    }
+
+    pub fn backward(&self) {
+        let compute = self.compute.lock().expect("stage locks are never poisoned");
+        let scan = self.scan.lock().expect("stage locks are never poisoned");
+        drop(scan);
+        drop(compute);
+    }
+}

@@ -1,0 +1,24 @@
+//@ path: crates/exec/src/pipeline.rs
+use std::sync::Mutex;
+
+pub struct Stages {
+    scan: Mutex<u64>,
+    compute: Mutex<u64>,
+}
+
+impl Stages {
+    // Both paths agree on the global order scan -> compute.
+    pub fn forward(&self) {
+        let scan = self.scan.lock().expect("stage locks are never poisoned");
+        let compute = self.compute.lock().expect("stage locks are never poisoned");
+        drop(compute);
+        drop(scan);
+    }
+
+    pub fn backward(&self) {
+        let scan = self.scan.lock().expect("stage locks are never poisoned");
+        let compute = self.compute.lock().expect("stage locks are never poisoned");
+        drop(compute);
+        drop(scan);
+    }
+}

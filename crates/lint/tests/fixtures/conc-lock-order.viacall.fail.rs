@@ -1,0 +1,31 @@
+//@ path: crates/serve/src/engine.rs
+//@ expect: conc-lock-order
+//@ expect: conc-lock-order
+use std::sync::Mutex;
+
+pub struct Engine {
+    wal: Mutex<u64>,
+    snapshot: Mutex<u64>,
+}
+
+impl Engine {
+    // Holds `wal`, then acquires `snapshot` *inside the callee*: the
+    // cycle only exists through the call edge.
+    pub fn ingest(&self) {
+        let wal = self.wal.lock().expect("engine locks are never poisoned");
+        self.publish();
+        drop(wal);
+    }
+
+    fn publish(&self) {
+        let snap = self.snapshot.lock().expect("engine locks are never poisoned");
+        drop(snap);
+    }
+
+    pub fn restore(&self) {
+        let snap = self.snapshot.lock().expect("engine locks are never poisoned");
+        let wal = self.wal.lock().expect("engine locks are never poisoned");
+        drop(wal);
+        drop(snap);
+    }
+}

@@ -1,0 +1,23 @@
+//@ path: crates/core/src/trainer.rs
+//@ expect: det-taint
+use std::time::Instant;
+
+pub struct Trainer {
+    opt: Opt,
+}
+
+impl Trainer {
+    fn elapsed_secs(&self) -> f64 {
+        // cascade-lint: allow(det-wallclock): timing lands in reports; det-taint still guards state flows
+        let t = Instant::now();
+        t.elapsed().as_secs_f64()
+    }
+
+    // The suppressed telemetry read leaks into the optimizer step — a
+    // wall-clock-dependent parameter update. det-taint flags the sink
+    // call even though the clock read itself was allowlisted.
+    pub fn tune(&mut self) {
+        let lr = self.elapsed_secs();
+        self.opt.step(lr);
+    }
+}

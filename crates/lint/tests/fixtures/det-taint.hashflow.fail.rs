@@ -1,0 +1,22 @@
+//@ path: crates/models/src/model.rs
+//@ expect: det-hash-iter
+//@ expect: det-taint
+pub struct Model {
+    memory: Memory,
+}
+
+impl Model {
+    // `value` flows straight into a memory write: this parameter
+    // position is a sink.
+    fn write_state(&mut self, value: f32) {
+        self.memory.set(0, value);
+    }
+
+    // Hash-iteration order decides which value lands in memory; the
+    // taint crosses the helper boundary interprocedurally.
+    pub fn refresh(&mut self) {
+        let cache = std::collections::HashMap::from([(1u64, 0.5f32)]);
+        let first = cache.values().next().copied().unwrap_or(0.0);
+        self.write_state(first);
+    }
+}

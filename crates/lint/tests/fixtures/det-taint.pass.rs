@@ -1,0 +1,12 @@
+//@ path: crates/core/src/trainer.rs
+pub struct Trainer {
+    opt: Opt,
+}
+
+impl Trainer {
+    // Config-derived values into the optimizer are deterministic.
+    pub fn tune(&mut self, lr: f64) {
+        let scaled = lr * 0.5;
+        self.opt.step(scaled);
+    }
+}

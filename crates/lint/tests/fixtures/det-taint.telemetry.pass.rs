@@ -1,0 +1,16 @@
+//@ path: crates/core/src/trainer.rs
+use std::time::Instant;
+
+pub struct Trainer {
+    report: Report,
+}
+
+impl Trainer {
+    // Wall-clock readings that only fill reports never reach a state
+    // mutation: suppressed det-wallclock, and no det-taint.
+    pub fn record(&mut self) {
+        // cascade-lint: allow(det-wallclock): stage timing lands in TrainReport only, never in schedules
+        let t = Instant::now();
+        self.report.scan_secs = t.elapsed().as_secs_f64();
+    }
+}

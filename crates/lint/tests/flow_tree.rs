@@ -1,0 +1,115 @@
+//! Cross-file integration test for the flow-aware analyses: scans the
+//! deliberately-broken mini workspace in `tests/fixture_tree/` and
+//! asserts every seeded violation is caught — and nothing else is.
+//!
+//! The seeded bugs are spread across files on purpose: the lock-order
+//! cycle only exists between pipeline.rs and stage.rs, and the
+//! determinism taint originates in the allowlisted telemetry module but
+//! sinks in trainer.rs. A per-file analyzer cannot catch either.
+
+use std::path::PathBuf;
+
+use cascade_lint::{scan_workspace, Finding};
+
+fn tree_findings() -> Vec<Finding> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixture_tree");
+    let (findings, _suppressed, files) = scan_workspace(&root).expect("fixture tree scans cleanly");
+    assert!(files >= 6, "all fixture-tree files walked, got {files}");
+    findings
+}
+
+fn of<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn seeded_cross_file_lock_cycle_is_caught() {
+    let findings = tree_findings();
+    let cycle = of(&findings, "conc-lock-order");
+    assert!(
+        cycle
+            .iter()
+            .any(|f| f.file == "crates/exec/src/pipeline.rs"),
+        "drain's scan→compute edge flagged: {cycle:?}"
+    );
+    assert!(
+        cycle.iter().any(|f| f.file == "crates/exec/src/stage.rs"),
+        "flush's compute→scan edge flagged: {cycle:?}"
+    );
+    // The interprocedural edge: reconcile holds `compute` while calling
+    // rescan (another file), which locks `scan`.
+    assert!(
+        cycle
+            .iter()
+            .any(|f| f.file == "crates/exec/src/stage.rs" && f.snippet.contains("rescan")),
+        "the call-graph edge through rescan() flagged at its call site: {cycle:?}"
+    );
+}
+
+#[test]
+fn seeded_guard_across_blocking_send_is_caught() {
+    let findings = tree_findings();
+    let held = of(&findings, "conc-guard-across-blocking");
+    assert_eq!(held.len(), 1, "exactly the seeded send: {held:?}");
+    assert_eq!(held[0].file, "crates/exec/src/pipeline.rs");
+    assert!(held[0].snippet.contains("send"));
+}
+
+#[test]
+fn seeded_wallclock_taint_crosses_files() {
+    let findings = tree_findings();
+    let taint = of(&findings, "det-taint");
+    assert_eq!(
+        taint.len(),
+        1,
+        "exactly the seeded optimizer step: {taint:?}"
+    );
+    assert_eq!(taint[0].file, "crates/core/src/trainer.rs");
+    assert!(
+        taint[0].snippet.contains("step"),
+        "flagged at the sink call site: {:?}",
+        taint[0]
+    );
+}
+
+#[test]
+fn seeded_arena_leak_is_caught() {
+    let findings = tree_findings();
+    let leaks = of(&findings, "arena-take-balance");
+    assert_eq!(
+        leaks.len(),
+        1,
+        "scale leaks, scale_balanced does not: {leaks:?}"
+    );
+    assert_eq!(leaks[0].file, "crates/tensor/src/ops/scale.rs");
+}
+
+#[test]
+fn telemetry_wallclock_stays_allowlisted() {
+    let findings = tree_findings();
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.file == "crates/core/src/instrument.rs"),
+        "instrument.rs reads clocks legitimately; the taint is flagged \
+         at the trainer.rs sink instead"
+    );
+}
+
+#[test]
+fn nothing_but_the_seeded_violations_fires() {
+    let findings = tree_findings();
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    assert_eq!(
+        rules,
+        [
+            "arena-take-balance",
+            "conc-guard-across-blocking",
+            "conc-lock-order",
+            "det-taint",
+        ],
+        "all findings: {findings:?}"
+    );
+}

@@ -33,6 +33,24 @@ fn workspace_is_clean_against_committed_baseline() {
 }
 
 #[test]
+fn two_scans_render_byte_identical_baselines() {
+    // The baseline file is reviewed as a diff: findings are sorted by
+    // (path, line, col, rule) before rendering, so two runs over the
+    // same tree — including the interprocedural passes, whose findings
+    // come out of set-ordered fixpoints — must agree byte for byte.
+    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = find_root(&here).expect("lint crate lives inside the workspace");
+    let (first, _, _) = scan_workspace(&root).expect("workspace sources are readable");
+    let (second, _, _) = scan_workspace(&root).expect("workspace sources are readable");
+    assert_eq!(first, second, "finding order must not vary across runs");
+    assert_eq!(
+        Baseline::from_findings(&first).render(),
+        Baseline::from_findings(&second).render(),
+        "rendered baselines must be byte-identical across runs"
+    );
+}
+
+#[test]
 fn suppressions_in_the_workspace_carry_reasons() {
     // Every suppression that silences a finding parsed with a valid
     // reason (bare ones are findings and would fail the gate above);

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Whole-workspace lint gate: runs cascade-lint over every crate plus
+# examples/ and the top-level tests/, verifies those trees actually made
+# it into the walk, and leaves a machine-readable JSON report for CI to
+# upload. Used by CI; runnable locally:
+#
+#   bash scripts/lint_all.sh [report-path]
+#
+# Exit status is cascade-lint's: 0 clean, 1 new findings (the report is
+# still written so the artifact shows *what* fired), 2 usage/IO error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPORT="${1:-bench_results/lint_report.json}"
+mkdir -p "$(dirname "$REPORT")"
+
+LINT=(cargo run -q --release --offline -p cascade-lint --)
+
+# The walk starts at the workspace root, so examples/ and tests/ ride
+# along with the crates — but prove it rather than assume it, so a
+# future SKIP_PREFIXES edit can't silently shrink the gate.
+FILES="$("${LINT[@]}" --list-files)"
+for tree in crates/ examples/ tests/; do
+  grep -q "^$tree" <<<"$FILES" || {
+    echo "lint_all: no files from $tree in the walk — gate coverage shrank" >&2
+    exit 2
+  }
+done
+echo "lint_all: walking $(wc -l <<<"$FILES") files (crates/, examples/, tests/ all covered)"
+
+STATUS=0
+"${LINT[@]}" --baseline lint_baseline.json --format json >"$REPORT" || STATUS=$?
+if [ "$STATUS" -ge 2 ]; then
+  echo "lint_all: cascade-lint failed to run (status $STATUS)" >&2
+  exit "$STATUS"
+fi
+
+grep -q '"files_scanned"' "$REPORT" || {
+  echo "lint_all: report at $REPORT is missing the files_scanned field" >&2
+  exit 2
+}
+echo "lint_all: report written to $REPORT (exit $STATUS)"
+exit "$STATUS"
