@@ -1,0 +1,107 @@
+//! Data-parallel training throughput at 1, 2, and 4 in-process workers
+//! on a wiki-profile synthetic graph — the cascade-dist counterpart of
+//! `parallel_compute`.
+//!
+//! Under `cargo bench` the report lands in
+//! `bench_results/dist_scaling.json`, extended with a `scaling` object
+//! holding the workers-vs-throughput curve (events per second, and the
+//! ratio over the single-worker run) plus `host_parallelism` — on a
+//! single-core host every multi-worker entry measures scheduler churn,
+//! not scaling, so the grant travels with the numbers. Under
+//! `cargo test` each target runs once as a smoke test.
+
+use std::hint::black_box;
+
+use cascade_dist::{train_dist, DistConfig};
+use cascade_models::ModelConfig;
+use cascade_tgraph::{Dataset, SynthConfig};
+use cascade_util::{BenchSuite, Json};
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+fn bench_data() -> Dataset {
+    SynthConfig::wiki()
+        .with_scale(0.003)
+        .with_feature_dim(8)
+        .generate(7)
+}
+
+fn dist_cfg(workers: usize) -> DistConfig {
+    DistConfig {
+        workers,
+        chunk_size: 128,
+        batch_size: 64,
+        epochs: 1,
+        lr: 1e-3,
+        clip_norm: Some(5.0),
+        seed: 7,
+    }
+}
+
+fn main() {
+    let data = bench_data();
+    let model_cfg = ModelConfig::tgn().with_dims(16, 8).with_neighbors(4);
+
+    let mut suite = BenchSuite::new("dist_scaling");
+    let mut medians: Vec<(usize, f64)> = Vec::new();
+    for workers in WORKERS {
+        let id = format!("train_epoch/workers{}", workers);
+        suite.bench(&id, || {
+            black_box(train_dist(&data, &model_cfg, &dist_cfg(workers)))
+        });
+        if let Some(s) = suite.stats().iter().find(|s| s.id == id) {
+            medians.push((workers, s.median_ns));
+        }
+    }
+
+    if let Some(path) = suite.finish() {
+        let events = data.num_events() as f64;
+        let base = medians
+            .iter()
+            .find(|(w, _)| *w == 1)
+            .map(|(_, ns)| *ns)
+            .expect("single-worker baseline measured");
+        let curve: Vec<Json> = medians
+            .iter()
+            .map(|(workers, ns)| {
+                Json::Obj(vec![
+                    ("workers".into(), Json::from(*workers)),
+                    ("median_ns".into(), Json::from(*ns)),
+                    ("events_per_sec".into(), Json::from(events * 1e9 / ns)),
+                    ("throughput_ratio".into(), Json::from(base / ns)),
+                ])
+            })
+            .collect();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot re-read {}: {}", path.display(), e));
+        let mut report = Json::parse(&raw).expect("suite report is valid JSON");
+        if let Json::Obj(fields) = &mut report {
+            fields.push(("host_parallelism".into(), Json::from(cores)));
+            fields.push(("scaling".into(), Json::Arr(curve)));
+        }
+        std::fs::write(&path, report.to_string())
+            .unwrap_or_else(|e| panic!("cannot write {}: {}", path.display(), e));
+        for (workers, ns) in &medians {
+            eprintln!(
+                "[bench dist_scaling] workers {}: {:.0} events/s ({:.2}x vs 1 worker)",
+                workers,
+                events * 1e9 / ns,
+                base / ns
+            );
+        }
+        if cores < 2 {
+            eprintln!(
+                "[bench dist_scaling] host grants {} core(s); the curve \
+                 measures coordination overhead, not scaling",
+                cores
+            );
+        }
+        eprintln!(
+            "[bench dist_scaling] appended scaling curve to {}",
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! `cascade-dist`: shard-partitioned data-parallel training for the
+//! Cascade TGNN stack.
+//!
+//! The crate implements the "memory plane" half of distributed TGNN
+//! training (DESIGN.md §12): node memory, mailboxes, and adjacency are
+//! partitioned over N shards by the workspace-wide
+//! [`ShardMap`](cascade_tgraph::ShardMap) hash, and N workers — threads
+//! over one [`SharedPlane`], or processes over the TCP transport — each
+//! own one shard, stream their round-robin partition of the CEVT chunk
+//! stream, and exchange gradients through a deterministic
+//! worker-index-ordered all-reduce.
+//!
+//! Determinism contract:
+//!
+//! * **N = 1** is bit-identical to the serial trainer — same losses,
+//!   same logits, same memories, same post-step parameters (enforced by
+//!   the `identity` integration tests and the `det-taint` lint gate).
+//! * **N > 1** is bit-reproducible for a given `(workers, seed,
+//!   stream)` across runs *and* across transports, but deliberately
+//!   diverges from serial training by a bounded amount: same-round
+//!   batches read memory that excludes each other's updates (one round
+//!   of staleness, DistTGL-style) and their gradients are averaged
+//!   rather than applied sequentially.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grad;
+mod plane;
+mod round;
+mod runtime;
+mod stats;
+mod tcp;
+
+pub use grad::{all_reduce, collect_grads, install_grads, GradSet};
+pub use plane::SharedPlane;
+pub use round::{Frame, RoundPayload, WireError};
+pub use runtime::{train_dist, BatchRecord, DistConfig, DistOutcome};
+pub use stats::{DistReport, RunClock};
+pub use tcp::{run_follower, run_leader, run_leader_on, DistError};

@@ -1,0 +1,510 @@
+//! Round payloads and their wire codec.
+//!
+//! One training round moves exactly one [`RoundPayload`] per active
+//! worker: the worker's batch (events + feature rows, globally
+//! addressed), its write-back ticket, and its gradient contribution.
+//! The in-process runtime passes payloads by value; the TCP transport
+//! serializes them with the little-endian codec here. Both paths apply
+//! the identical payload sequence, which is what keeps the two modes
+//! bit-identical.
+//!
+//! The codec is deliberately dumb: fixed-order fields, explicit
+//! lengths, no compression, every length validated before allocation.
+//! A malformed frame surfaces as a typed [`WireError`], never a panic —
+//! a dist peer must not be able to take down the process with a short
+//! read.
+
+use cascade_models::BatchPending;
+use cascade_tgraph::{EdgeFeatures, Event, NodeId};
+
+use crate::grad::GradSet;
+
+/// Upper bound accepted for any decoded element count (events, centers,
+/// parameters, floats per buffer). Generous for real payloads while
+/// keeping a corrupt length field from forcing a huge allocation.
+const MAX_DECODE_LEN: usize = 1 << 28;
+
+/// A decode failure: what was being read and why it failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Field being decoded when the failure occurred.
+    pub field: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(field: &'static str, message: impl Into<String>) -> Self {
+        WireError {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode failed at {}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One worker's contribution to a training round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundPayload {
+    /// Originating worker index.
+    pub worker: usize,
+    /// Global stream id of `events[0]`.
+    pub first_id: usize,
+    /// The batch's events, chronologically ordered.
+    pub events: Vec<Event>,
+    /// Edge-feature width (0 when the stream has no features).
+    pub feat_dim: usize,
+    /// Row-major feature rows for `events` (`events.len() * feat_dim`).
+    pub feat_rows: Vec<f32>,
+    /// Write-back ticket: distinct batch endpoints in first-appearance
+    /// order.
+    pub centers: Vec<NodeId>,
+    /// Per-center had-pending-messages flags.
+    pub has_msg: Vec<bool>,
+    /// Row-major updated memories, one row per center.
+    pub post: Vec<f32>,
+    /// The worker's gradient contribution.
+    pub grads: GradSet,
+    /// Batch loss (telemetry; never fed back into computation).
+    pub loss: f32,
+}
+
+impl RoundPayload {
+    /// Reassembles the write-back ticket.
+    pub fn pending(&self) -> BatchPending {
+        BatchPending::from_parts(
+            self.centers.clone(),
+            self.has_msg.clone(),
+            self.post.clone(),
+        )
+    }
+
+    /// The payload's feature rows as a globally-addressed table:
+    /// zero-filled up to `first_id`, then this batch's rows, so
+    /// `row(first_id + i)` works unchanged. Note both transports apply
+    /// rounds against the dataset's full feature table instead (neighbor
+    /// embedding reads arbitrary earlier events' rows, which a
+    /// batch-local table cannot cover) — this view exists so the wire
+    /// format stays self-describing and testable in isolation.
+    pub fn features(&self) -> EdgeFeatures {
+        let mut feats = EdgeFeatures::zeros(self.first_id + self.events.len(), self.feat_dim);
+        for i in 0..self.events.len() {
+            feats.set_row(
+                self.first_id + i,
+                &self.feat_rows[i * self.feat_dim..(i + 1) * self.feat_dim],
+            );
+        }
+        feats
+    }
+
+    /// Serializes the payload (little-endian, fixed field order).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_usize(&mut buf, self.worker);
+        put_usize(&mut buf, self.first_id);
+        put_usize(&mut buf, self.events.len());
+        for e in &self.events {
+            buf.extend_from_slice(&e.src.0.to_le_bytes());
+            buf.extend_from_slice(&e.dst.0.to_le_bytes());
+            buf.extend_from_slice(&e.time.to_le_bytes());
+        }
+        put_usize(&mut buf, self.feat_dim);
+        put_f32s(&mut buf, &self.feat_rows);
+        put_usize(&mut buf, self.centers.len());
+        for c in &self.centers {
+            buf.extend_from_slice(&c.0.to_le_bytes());
+        }
+        for &m in &self.has_msg {
+            buf.push(m as u8);
+        }
+        put_f32s(&mut buf, &self.post);
+        put_usize(&mut buf, self.grads.len());
+        for g in &self.grads {
+            match g {
+                Some(g) => {
+                    buf.push(1);
+                    put_f32s(&mut buf, g);
+                }
+                None => buf.push(0),
+            }
+        }
+        buf.extend_from_slice(&self.loss.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a payload serialized by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation, trailing bytes, an implausible
+    /// length field, or internal inconsistency (flag count vs center
+    /// count, feature row count vs event count).
+    pub fn decode(bytes: &[u8]) -> Result<RoundPayload, WireError> {
+        let mut cur = Cursor::new(bytes);
+        let worker = cur.usize("worker")?;
+        let first_id = cur.usize("first_id")?;
+        let num_events = cur.len("events", 1)?;
+        let mut events = Vec::with_capacity(num_events);
+        for _ in 0..num_events {
+            let src = cur.u32("event src")?;
+            let dst = cur.u32("event dst")?;
+            let time = cur.f64("event time")?;
+            events.push(Event::new(src, dst, time));
+        }
+        let feat_dim = cur.len("feat_dim", 1)?;
+        let feat_rows = cur.f32s("feat_rows")?;
+        if feat_rows.len() != num_events * feat_dim {
+            return Err(WireError::new(
+                "feat_rows",
+                format!(
+                    "{} floats for {} events of dim {}",
+                    feat_rows.len(),
+                    num_events,
+                    feat_dim
+                ),
+            ));
+        }
+        let num_centers = cur.len("centers", 1)?;
+        let mut centers = Vec::with_capacity(num_centers);
+        for _ in 0..num_centers {
+            centers.push(NodeId(cur.u32("center id")?));
+        }
+        let mut has_msg = Vec::with_capacity(num_centers);
+        for _ in 0..num_centers {
+            has_msg.push(cur.u8("has_msg flag")? != 0);
+        }
+        let post = cur.f32s("post")?;
+        if num_centers > 0 && post.len() % num_centers != 0 {
+            return Err(WireError::new(
+                "post",
+                format!("{} floats for {} centers", post.len(), num_centers),
+            ));
+        }
+        let num_params = cur.len("grads", 1)?;
+        let mut grads: GradSet = Vec::with_capacity(num_params);
+        for _ in 0..num_params {
+            if cur.u8("grad presence")? != 0 {
+                grads.push(Some(cur.f32s("grad values")?));
+            } else {
+                grads.push(None);
+            }
+        }
+        let loss = f32::from_le_bytes(cur.f32_bits("loss")?);
+        cur.finish("payload")?;
+        Ok(RoundPayload {
+            worker,
+            first_id,
+            events,
+            feat_dim,
+            feat_rows,
+            centers,
+            has_msg,
+            post,
+            grads,
+            loss,
+        })
+    }
+}
+
+/// One message of the leader/follower round protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Follower → leader on connect: "I am worker `worker` of
+    /// `workers`".
+    Hello {
+        /// Claimed worker index.
+        worker: u32,
+        /// Claimed worker count (must match the leader's).
+        workers: u32,
+    },
+    /// Follower → leader each round: its contribution, or `None` when
+    /// its partition is exhausted for the epoch.
+    Payload(Option<RoundPayload>),
+    /// Leader → followers: the full round in worker-index order
+    /// (`bundle[w]` is worker `w`'s contribution).
+    Round(Vec<Option<RoundPayload>>),
+    /// Leader → followers: all partitions exhausted; reset state and
+    /// start the next epoch.
+    EpochEnd,
+    /// Leader → followers: training is over.
+    Done,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_PAYLOAD: u8 = 2;
+const TAG_ROUND: u8 = 3;
+const TAG_EPOCH_END: u8 = 4;
+const TAG_DONE: u8 = 5;
+
+impl Frame {
+    /// Serializes the frame body (transport adds the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Frame::Hello { worker, workers } => {
+                buf.push(TAG_HELLO);
+                buf.extend_from_slice(&worker.to_le_bytes());
+                buf.extend_from_slice(&workers.to_le_bytes());
+            }
+            Frame::Payload(p) => {
+                buf.push(TAG_PAYLOAD);
+                put_opt_payload(&mut buf, p);
+            }
+            Frame::Round(bundle) => {
+                buf.push(TAG_ROUND);
+                put_usize(&mut buf, bundle.len());
+                for p in bundle {
+                    put_opt_payload(&mut buf, p);
+                }
+            }
+            Frame::EpochEnd => buf.push(TAG_EPOCH_END),
+            Frame::Done => buf.push(TAG_DONE),
+        }
+        buf
+    }
+
+    /// Decodes a frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an unknown tag or malformed body.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        let mut cur = Cursor::new(bytes);
+        let tag = cur.u8("frame tag")?;
+        let frame = match tag {
+            TAG_HELLO => {
+                let worker = cur.u32("hello worker")?;
+                let workers = cur.u32("hello workers")?;
+                Frame::Hello { worker, workers }
+            }
+            TAG_PAYLOAD => Frame::Payload(take_opt_payload(&mut cur)?),
+            TAG_ROUND => {
+                let n = cur.len("round size", 64)?;
+                let mut bundle = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bundle.push(take_opt_payload(&mut cur)?);
+                }
+                Frame::Round(bundle)
+            }
+            TAG_EPOCH_END => Frame::EpochEnd,
+            TAG_DONE => Frame::Done,
+            other => {
+                return Err(WireError::new(
+                    "frame tag",
+                    format!("unknown tag {}", other),
+                ))
+            }
+        };
+        cur.finish("frame")?;
+        Ok(frame)
+    }
+}
+
+fn put_opt_payload(buf: &mut Vec<u8>, p: &Option<RoundPayload>) {
+    match p {
+        Some(p) => {
+            buf.push(1);
+            let body = p.encode();
+            put_usize(buf, body.len());
+            buf.extend_from_slice(&body);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn take_opt_payload(cur: &mut Cursor<'_>) -> Result<Option<RoundPayload>, WireError> {
+    if cur.u8("payload presence")? == 0 {
+        return Ok(None);
+    }
+    let len = cur.len("payload length", 64)?;
+    let body = cur.bytes("payload body", len)?;
+    Ok(Some(RoundPayload::decode(body)?))
+}
+
+fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    buf.extend_from_slice(&(v as u64).to_le_bytes());
+}
+
+fn put_f32s(buf: &mut Vec<u8>, values: &[f32]) {
+    put_usize(buf, values.len());
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// A bounds-checked read cursor over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, off: 0 }
+    }
+
+    fn bytes(&mut self, field: &'static str, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .off
+            .checked_add(n)
+            .ok_or_else(|| WireError::new(field, format!("length {} overflows the cursor", n)))?;
+        if end > self.bytes.len() {
+            return Err(WireError::new(
+                field,
+                format!("needs {} bytes, {} remain", n, self.bytes.len() - self.off),
+            ));
+        }
+        let out = &self.bytes[self.off..end];
+        self.off = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.bytes(field, 1)?[0])
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        let b = self.bytes(field, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64(&mut self, field: &'static str) -> Result<f64, WireError> {
+        let b = self.bytes(field, 8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(f64::from_le_bytes(a))
+    }
+
+    fn f32_bits(&mut self, field: &'static str) -> Result<[u8; 4], WireError> {
+        let b = self.bytes(field, 4)?;
+        Ok([b[0], b[1], b[2], b[3]])
+    }
+
+    fn usize(&mut self, field: &'static str) -> Result<usize, WireError> {
+        let b = self.bytes(field, 8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        let v = u64::from_le_bytes(a);
+        usize::try_from(v).map_err(|_| WireError::new(field, format!("{} exceeds usize range", v)))
+    }
+
+    /// A length field, rejected when implausibly large (`scale` is a
+    /// rough per-element byte weight used to tighten the bound).
+    fn len(&mut self, field: &'static str, scale: usize) -> Result<usize, WireError> {
+        let v = self.usize(field)?;
+        if v > MAX_DECODE_LEN / scale.max(1) {
+            return Err(WireError::new(
+                field,
+                format!("length {} exceeds the decode bound", v),
+            ));
+        }
+        Ok(v)
+    }
+
+    fn f32s(&mut self, field: &'static str) -> Result<Vec<f32>, WireError> {
+        let n = self.len(field, 4)?;
+        let raw = self.bytes(field, n * 4)?;
+        let mut out = Vec::with_capacity(n);
+        for chunk in raw.chunks_exact(4) {
+            out.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        Ok(out)
+    }
+
+    fn finish(&self, field: &'static str) -> Result<(), WireError> {
+        if self.off != self.bytes.len() {
+            return Err(WireError::new(
+                field,
+                format!("{} trailing bytes", self.bytes.len() - self.off),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> RoundPayload {
+        RoundPayload {
+            worker: 1,
+            first_id: 256,
+            events: vec![Event::new(3u32, 9u32, 1.5), Event::new(9u32, 4u32, 2.5)],
+            feat_dim: 2,
+            feat_rows: vec![0.1, 0.2, 0.3, 0.4],
+            centers: vec![NodeId(3), NodeId(9), NodeId(4)],
+            has_msg: vec![true, false, true],
+            post: vec![1.0; 12],
+            grads: vec![Some(vec![0.5, -0.5]), None, Some(vec![2.0])],
+            loss: 0.693,
+        }
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let p = payload();
+        let back = RoundPayload::decode(&p.encode()).expect("own encoding decodes");
+        assert_eq!(back, p);
+        assert_eq!(back.pending().centers(), p.centers.as_slice());
+        assert_eq!(back.features().row(256), &[0.1, 0.2]);
+        assert_eq!(back.features().row(257), &[0.3, 0.4]);
+        // Rows before the payload's range are zero-filled padding.
+        assert_eq!(back.features().row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = [
+            Frame::Hello {
+                worker: 1,
+                workers: 2,
+            },
+            Frame::Payload(Some(payload())),
+            Frame::Payload(None),
+            Frame::Round(vec![Some(payload()), None]),
+            Frame::EpochEnd,
+            Frame::Done,
+        ];
+        for f in frames {
+            let back = Frame::decode(&f.encode()).expect("own encoding decodes");
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let bytes = payload().encode();
+        for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                RoundPayload::decode(&bytes[..cut]).is_err(),
+                "cut at {}",
+                cut
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Frame::Done.encode();
+        bytes.push(0);
+        assert!(Frame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        put_usize(&mut bytes, 0); // worker
+        put_usize(&mut bytes, 0); // first_id
+        put_usize(&mut bytes, u64::MAX as usize); // event count
+        let err = RoundPayload::decode(&bytes).expect_err("bound must reject");
+        assert_eq!(err.field, "events");
+    }
+}

@@ -1,0 +1,580 @@
+//! The in-process dist runtime: N worker threads training one model
+//! over a shared, sharded memory plane.
+//!
+//! # Round protocol
+//!
+//! Training proceeds in synchronous rounds. Worker `w` owns memory
+//! shard `w` and streams only the chunks `PartitionedSource` routes to
+//! it (`chunk.index % N == w`). Each round:
+//!
+//! 1. **Compute** — every worker with remaining events runs the forward
+//!    and backward pass on its next batch against its own full
+//!    parameter replica, then publishes a [`RoundPayload`] (batch,
+//!    write-back ticket, gradients) into its slot. *Barrier.*
+//! 2. **Reduce** — every worker reads all payloads and performs the
+//!    same worker-index-ordered [`all_reduce`], installs the reduced
+//!    gradients, clips, and steps its own optimizer. Replicas were
+//!    seeded identically and receive identical updates, so parameters
+//!    stay bit-identical across workers without ever being exchanged.
+//! 3. **Phase A (write-backs)** — every worker applies *all* payloads'
+//!    memory write-backs and mailbox clears, filtered to the nodes its
+//!    shard owns, in worker-index payload order. Each write lands
+//!    exactly once, on its owner. *Barrier.*
+//! 4. **Phase B (messages)** — every worker applies all payloads'
+//!    message generation and adjacency registration, again filtered by
+//!    ownership. Message content reads both endpoints' memories, which
+//!    is why phase A must complete globally first. *Barrier.*
+//! 5. Each worker trims its thread-local tensor arena.
+//!
+//! With `N == 1` the protocol degenerates to exactly the serial loop
+//! (forward → backward → clip → step → apply → arena trim) and is
+//! bit-identical to it — enforced by the `n1_bit_identity` integration
+//! test. With `N > 1` the schedule is still fully deterministic for a
+//! given `(workers, seed, stream)` but *diverges* from serial training
+//! by a bounded, documented amount: the batches of one round are
+//! computed against memory that excludes the other same-round batches'
+//! updates — DistTGL-style staleness, bounded by one round — and their
+//! gradients are averaged rather than applied sequentially. See
+//! DESIGN.md §12.
+
+use std::sync::{Barrier, RwLock};
+
+use cascade_models::{MemoryTgnn, ModelConfig, PlaneGeometry};
+use cascade_nn::{clip_grad_norm, Adam, Module};
+use cascade_tgraph::{
+    Dataset, EdgeFeatures, Event, EventChunk, EventSource, InMemorySource, PartitionedSource,
+};
+
+use crate::grad::{all_reduce, collect_grads, install_grads, GradSet};
+use crate::plane::SharedPlane;
+use crate::round::RoundPayload;
+use crate::stats::DistReport;
+
+/// Configuration of a dist training run.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Worker thread (= memory shard) count.
+    pub workers: usize,
+    /// Events per streamed chunk; must be a multiple of `batch_size` so
+    /// batches never straddle chunk (= ownership) boundaries.
+    pub chunk_size: usize,
+    /// Events per training batch.
+    pub batch_size: usize,
+    /// Epochs to train.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Gradient-clipping threshold (`None` disables).
+    pub clip_norm: Option<f32>,
+    /// Seed for parameter init and samplers (all workers share it).
+    pub seed: u64,
+}
+
+impl DistConfig {
+    /// A small default: 1 worker, chunks of 256, batches of 128, one
+    /// epoch, `lr = 1e-3`, clip at 5.0, seed 7.
+    pub fn new() -> Self {
+        DistConfig {
+            workers: 1,
+            chunk_size: 256,
+            batch_size: 128,
+            epochs: 1,
+            lr: 1e-3,
+            clip_norm: Some(5.0),
+            seed: 7,
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets epochs.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets chunk and batch size together.
+    pub fn with_batching(mut self, chunk_size: usize, batch_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.workers > 0, "dist training needs at least one worker");
+        assert!(self.epochs > 0, "dist training needs at least one epoch");
+        assert!(
+            self.batch_size > 0 && self.chunk_size.is_multiple_of(self.batch_size),
+            "chunk size {} must be a positive multiple of batch size {} so \
+             batches never straddle chunk ownership boundaries",
+            self.chunk_size,
+            self.batch_size
+        );
+    }
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig::new()
+    }
+}
+
+/// One batch's record in the run log (telemetry and identity tests).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchRecord {
+    /// Synchronous round index (across epochs).
+    pub round: usize,
+    /// Worker that computed the batch.
+    pub worker: usize,
+    /// Global stream id of the batch's first event.
+    pub first_id: usize,
+    /// Events in the batch.
+    pub events: usize,
+    /// Batch loss.
+    pub loss: f32,
+}
+
+/// Everything a dist run produces.
+#[derive(Clone, Debug)]
+pub struct DistOutcome {
+    /// Run telemetry.
+    pub report: DistReport,
+    /// Final model state (`MemoryTgnn::export_state` of worker 0 —
+    /// parameters are replica-identical and the plane is shared, so
+    /// this is *the* model).
+    pub state: Vec<u8>,
+    /// Final optimizer state (worker 0's, replica-identical).
+    pub optimizer: Vec<u8>,
+    /// Per-batch log in (round, worker-index) order.
+    pub batches: Vec<BatchRecord>,
+}
+
+/// Cuts a worker's streamed chunks into batches.
+///
+/// `chunk_size % batch_size == 0` guarantees a batch never spans two
+/// chunks, so `first_id = chunk.base + offset` stays globally correct
+/// and every event's features travel with its own payload.
+pub(crate) struct BatchCutter<S> {
+    source: PartitionedSource<S>,
+    current: Option<EventChunk>,
+    offset: usize,
+    batch_size: usize,
+    feat_dim: usize,
+}
+
+/// One cut batch: `(first_id, events, feature rows)`.
+pub(crate) type CutBatch = (usize, Vec<Event>, Vec<f32>);
+
+impl<S: EventSource> BatchCutter<S> {
+    pub(crate) fn new(source: PartitionedSource<S>, batch_size: usize, feat_dim: usize) -> Self {
+        BatchCutter {
+            source,
+            current: None,
+            offset: 0,
+            batch_size,
+            feat_dim,
+        }
+    }
+
+    pub(crate) fn next_batch(&mut self) -> Option<CutBatch> {
+        loop {
+            if let Some(chunk) = &self.current {
+                if self.offset < chunk.events.len() {
+                    let start = self.offset;
+                    let end = (start + self.batch_size).min(chunk.events.len());
+                    self.offset = end;
+                    let events = chunk.events[start..end].to_vec();
+                    let rows = chunk.features[start * self.feat_dim..end * self.feat_dim].to_vec();
+                    return Some((chunk.base + start, events, rows));
+                }
+                self.current = None;
+            }
+            match self
+                .source
+                .next_chunk()
+                .expect("in-memory sources never fail")
+            {
+                Some(chunk) => {
+                    self.offset = 0;
+                    self.current = Some(chunk);
+                }
+                None => return None,
+            }
+        }
+    }
+
+    pub(crate) fn rewind(&mut self) {
+        self.current = None;
+        self.offset = 0;
+        self.source.reset().expect("in-memory sources never fail");
+    }
+}
+
+/// Shared round state: one payload slot per worker, fenced by the
+/// barrier. Slots are written by their owner before the compute barrier
+/// and read by everyone after it; the phase-A barrier keeps any worker
+/// from overwriting a slot before all peers have copied the round.
+struct RoundBoard {
+    slots: Vec<RwLock<Option<RoundPayload>>>,
+    barrier: Barrier,
+}
+
+impl RoundBoard {
+    fn new(workers: usize) -> Self {
+        RoundBoard {
+            slots: (0..workers).map(|_| RwLock::new(None)).collect(),
+            barrier: Barrier::new(workers),
+        }
+    }
+
+    fn publish(&self, worker: usize, payload: Option<RoundPayload>) {
+        let mut slot = self.slots[worker]
+            .write()
+            .expect("round slots are never poisoned");
+        *slot = payload;
+    }
+
+    fn snapshot(&self) -> Vec<Option<RoundPayload>> {
+        self.slots
+            .iter()
+            .map(|s| s.read().expect("round slots are never poisoned").clone())
+            .collect()
+    }
+}
+
+/// Applies one round to the worker's replica: reduce + step, then the
+/// two barrier-fenced apply phases. `shard = None` applies every write
+/// (the TCP path, where each process owns a full local plane);
+/// `Some(w)` applies only shard `w`'s writes (the in-process path,
+/// where the plane is shared). Shared between both transports so their
+/// apply schedules cannot drift apart.
+// one call per transport; a struct would just rename the args
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_round(
+    model: &mut MemoryTgnn,
+    params: &[cascade_tensor::Tensor],
+    opt: &mut Adam,
+    clip_norm: Option<f32>,
+    round: &[Option<RoundPayload>],
+    feats: &EdgeFeatures,
+    shard: Option<usize>,
+    fence: Option<&Barrier>,
+) {
+    let contributions: Vec<&GradSet> = round.iter().flatten().map(|p| &p.grads).collect();
+    if contributions.is_empty() {
+        return;
+    }
+    let reduced = all_reduce(&contributions);
+    install_grads(params, &reduced);
+    if let Some(c) = clip_norm {
+        clip_grad_norm(params, c);
+    }
+    opt.step();
+
+    // Phase A: all payloads' write-backs, in worker-index payload
+    // order, filtered to owned nodes.
+    for p in round.iter().flatten() {
+        model.apply_writeback(&p.pending(), shard);
+    }
+    if let Some(b) = fence {
+        b.wait();
+    }
+    // Phase B: message generation + adjacency, same order and filter.
+    // Every memory row phase B reads was finalized in phase A.
+    for p in round.iter().flatten() {
+        model.apply_messages(&p.events, p.first_id, feats, shard);
+    }
+    if let Some(b) = fence {
+        b.wait();
+    }
+}
+
+/// Round-boundary housekeeping: trims the calling thread's tensor
+/// arena after the round's graph has been dropped. The TCP transport
+/// calls this too — the reset *site* stays in the runtime module
+/// (`arena-reset-confined`).
+pub(crate) fn end_of_round() {
+    cascade_tensor::arena::reset();
+}
+
+/// Computes one worker's payload for the next round: forward, backward,
+/// gradient collection. Shared between the in-process workers and the
+/// TCP processes.
+///
+/// `feats` is the dataset's **full** feature table: neighbor embedding
+/// reads edge features of arbitrary *earlier* events (whichever the
+/// plane's adjacency samples), so a batch-local table is not enough.
+/// Every dist participant holds the complete dataset, which is why the
+/// table needs no exchange; the payload still carries its own rows so
+/// rounds stay self-describing on the wire.
+pub(crate) fn compute_payload(
+    model: &MemoryTgnn,
+    params: &[cascade_tensor::Tensor],
+    worker: usize,
+    batch: CutBatch,
+    feat_dim: usize,
+    feats: &EdgeFeatures,
+) -> RoundPayload {
+    let (first_id, events, feat_rows) = batch;
+    let fwd = model.forward_batch(&events, first_id, feats);
+    let loss = fwd.loss.item();
+    fwd.loss.backward();
+    let grads = collect_grads(params);
+    let pending = fwd.pending;
+    RoundPayload {
+        worker,
+        first_id,
+        events,
+        feat_dim,
+        feat_rows,
+        centers: pending.centers().to_vec(),
+        has_msg: pending.has_msg().to_vec(),
+        post: pending.post().to_vec(),
+        grads,
+        loss,
+    }
+}
+
+/// What each worker thread hands back when the run completes.
+struct WorkerOut {
+    batches: Vec<BatchRecord>,
+    epoch_losses: Vec<f32>,
+    rounds: usize,
+    events: usize,
+    /// Worker 0 only: exported model and optimizer state.
+    state: Option<(Vec<u8>, Vec<u8>)>,
+}
+
+/// Trains `model_cfg` on `data` with `cfg.workers` threads over a
+/// shared sharded memory plane, and returns the run's outcome.
+///
+/// The run covers the dataset's full event stream each epoch (the dist
+/// trainer has no train/validation split of its own; evaluation goes
+/// through the serial stack against the exported state).
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (zero workers/epochs, chunk size
+/// not a multiple of batch size) or if a worker thread panics.
+pub fn train_dist(data: &Dataset, model_cfg: &ModelConfig, cfg: &DistConfig) -> DistOutcome {
+    cfg.validate();
+    let feat_dim = data.features().dim();
+    let geom = PlaneGeometry::for_config(model_cfg, data.num_nodes(), feat_dim, cfg.seed);
+    let plane = SharedPlane::new(&geom, cfg.workers);
+    let board = RoundBoard::new(cfg.workers);
+
+    let mut outs: Vec<Option<WorkerOut>> = Vec::new();
+    for _ in 0..cfg.workers {
+        outs.push(None);
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..cfg.workers {
+            let plane = plane.clone();
+            let board = &board;
+            let model_cfg = model_cfg.clone();
+            let cfg = cfg.clone();
+            handles.push(
+                scope.spawn(move || worker_loop(w, data, model_cfg, cfg, plane, board, feat_dim)),
+            );
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(out) => outs[w] = Some(out),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+
+    let mut zero = outs[0].take().expect("worker 0 always reports");
+    let (state, optimizer) = zero
+        .state
+        .take()
+        .expect("worker 0 always exports final state");
+    let events: usize = std::iter::once(&zero)
+        .chain(outs.iter().flatten())
+        .map(|o| o.events)
+        .sum();
+    // Every worker sees every payload, so worker 0's log already covers
+    // the whole run in (round, worker) order.
+    let batches = zero.batches.clone();
+    DistOutcome {
+        report: DistReport {
+            workers: cfg.workers,
+            epochs: cfg.epochs,
+            rounds: zero.rounds,
+            events,
+            epoch_losses: zero.epoch_losses,
+        },
+        state,
+        optimizer,
+        batches,
+    }
+}
+
+// the thread entry point takes the full per-worker wiring; boxing it
+// into a struct would just rename the args
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    w: usize,
+    data: &Dataset,
+    model_cfg: ModelConfig,
+    cfg: DistConfig,
+    plane: SharedPlane,
+    board: &RoundBoard,
+    feat_dim: usize,
+) -> WorkerOut {
+    let source = PartitionedSource::new(
+        InMemorySource::from_dataset(data, cfg.chunk_size),
+        w,
+        cfg.workers,
+    );
+    let mut cutter = BatchCutter::new(source, cfg.batch_size, feat_dim);
+    let feats = data.features();
+    let mut model = MemoryTgnn::with_plane(model_cfg, feat_dim, cfg.seed, Box::new(plane));
+    let params = model.parameters();
+    let mut opt = Adam::new(model.parameters(), cfg.lr);
+
+    let mut batches = Vec::new();
+    let mut epoch_losses = Vec::new();
+    let mut rounds = 0usize;
+    let mut own_events = 0usize;
+    let mut epoch = 0usize;
+    let mut epoch_loss_sum = 0.0f64;
+    let mut epoch_events = 0usize;
+
+    loop {
+        let payload = cutter.next_batch().map(|batch| {
+            own_events += batch.1.len();
+            compute_payload(&model, &params, w, batch, feat_dim, feats)
+        });
+        board.publish(w, payload);
+        board.barrier.wait();
+        let round = board.snapshot();
+
+        if round.iter().all(Option::is_none) {
+            // Epoch boundary: everyone has passed the compute barrier,
+            // so the plane is quiescent. Worker 0 resets it alone,
+            // fenced on both sides. The serial trainers reset at the
+            // *start* of each epoch, so the run's final boundary must
+            // NOT reset — the last epoch's memories are the exported
+            // state.
+            epoch += 1;
+            let done = epoch == cfg.epochs;
+            board.barrier.wait();
+            if w == 0 {
+                epoch_losses.push((epoch_loss_sum / epoch_events.max(1) as f64) as f32);
+                if !done {
+                    model.reset_state();
+                }
+            }
+            board.barrier.wait();
+            if done {
+                break;
+            }
+            epoch_loss_sum = 0.0;
+            epoch_events = 0;
+            cutter.rewind();
+            continue;
+        }
+
+        for p in round.iter().flatten() {
+            batches.push(BatchRecord {
+                round: rounds,
+                worker: p.worker,
+                first_id: p.first_id,
+                events: p.events.len(),
+                loss: p.loss,
+            });
+            epoch_loss_sum += p.loss as f64 * p.events.len() as f64;
+            epoch_events += p.events.len();
+        }
+        apply_round(
+            &mut model,
+            &params,
+            &mut opt,
+            cfg.clip_norm,
+            &round,
+            feats,
+            Some(w),
+            Some(&board.barrier),
+        );
+        end_of_round();
+        rounds += 1;
+    }
+
+    // Final epoch never hits the reset path's loss flush for workers
+    // other than 0 — but only worker 0's telemetry is reported, and it
+    // flushed inside the boundary block above.
+    WorkerOut {
+        batches,
+        epoch_losses,
+        rounds,
+        events: own_events,
+        state: if w == 0 {
+            Some((model.export_state(), opt.export_state()))
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_tgraph::SynthConfig;
+
+    fn data() -> Dataset {
+        SynthConfig::wiki().with_scale(0.004).generate(11)
+    }
+
+    #[test]
+    fn single_worker_runs_and_reports() {
+        let d = data();
+        let cfg = DistConfig::new().with_batching(128, 64).with_epochs(2);
+        let out = train_dist(&d, &ModelConfig::tgn().with_dims(8, 4), &cfg);
+        assert_eq!(out.report.workers, 1);
+        assert_eq!(out.report.epochs, 2);
+        assert_eq!(out.report.events, 2 * d.num_events());
+        assert_eq!(out.report.epoch_losses.len(), 2);
+        assert!(out.report.epoch_losses.iter().all(|l| l.is_finite()));
+        assert!(!out.state.is_empty());
+        assert!(!out.batches.is_empty());
+    }
+
+    #[test]
+    fn two_workers_cover_every_event_exactly_once() {
+        let d = data();
+        let cfg = DistConfig::new().with_workers(2).with_batching(128, 64);
+        let out = train_dist(&d, &ModelConfig::tgn().with_dims(8, 4), &cfg);
+        assert_eq!(out.report.events, d.num_events());
+        let mut covered = vec![0usize; d.num_events()];
+        for b in &out.batches {
+            for c in covered.iter_mut().skip(b.first_id).take(b.events) {
+                *c += 1;
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "events must stream exactly once"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of batch size")]
+    fn straddling_batches_are_rejected() {
+        let d = data();
+        let cfg = DistConfig::new().with_batching(100, 64);
+        let _ = train_dist(&d, &ModelConfig::tgn().with_dims(8, 4), &cfg);
+    }
+}

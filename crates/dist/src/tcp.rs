@@ -1,0 +1,457 @@
+//! The multi-process TCP transport: the same round protocol as the
+//! in-process runtime, spoken over `std::net` loopback/LAN sockets.
+//!
+//! One process is the **leader** (worker 0); the rest are **followers**
+//! (workers `1..N`). Every process holds the full dataset (rebuilt from
+//! the same seed or loaded identically), a full parameter replica, and
+//! its own *local* sharded plane covering all nodes — processes share
+//! no memory, so unlike the in-process runtime nobody can rely on peers
+//! to maintain remote shards. Instead each process applies **every**
+//! payload's write-backs and messages (`shard = None`) in worker-index
+//! payload order, split-phase (all write-backs, then all messages).
+//! That per-node write/push sequence is identical to the in-process
+//! schedule where each of N workers applies its own shard's filtered
+//! slice of the same payloads — so TCP training is bit-identical to
+//! in-process training for the same `(workers, seed, stream)`, which
+//! the `tcp_loopback` integration test asserts.
+//!
+//! Per round: each worker computes its payload from its chunk
+//! partition; followers send `Payload` frames; the leader assembles the
+//! worker-index-ordered bundle and broadcasts it as a `Round` frame
+//! (or `EpochEnd`/`Done` when all partitions are exhausted); everyone
+//! then performs the identical reduce → step → apply sequence. The
+//! message order *is* the barrier — no clocks, no retries.
+//!
+//! Framing is a `u32` little-endian length prefix followed by the
+//! [`Frame`] body. Malformed input surfaces as a typed [`DistError`],
+//! never a panic.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use cascade_models::{MemoryTgnn, ModelConfig};
+use cascade_nn::{Adam, Module};
+use cascade_tgraph::{Dataset, EdgeFeatures, InMemorySource, PartitionedSource};
+
+use crate::round::{Frame, RoundPayload, WireError};
+use crate::runtime::{
+    apply_round, compute_payload, end_of_round, BatchCutter, BatchRecord, DistConfig, DistOutcome,
+};
+use crate::stats::DistReport;
+
+/// Largest accepted frame body (matches the codec's decode bound).
+const MAX_FRAME_LEN: usize = 1 << 28;
+
+/// A TCP-transport failure.
+#[derive(Debug)]
+pub enum DistError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A peer sent bytes the codec rejects.
+    Wire(WireError),
+    /// A peer violated the round protocol (wrong frame, wrong worker
+    /// index, inconsistent configuration).
+    Protocol(String),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "dist transport I/O error: {}", e),
+            DistError::Wire(e) => write!(f, "dist transport decode error: {}", e),
+            DistError::Protocol(m) => write!(f, "dist protocol violation: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Io(e) => Some(e),
+            DistError::Wire(e) => Some(e),
+            DistError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+impl From<WireError> for DistError {
+    fn from(e: WireError) -> Self {
+        DistError::Wire(e)
+    }
+}
+
+fn protocol(message: impl Into<String>) -> DistError {
+    DistError::Protocol(message.into())
+}
+
+/// Writes one length-prefixed frame.
+fn send_frame(stream: &mut TcpStream, frame: &Frame) -> Result<(), DistError> {
+    let body = frame.encode();
+    let len = u32::try_from(body.len())
+        .map_err(|_| protocol(format!("frame body of {} bytes exceeds u32", body.len())))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(&body)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame.
+fn recv_frame(stream: &mut TcpStream) -> Result<Frame, DistError> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(protocol(format!("frame length {} exceeds the bound", len)));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(Frame::decode(&body)?)
+}
+
+/// Per-process training state shared by the leader and follower loops.
+struct Replica<'a> {
+    cutter: BatchCutter<InMemorySource>,
+    model: MemoryTgnn,
+    params: Vec<cascade_tensor::Tensor>,
+    opt: Adam,
+    feats: &'a EdgeFeatures,
+    feat_dim: usize,
+    worker: usize,
+    batches: Vec<BatchRecord>,
+    epoch_losses: Vec<f32>,
+    rounds: usize,
+    events: usize,
+    epoch_loss_sum: f64,
+    epoch_events: usize,
+}
+
+impl<'a> Replica<'a> {
+    fn new(worker: usize, data: &'a Dataset, model_cfg: &ModelConfig, cfg: &DistConfig) -> Self {
+        let feat_dim = data.features().dim();
+        let source = PartitionedSource::new(
+            InMemorySource::from_dataset(data, cfg.chunk_size),
+            worker,
+            cfg.workers,
+        );
+        let model = MemoryTgnn::new_sharded(
+            model_cfg.clone(),
+            data.num_nodes(),
+            feat_dim,
+            cfg.seed,
+            cfg.workers,
+        );
+        let params = model.parameters();
+        let opt = Adam::new(model.parameters(), cfg.lr);
+        Replica {
+            cutter: BatchCutter::new(source, cfg.batch_size, feat_dim),
+            model,
+            params,
+            opt,
+            feats: data.features(),
+            feat_dim,
+            worker,
+            batches: Vec::new(),
+            epoch_losses: Vec::new(),
+            rounds: 0,
+            events: 0,
+            epoch_loss_sum: 0.0,
+            epoch_events: 0,
+        }
+    }
+
+    fn next_payload(&mut self) -> Option<RoundPayload> {
+        let batch = self.cutter.next_batch()?;
+        Some(compute_payload(
+            &self.model,
+            &self.params,
+            self.worker,
+            batch,
+            self.feat_dim,
+            self.feats,
+        ))
+    }
+
+    /// The reduce → step → split-phase apply sequence, `shard = None`:
+    /// this process owns every node locally.
+    fn apply(&mut self, round: &[Option<RoundPayload>], cfg: &DistConfig) {
+        for p in round.iter().flatten() {
+            self.batches.push(BatchRecord {
+                round: self.rounds,
+                worker: p.worker,
+                first_id: p.first_id,
+                events: p.events.len(),
+                loss: p.loss,
+            });
+            self.events += p.events.len();
+            self.epoch_loss_sum += p.loss as f64 * p.events.len() as f64;
+            self.epoch_events += p.events.len();
+        }
+        apply_round(
+            &mut self.model,
+            &self.params,
+            &mut self.opt,
+            cfg.clip_norm,
+            round,
+            self.feats,
+            None,
+            None,
+        );
+        end_of_round();
+        self.rounds += 1;
+    }
+
+    /// Epoch boundary: flush telemetry and — unless the run is over —
+    /// reset model state and rewind the partition. The final boundary
+    /// keeps the last epoch's memories: they are the exported state
+    /// (serial trainers reset at epoch *start*, never after the run).
+    fn end_epoch(&mut self, done: bool) {
+        self.epoch_losses
+            .push((self.epoch_loss_sum / self.epoch_events.max(1) as f64) as f32);
+        self.epoch_loss_sum = 0.0;
+        self.epoch_events = 0;
+        if !done {
+            self.model.reset_state();
+            self.cutter.rewind();
+        }
+    }
+
+    fn outcome(self, cfg: &DistConfig) -> DistOutcome {
+        DistOutcome {
+            report: DistReport {
+                workers: cfg.workers,
+                epochs: cfg.epochs,
+                rounds: self.rounds,
+                events: self.events,
+                epoch_losses: self.epoch_losses,
+            },
+            state: self.model.export_state(),
+            optimizer: self.opt.export_state(),
+            batches: self.batches,
+        }
+    }
+}
+
+/// Runs the leader (worker 0): binds `addr`, waits for `workers - 1`
+/// follower connections, then drives the round protocol to completion.
+///
+/// # Errors
+///
+/// [`DistError`] on socket failure, malformed frames, or protocol
+/// violations (duplicate/out-of-range worker indices, mismatched
+/// worker counts).
+pub fn run_leader(
+    addr: &str,
+    data: &Dataset,
+    model_cfg: &ModelConfig,
+    cfg: &DistConfig,
+) -> Result<DistOutcome, DistError> {
+    run_leader_on(TcpListener::bind(addr)?, data, model_cfg, cfg)
+}
+
+/// [`run_leader`] over an already-bound listener (lets tests bind port
+/// 0 and hand the resolved address to followers).
+pub fn run_leader_on(
+    listener: TcpListener,
+    data: &Dataset,
+    model_cfg: &ModelConfig,
+    cfg: &DistConfig,
+) -> Result<DistOutcome, DistError> {
+    cfg.validate();
+
+    // Accept and identify every follower before training starts.
+    let mut slots: Vec<Option<TcpStream>> = (1..cfg.workers).map(|_| None).collect();
+    for _ in 1..cfg.workers {
+        let (mut stream, _) = listener.accept()?;
+        match recv_frame(&mut stream)? {
+            Frame::Hello { worker, workers } => {
+                if workers as usize != cfg.workers {
+                    return Err(protocol(format!(
+                        "follower expects {} workers, leader runs {}",
+                        workers, cfg.workers
+                    )));
+                }
+                let w = worker as usize;
+                if w == 0 || w >= cfg.workers {
+                    return Err(protocol(format!("worker index {} out of range", w)));
+                }
+                if slots[w - 1].replace(stream).is_some() {
+                    return Err(protocol(format!("worker index {} connected twice", w)));
+                }
+            }
+            other => {
+                return Err(protocol(format!(
+                    "expected Hello, got {} frame",
+                    frame_name(&other)
+                )))
+            }
+        }
+    }
+    let mut peers: Vec<TcpStream> = Vec::with_capacity(cfg.workers - 1);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(stream) => peers.push(stream),
+            None => return Err(protocol(format!("worker {} never connected", i + 1))),
+        }
+    }
+
+    let mut rep = Replica::new(0, data, model_cfg, cfg);
+    let mut epoch = 0usize;
+    loop {
+        let own = rep.next_payload();
+        let mut round: Vec<Option<RoundPayload>> = Vec::with_capacity(cfg.workers);
+        round.push(own);
+        for (i, peer) in peers.iter_mut().enumerate() {
+            match recv_frame(peer)? {
+                Frame::Payload(p) => {
+                    if let Some(p) = &p {
+                        if p.worker != i + 1 {
+                            return Err(protocol(format!(
+                                "worker {} sent a payload claiming worker {}",
+                                i + 1,
+                                p.worker
+                            )));
+                        }
+                    }
+                    round.push(p);
+                }
+                other => {
+                    return Err(protocol(format!(
+                        "expected Payload, got {} frame",
+                        frame_name(&other)
+                    )))
+                }
+            }
+        }
+
+        if round.iter().all(Option::is_none) {
+            epoch += 1;
+            let done = epoch == cfg.epochs;
+            let boundary = if done { Frame::Done } else { Frame::EpochEnd };
+            for peer in peers.iter_mut() {
+                send_frame(peer, &boundary)?;
+            }
+            rep.end_epoch(done);
+            if done {
+                break;
+            }
+            continue;
+        }
+
+        let frame = Frame::Round(round.clone());
+        for peer in peers.iter_mut() {
+            send_frame(peer, &frame)?;
+        }
+        rep.apply(&round, cfg);
+    }
+    Ok(rep.outcome(cfg))
+}
+
+/// Runs follower `worker` (in `1..workers`): connects to the leader at
+/// `addr` and follows the round protocol until `Done`.
+///
+/// Returns this process's outcome — bit-identical in state, batches,
+/// and losses to the leader's (only `elapsed` differs).
+///
+/// # Errors
+///
+/// [`DistError`] on socket failure, malformed frames, a worker index
+/// outside `1..workers`, or protocol violations.
+pub fn run_follower(
+    addr: &str,
+    worker: usize,
+    data: &Dataset,
+    model_cfg: &ModelConfig,
+    cfg: &DistConfig,
+) -> Result<DistOutcome, DistError> {
+    cfg.validate();
+    if worker == 0 || worker >= cfg.workers {
+        return Err(protocol(format!(
+            "follower index must be in 1..{}, got {}",
+            cfg.workers, worker
+        )));
+    }
+    let mut stream = TcpStream::connect(addr)?;
+    send_frame(
+        &mut stream,
+        &Frame::Hello {
+            worker: worker as u32,
+            workers: cfg.workers as u32,
+        },
+    )?;
+
+    let mut rep = Replica::new(worker, data, model_cfg, cfg);
+    loop {
+        let own = rep.next_payload();
+        send_frame(&mut stream, &Frame::Payload(own))?;
+        match recv_frame(&mut stream)? {
+            Frame::Round(round) => {
+                if round.len() != cfg.workers {
+                    return Err(protocol(format!(
+                        "round bundle holds {} slots for {} workers",
+                        round.len(),
+                        cfg.workers
+                    )));
+                }
+                rep.apply(&round, cfg);
+            }
+            Frame::EpochEnd => rep.end_epoch(false),
+            Frame::Done => {
+                rep.end_epoch(true);
+                break;
+            }
+            other => {
+                return Err(protocol(format!(
+                    "expected Round/EpochEnd/Done, got {} frame",
+                    frame_name(&other)
+                )))
+            }
+        }
+    }
+    Ok(rep.outcome(cfg))
+}
+
+fn frame_name(f: &Frame) -> &'static str {
+    match f {
+        Frame::Hello { .. } => "Hello",
+        Frame::Payload(_) => "Payload",
+        Frame::Round(_) => "Round",
+        Frame::EpochEnd => "EpochEnd",
+        Frame::Done => "Done",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follower_index_zero_is_rejected() {
+        let data = cascade_tgraph::SynthConfig::wiki()
+            .with_scale(0.002)
+            .generate(3);
+        let cfg = DistConfig::new().with_workers(2);
+        let err = run_follower("127.0.0.1:1", 0, &data, &ModelConfig::tgn(), &cfg)
+            .expect_err("worker 0 is the leader");
+        assert!(matches!(err, DistError::Protocol(_)));
+    }
+
+    #[test]
+    fn errors_render_their_cause() {
+        let wire = DistError::from(WireError {
+            field: "loss",
+            message: "needs 4 bytes, 0 remain".into(),
+        });
+        assert!(wire.to_string().contains("loss"));
+        let io = DistError::from(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "peer hung up",
+        ));
+        assert!(io.to_string().contains("peer hung up"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Multi-process transport equivalence: a 2-worker TCP-loopback run is
+//! bit-identical to the 2-worker in-process run — same final state,
+//! same optimizer, same per-batch loss bits on both processes. The
+//! leader and follower here are threads for test convenience; they
+//! share nothing but the socket, exactly like separate processes.
+
+use std::net::TcpListener;
+
+use cascade_dist::{run_follower, run_leader_on, train_dist, DistConfig, DistOutcome};
+use cascade_models::ModelConfig;
+use cascade_tgraph::{Dataset, SynthConfig};
+
+fn data() -> Dataset {
+    SynthConfig::wiki().with_scale(0.003).generate(29)
+}
+
+fn model_cfg() -> ModelConfig {
+    ModelConfig::tgn().with_dims(8, 4)
+}
+
+fn dist_cfg() -> DistConfig {
+    DistConfig {
+        workers: 2,
+        chunk_size: 128,
+        batch_size: 64,
+        epochs: 2,
+        lr: 1e-3,
+        clip_norm: Some(5.0),
+        seed: 33,
+    }
+}
+
+fn loss_bits(o: &DistOutcome) -> Vec<(usize, usize, u32)> {
+    o.batches
+        .iter()
+        .map(|b| (b.round, b.worker, b.loss.to_bits()))
+        .collect()
+}
+
+#[test]
+fn tcp_loopback_matches_in_process() {
+    let cfg = dist_cfg();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind always succeeds");
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address")
+        .to_string();
+
+    let (leader_out, follower_out) = std::thread::scope(|scope| {
+        let leader = scope.spawn(|| {
+            let d = data();
+            run_leader_on(listener, &d, &model_cfg(), &cfg)
+        });
+        let follower = scope.spawn(|| {
+            // A separate Dataset instance: processes share no memory,
+            // only the synth seed.
+            let d = data();
+            run_follower(&addr, 1, &d, &model_cfg(), &cfg)
+        });
+        (
+            leader.join().expect("leader thread completes"),
+            follower.join().expect("follower thread completes"),
+        )
+    });
+    let leader_out = leader_out.expect("leader run succeeds");
+    let follower_out = follower_out.expect("follower run succeeds");
+
+    // Leader and follower converge to the same replica.
+    assert_eq!(leader_out.state, follower_out.state, "replicas diverged");
+    assert_eq!(leader_out.optimizer, follower_out.optimizer);
+    assert_eq!(loss_bits(&leader_out), loss_bits(&follower_out));
+    assert_eq!(
+        leader_out.report.epoch_losses, follower_out.report.epoch_losses,
+        "epoch telemetry diverged"
+    );
+
+    // And the TCP run reproduces the in-process run bit-for-bit.
+    let inproc = train_dist(&data(), &model_cfg(), &cfg);
+    assert_eq!(
+        inproc.state, leader_out.state,
+        "TCP and in-process transports diverged"
+    );
+    assert_eq!(inproc.optimizer, leader_out.optimizer);
+    assert_eq!(loss_bits(&inproc), loss_bits(&leader_out));
+    assert_eq!(inproc.report.events, leader_out.report.events);
+}

@@ -2,13 +2,26 @@
 //! [`crate::flow`]: lock-order cycle detection (`conc-lock-order`) and
 //! determinism taint propagation (`det-taint`).
 //!
-//! Calls are resolved **by name**: every function in the program with
-//! the callee's name contributes its facts. Collisions merge
-//! conservatively — a call to `step` unions the behavior of every
-//! `step` in the workspace — which errs toward flagging for lock order
-//! (extra edges only widen the cycle search) and toward flagging for
-//! taint (any tainted `step` taints the call). Both fixpoints are over
-//! sets that only grow, so termination is by size bound.
+//! Calls are resolved **by name**, with different precision per
+//! analysis:
+//!
+//! * **Taint** merges collisions conservatively — a call to `step`
+//!   unions the behavior of every `step` in the workspace — because a
+//!   missed propagation is a missed determinism bug and the union is
+//!   still about real dataflow.
+//! * **Lock order** resolves an ambiguous name (more than one def
+//!   program-wide) only among defs in the *caller's own file*; a name
+//!   with no same-file def must be globally unique to propagate.
+//!   Unioning every namesake here does not err "safe": it invents
+//!   lock-acquisition edges between unrelated types that merely share
+//!   a method name (`clone`, `snapshot`, `reset`, ...) and
+//!   manufactures deadlock cycles out of coincidental naming. Method
+//!   calls overwhelmingly target the local impl, so same-file
+//!   resolution keeps real intra-module cycles while cross-module
+//!   helpers keep distinctive names that resolve uniquely.
+//!
+//! Both fixpoints are over sets that only grow, so termination is by
+//! size bound.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -55,11 +68,22 @@ const SINK_FNS: &[&str] = &[
     "apply_events",
     "ingest_batch",
     "apply_ingest",
+    // cascade-dist: the shard-index-ordered gradient exchange and the
+    // split-phase shard memory application. A clock or hash-order value
+    // reaching any of these breaks the N=1 bit-identity guarantee the
+    // dist tests and DESIGN.md §12 rely on.
+    "all_reduce",
+    "apply_writeback",
+    "apply_messages",
+    "apply_round",
+    "memory_write",
+    "mailbox_push",
 ];
 
 /// Receiver-chain segments that name training state: a method call on
 /// one of these with arguments is treated as a state mutation sink.
-const SINK_RECEIVERS: &[&str] = &["memory", "mailbox", "params"];
+/// `plane`/`shards` cover the dist memory plane (sharded node state).
+const SINK_RECEIVERS: &[&str] = &["memory", "mailbox", "params", "plane", "shards"];
 
 /// Detects lock-order cycles across the program.
 ///
@@ -72,27 +96,43 @@ const SINK_RECEIVERS: &[&str] = &["memory", "mailbox", "params"];
 /// re-acquisition of a true single resource is better caught by review
 /// than by a name-collision-prone lint.
 pub fn lock_order_findings(fns: &[ProgramFn]) -> Vec<ProgramFinding> {
-    // name → transitively acquired resources, to fixpoint.
-    let mut trans: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
-    for f in fns {
-        trans
-            .entry(f.name.as_str())
-            .or_default()
-            .extend(f.lock.acquires.iter().cloned());
+    // name → defining fn indices, for call resolution.
+    let mut defs: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        defs.entry(f.name.as_str()).or_default().push(i);
     }
+    // Resolve a call site to candidate bodies. A unique name resolves
+    // program-wide; an ambiguous one only among the caller's own file
+    // (see module docs — global unions of namesakes invent lock edges).
+    let resolve = |caller_file: usize, callee: &str| -> Vec<usize> {
+        match defs.get(callee) {
+            None => Vec::new(),
+            Some(c) if c.len() == 1 => c.clone(),
+            Some(c) => c
+                .iter()
+                .copied()
+                .filter(|&j| fns[j].file_idx == caller_file)
+                .collect(),
+        }
+    };
+
+    // fn index → transitively acquired resources, to fixpoint.
+    let mut trans: Vec<BTreeSet<String>> = fns
+        .iter()
+        .map(|f| f.lock.acquires.iter().cloned().collect())
+        .collect();
     loop {
         let mut changed = false;
-        for f in fns {
+        for (i, f) in fns.iter().enumerate() {
             let mut add: BTreeSet<String> = BTreeSet::new();
             for (callee, _, _, _) in &f.lock.calls {
-                if let Some(set) = trans.get(callee.as_str()) {
-                    add.extend(set.iter().cloned());
+                for j in resolve(f.file_idx, callee) {
+                    add.extend(trans[j].iter().cloned());
                 }
             }
-            let own = trans.entry(f.name.as_str()).or_default();
-            let before = own.len();
-            own.extend(add);
-            changed |= own.len() != before;
+            let before = trans[i].len();
+            trans[i].extend(add);
+            changed |= trans[i].len() != before;
         }
         if !changed {
             break;
@@ -109,11 +149,13 @@ pub fn lock_order_findings(fns: &[ProgramFn]) -> Vec<ProgramFinding> {
             if held.is_empty() {
                 continue;
             }
-            if let Some(acquired) = trans.get(callee.as_str()) {
-                for h in held {
-                    for a in acquired {
-                        edges.push((h.clone(), a.clone(), f.file_idx, *line, *col));
-                    }
+            let mut acquired: BTreeSet<&str> = BTreeSet::new();
+            for j in resolve(f.file_idx, callee) {
+                acquired.extend(trans[j].iter().map(String::as_str));
+            }
+            for h in held {
+                for a in &acquired {
+                    edges.push((h.clone(), (*a).to_string(), f.file_idx, *line, *col));
                 }
             }
         }
@@ -340,24 +382,30 @@ mod tests {
     use crate::parse::parse_fns;
 
     fn program(src: &str) -> Vec<ProgramFn> {
-        let toks = lex(src);
-        let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
-        let items = parse_fns(&code);
-        items
-            .iter()
-            .map(|item| {
+        program_files(&[src])
+    }
+
+    /// Like [`program`], one source string per simulated file.
+    fn program_files(srcs: &[&str]) -> Vec<ProgramFn> {
+        let mut out = Vec::new();
+        for (file_idx, src) in srcs.iter().enumerate() {
+            let toks = lex(src);
+            let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+            let items = parse_fns(&code);
+            for item in &items {
                 let mut raw = Vec::new();
                 let mut lock = scan_locks(&code, item, &mut raw);
                 let calls = crate::parse::calls_in(&code, item.body, &item.nested);
                 lock.calls = scan_calls_with_held(&code, item, &calls).calls;
-                ProgramFn {
+                out.push(ProgramFn {
                     name: item.name.clone(),
-                    file_idx: 0,
+                    file_idx,
                     lock,
                     taint: scan_taint(&code, item),
-                }
-            })
-            .collect()
+                });
+            }
+        }
+        out
     }
 
     #[test]
@@ -395,6 +443,56 @@ mod tests {
         assert!(
             !found.is_empty(),
             "call-graph edge alpha->beta closes the cycle"
+        );
+    }
+
+    #[test]
+    fn unique_name_still_resolves_across_files() {
+        // `helper` is defined once program-wide, in another file — a
+        // unique name propagates regardless of where it lives.
+        let fns = program_files(&[
+            "fn f(&self) { let a = self.alpha.lock(); self.helper(); drop(a); }\n\
+             fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); drop(a); drop(b); }\n",
+            "fn helper(&self) { let b = self.beta.lock(); drop(b); }\n",
+        ]);
+        assert!(
+            !lock_order_findings(&fns).is_empty(),
+            "unique cross-file callee closes the cycle"
+        );
+    }
+
+    #[test]
+    fn ambiguous_cross_file_namesakes_do_not_bridge_locks() {
+        // `snapshot` has two defs, neither in the caller's file. The
+        // old global union would graft file 1's beta acquisition onto
+        // the call under alpha and report a deadlock between types
+        // that never touch each other's locks.
+        let fns = program_files(&[
+            "fn f(&self) { let a = self.alpha.lock(); self.shard.snapshot(); drop(a); }\n",
+            "fn snapshot(&self) { let b = self.beta.lock(); drop(b); }\n\
+             fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); drop(a); drop(b); }\n",
+            "fn snapshot(&self) -> u32 { self.version }\n",
+        ]);
+        assert!(
+            lock_order_findings(&fns).is_empty(),
+            "coincidental namesakes must not manufacture a cycle"
+        );
+    }
+
+    #[test]
+    fn ambiguous_name_with_same_file_def_still_resolves() {
+        // `snapshot` is ambiguous program-wide, but the caller's own
+        // file defines one — method calls target the local impl, so
+        // the real intra-module cycle must still be caught.
+        let fns = program_files(&[
+            "fn f(&self) { let a = self.alpha.lock(); self.snapshot(); drop(a); }\n\
+             fn snapshot(&self) { let b = self.beta.lock(); drop(b); }\n\
+             fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); drop(a); drop(b); }\n",
+            "fn snapshot(&self) -> u32 { self.version }\n",
+        ]);
+        assert!(
+            !lock_order_findings(&fns).is_empty(),
+            "same-file def closes the cycle despite the foreign namesake"
         );
     }
 

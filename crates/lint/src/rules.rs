@@ -36,6 +36,7 @@ pub struct RuleSpec {
 /// leaks into ingest; only its telemetry module may read clocks.
 const DETERMINISM_SCOPE: &[&str] = &[
     "crates/core/src/",
+    "crates/dist/src/",
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
@@ -57,6 +58,7 @@ const DETERMINISM_SCOPE: &[&str] = &[
 /// worst.
 const PANIC_SCOPE: &[&str] = &[
     "crates/core/src/",
+    "crates/dist/src/",
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
@@ -71,6 +73,7 @@ const PANIC_SCOPE: &[&str] = &[
 /// `std::fs` calls into schedulers and models.
 const IO_CONFINED_SCOPE: &[&str] = &[
     "crates/core/src/",
+    "crates/dist/src/",
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
@@ -92,7 +95,11 @@ const IO_MODULES: &[&str] = &[
 /// Telemetry modules: timing/space instrumentation whose whole job is
 /// reading clocks; their outputs land in reports and `/stats` payloads,
 /// never in schedules or ingested state.
-const TELEMETRY: &[&str] = &["crates/core/src/instrument.rs", "crates/serve/src/stats.rs"];
+const TELEMETRY: &[&str] = &[
+    "crates/core/src/instrument.rs",
+    "crates/dist/src/stats.rs",
+    "crates/serve/src/stats.rs",
+];
 
 /// Modules allowed to call `arena::reset()`: the batch-loop drivers
 /// (trainer, streaming driver, pipelined executor) and the arena
@@ -100,17 +107,19 @@ const TELEMETRY: &[&str] = &["crates/core/src/instrument.rs", "crates/serve/src/
 const ARENA_RESET_SITES: &[&str] = &[
     "crates/core/src/trainer.rs",
     "crates/core/src/streaming.rs",
+    "crates/dist/src/runtime.rs",
     "crates/exec/src/pipeline.rs",
     "crates/tensor/src/arena.rs",
 ];
 
 /// Crates with real lock graphs: the tensor substrate (per-tensor
 /// RwLocks), the pipelined executor, the serving stack, the storage
-/// prefetcher, and the core drivers that compose them. These are the
-/// paths cascade-dist will multiply (ROADMAP item 3), so their lock
-/// acquisition orders are checked globally.
+/// prefetcher, the sharded-memory dist runtime (per-shard RwLocks over
+/// the shared memory plane), and the core drivers that compose them.
+/// Their lock acquisition orders are checked globally.
 const LOCK_SCOPE: &[&str] = &[
     "crates/core/src/",
+    "crates/dist/src/",
     "crates/exec/src/",
     "crates/serve/src/",
     "crates/store/src/",
@@ -181,13 +190,18 @@ pub const RULES: &[RuleSpec] = &[
     },
     RuleSpec {
         id: "conc-spawn",
-        scopes: &["crates/exec/src/", "crates/serve/src/"],
-        allowed_paths: &["crates/exec/src/pipeline.rs", "crates/serve/src/server.rs"],
+        scopes: &["crates/dist/src/", "crates/exec/src/", "crates/serve/src/"],
+        allowed_paths: &[
+            "crates/dist/src/runtime.rs",
+            "crates/exec/src/pipeline.rs",
+            "crates/serve/src/server.rs",
+        ],
         applies_to_tests: false,
         why: "Detached thread::spawn outside the designated concurrency modules \
               escapes the panic-safe shutdown protocols (scoped threads + channel \
-              disconnection); executor threads belong in exec/pipeline.rs and \
-              serving threads (accept loop, workers, ingest) in serve/server.rs.",
+              disconnection); executor threads belong in exec/pipeline.rs, serving \
+              threads (accept loop, workers, ingest) in serve/server.rs, and dist \
+              worker threads in dist/runtime.rs.",
     },
     RuleSpec {
         id: "conc-guard-across-blocking",
@@ -350,6 +364,43 @@ mod tests {
         let unwrap = rule("panic-unwrap").expect("panic-unwrap is registered");
         assert!(in_scope(unwrap, "crates/serve/src/http.rs"));
         assert!(in_scope(unwrap, "crates/serve/src/bin/cascade_serve.rs"));
+    }
+
+    #[test]
+    fn dist_crate_is_bound_with_its_designated_escapes() {
+        // Determinism + taint rules bind the whole dist runtime; only the
+        // telemetry module may read clocks.
+        let wall = rule("det-wallclock").expect("det-wallclock is registered");
+        assert!(in_scope(wall, "crates/dist/src/runtime.rs"));
+        assert!(in_scope(wall, "crates/dist/src/grad.rs"));
+        assert!(!in_scope(wall, "crates/dist/src/stats.rs"));
+
+        let taint = rule("det-taint").expect("det-taint is registered");
+        assert!(in_scope(taint, "crates/dist/src/plane.rs"));
+        assert!(!in_scope(taint, "crates/dist/src/stats.rs"));
+
+        // Shard locks participate in the global lock-order analysis.
+        let order = rule("conc-lock-order").expect("conc-lock-order is registered");
+        assert!(in_scope(order, "crates/dist/src/plane.rs"));
+        let guard = rule("conc-guard-across-blocking").expect("rule is registered");
+        assert!(in_scope(guard, "crates/dist/src/runtime.rs"));
+
+        // Worker threads are confined to the runtime module.
+        let spawn = rule("conc-spawn").expect("conc-spawn is registered");
+        assert!(in_scope(spawn, "crates/dist/src/tcp.rs"));
+        assert!(!in_scope(spawn, "crates/dist/src/runtime.rs"));
+
+        // Arena resets happen only in the worker batch loop.
+        let arena = rule("arena-reset-confined").expect("rule is registered");
+        assert!(in_scope(arena, "crates/dist/src/grad.rs"));
+        assert!(!in_scope(arena, "crates/dist/src/runtime.rs"));
+
+        // No ad-hoc fs access: checkpoints go through models/checkpoint.rs.
+        let fs = rule("io-fs-confined").expect("io-fs-confined is registered");
+        assert!(in_scope(fs, "crates/dist/src/round.rs"));
+
+        let unwrap = rule("panic-unwrap").expect("panic-unwrap is registered");
+        assert!(in_scope(unwrap, "crates/dist/src/tcp.rs"));
     }
 
     #[test]

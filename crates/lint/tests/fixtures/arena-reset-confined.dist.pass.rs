@@ -1,0 +1,7 @@
+//@ path: crates/dist/src/runtime.rs
+// The dist worker loop is a designated reset site: each worker trims
+// its own thread-local pool at the round boundary, after the round's
+// graph has been dropped and the apply barrier has passed.
+pub fn after_round() {
+    cascade_tensor::arena::reset();
+}

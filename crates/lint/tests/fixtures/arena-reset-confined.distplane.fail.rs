@@ -1,0 +1,7 @@
+//@ path: crates/dist/src/plane.rs
+//@ expect: arena-reset-confined
+// The shared plane is called from every worker thread; a reset here
+// would trim another worker's thread-local pool mid-batch.
+pub fn writeback_and_trim() {
+    cascade_tensor::arena::reset();
+}

@@ -1,0 +1,32 @@
+//@ path: crates/dist/src/plane.rs
+use std::sync::RwLock;
+
+pub struct SharedPlane {
+    shard_a: RwLock<Vec<f32>>,
+    shard_b: RwLock<Vec<f32>>,
+}
+
+impl SharedPlane {
+    // The shared-plane idiom: locks are taken one at a time and dropped
+    // before the next acquisition, so no held -> acquired edge exists.
+    pub fn gather(&self) -> f32 {
+        let first = {
+            let a = self.shard_a.read().expect("shard locks are never poisoned");
+            a.first().copied().unwrap_or(0.0)
+        };
+        let second = {
+            let b = self.shard_b.read().expect("shard locks are never poisoned");
+            b.first().copied().unwrap_or(0.0)
+        };
+        first + second
+    }
+
+    pub fn writeback(&self, value: f32) {
+        {
+            let mut a = self.shard_a.write().expect("shard locks are never poisoned");
+            a.push(value);
+        }
+        let mut b = self.shard_b.write().expect("shard locks are never poisoned");
+        b.push(value);
+    }
+}

@@ -1,0 +1,43 @@
+//@ path: crates/dist/src/runtime.rs
+//@ expect: conc-lock-order
+//@ expect: conc-lock-order
+use std::sync::Mutex;
+
+pub struct Runtime {
+    shard_state: Mutex<u64>,
+    grad_slots: Mutex<u64>,
+}
+
+impl Runtime {
+    // Holds the shard lock, then acquires the gradient slots *inside the
+    // callee*: the cycle only exists through the call-graph edge.
+    pub fn apply_round(&self) {
+        let shard = self
+            .shard_state
+            .lock()
+            .expect("dist locks are never poisoned");
+        self.post_grads();
+        drop(shard);
+    }
+
+    fn post_grads(&self) {
+        let slots = self
+            .grad_slots
+            .lock()
+            .expect("dist locks are never poisoned");
+        drop(slots);
+    }
+
+    pub fn reduce(&self) {
+        let slots = self
+            .grad_slots
+            .lock()
+            .expect("dist locks are never poisoned");
+        let shard = self
+            .shard_state
+            .lock()
+            .expect("dist locks are never poisoned");
+        drop(shard);
+        drop(slots);
+    }
+}

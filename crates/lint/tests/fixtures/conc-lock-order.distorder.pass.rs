@@ -1,0 +1,41 @@
+//@ path: crates/dist/src/runtime.rs
+use std::sync::Mutex;
+
+pub struct Runtime {
+    shard_state: Mutex<u64>,
+    grad_slots: Mutex<u64>,
+}
+
+impl Runtime {
+    // Both paths honor the single global order shard_state -> grad_slots,
+    // even when the inner acquisition is hidden behind a call.
+    pub fn apply_round(&self) {
+        let shard = self
+            .shard_state
+            .lock()
+            .expect("dist locks are never poisoned");
+        self.post_grads();
+        drop(shard);
+    }
+
+    fn post_grads(&self) {
+        let slots = self
+            .grad_slots
+            .lock()
+            .expect("dist locks are never poisoned");
+        drop(slots);
+    }
+
+    pub fn reduce(&self) {
+        let shard = self
+            .shard_state
+            .lock()
+            .expect("dist locks are never poisoned");
+        let slots = self
+            .grad_slots
+            .lock()
+            .expect("dist locks are never poisoned");
+        drop(slots);
+        drop(shard);
+    }
+}

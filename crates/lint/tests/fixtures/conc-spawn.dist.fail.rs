@@ -1,0 +1,7 @@
+//@ path: crates/dist/src/tcp.rs
+//@ expect: conc-spawn
+// The TCP transport is codec + socket plumbing; per-connection threads
+// belong in runtime.rs where the join/shutdown protocol lives.
+pub fn background_reader() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,7 @@
+//@ path: crates/dist/src/grad.rs
+//@ expect: conc-spawn
+// The gradient exchange must stay synchronous: a detached reducer
+// thread escapes the barrier protocol that makes the reduction ordered.
+pub fn async_reduce() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,10 @@
+//@ path: crates/dist/src/tcp.rs
+// Sequential socket plumbing needs no threads: the leader drains
+// follower round frames in worker-index order on the caller's thread.
+pub fn drain_rounds(frames: &[Vec<u8>]) -> usize {
+    let mut total = 0;
+    for frame in frames {
+        total += frame.len();
+    }
+    total
+}

@@ -1,0 +1,23 @@
+//@ path: crates/dist/src/grad.rs
+//@ expect: det-taint
+use std::time::Instant;
+
+pub struct GradExchange {
+    sinks: Sinks,
+}
+
+impl GradExchange {
+    fn round_secs(&self) -> f64 {
+        // cascade-lint: allow(det-wallclock): round timing lands in DistReport; det-taint still guards state flows
+        let t = Instant::now();
+        t.elapsed().as_secs_f64()
+    }
+
+    // The suppressed telemetry read leaks into the gradient exchange —
+    // a wall-clock-dependent reduction scale. det-taint flags the
+    // all-reduce sink even though the clock read itself is allowlisted.
+    pub fn exchange(&mut self) {
+        let scale = self.round_secs();
+        self.sinks.all_reduce(scale);
+    }
+}

@@ -1,0 +1,14 @@
+//@ path: crates/dist/src/grad.rs
+pub struct GradExchange {
+    sinks: Sinks,
+}
+
+impl GradExchange {
+    // Worker-index-derived reduction scales are deterministic: the same
+    // (seed, worker count) always produces the same value, so the
+    // all-reduce sink sees no tainted input.
+    pub fn exchange(&mut self, active_workers: usize) {
+        let scale = 1.0 / active_workers as f64;
+        self.sinks.all_reduce(scale);
+    }
+}

@@ -1,0 +1,10 @@
+//@ path: crates/dist/src/round.rs
+//@ expect: io-fs-confined
+//@ expect: io-fs-confined
+use std::fs;
+
+// Dist has no designated I/O module: checkpoints go through
+// models/checkpoint.rs and event data through cascade-store.
+pub fn dump_round(bytes: &[u8]) -> std::io::Result<()> {
+    fs::write("/tmp/dist_round.bin", bytes)
+}

@@ -1,0 +1,11 @@
+//@ path: crates/dist/src/round.rs
+// Durable state flows through the designated modules: the round codec
+// only encodes and decodes in-memory byte frames.
+pub fn encode_round(grads: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + grads.len() * 4);
+    out.extend_from_slice(&(grads.len() as u32).to_le_bytes());
+    for g in grads {
+        out.extend_from_slice(&g.to_le_bytes());
+    }
+    out
+}

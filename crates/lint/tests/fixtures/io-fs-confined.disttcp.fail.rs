@@ -1,0 +1,10 @@
+//@ path: crates/dist/src/tcp.rs
+//@ expect: io-fs-confined
+//@ expect: io-fs-confined
+use std::fs;
+
+// The transport moves bytes over sockets; spooling frames to ad-hoc
+// files scatters untyped I/O errors outside the audited storage layer.
+pub fn spool_frame(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    fs::read(path)
+}

@@ -1,0 +1,10 @@
+//@ path: crates/dist/src/tcp.rs
+// Sockets are the transport's whole job; std::net is fine where
+// std::fs is not.
+use std::io::Write;
+use std::net::TcpStream;
+
+pub fn send_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+    stream.write_all(frame)
+}

@@ -5,7 +5,7 @@
 //! served later. Parameter order is the module's `parameters()` order,
 //! which is stable for every model in this workspace.
 //!
-//! Two formats share the `.ckpt` extension and are distinguished by
+//! Three formats share the `.ckpt` extension and are distinguished by
 //! magic:
 //!
 //! * `CSC1` — parameters only: `u32` parameter count, then per
@@ -16,8 +16,15 @@
 //!   blob (parameters, node memories, last-update times, mailboxes) —
 //!   one call round-trips everything a serving process needs
 //!   ([`save_state`]/[`load_state`]).
+//! * `CSC3` — sharded state: the same information as `CSC2`, but node
+//!   state is grouped into the node-id-hash shard sections of a
+//!   [`ShardMap`](cascade_tgraph::ShardMap), with the shard count in the
+//!   header — the layout a dist run partitions state into, written so a
+//!   serving process can assemble a full snapshot from the shards
+//!   ([`save_sharded_state`]/[`load_sharded_state`]). Parameters appear
+//!   once (data-parallel replicas hold identical weights).
 //!
-//! [`load_checkpoint`] sniffs the magic and accepts either.
+//! [`load_checkpoint`] sniffs the magic and accepts any of them.
 //!
 //! State snapshots are written to a sibling temp file and renamed into
 //! place, so a crash mid-write leaves the previous snapshot intact and
@@ -31,11 +38,13 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 use cascade_nn::Module;
+use cascade_tgraph::{NodeId, ShardMap};
 
 use crate::MemoryTgnn;
 
 const MAGIC: &[u8; 4] = b"CSC1";
 const STATE_MAGIC: &[u8; 4] = b"CSC2";
+const SHARDED_MAGIC: &[u8; 4] = b"CSC3";
 
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
@@ -273,16 +282,233 @@ pub fn load_state(model: &mut MemoryTgnn, path: &Path) -> Result<u64, Checkpoint
     Ok(events_applied)
 }
 
-/// Loads either checkpoint flavor into `model` by sniffing the magic:
-/// a `CSC2` state snapshot restores parameters *and* mutable state and
-/// returns `Some(events_applied)`; a `CSC1` parameter file restores
-/// weights only and returns `None` (memories stay as built — a fresh
-/// model starts cold).
+/// Atomically snapshots the model's full mutable state to `path` in the
+/// shard-partitioned `CSC3` layout: node memories, last-update times,
+/// and mailboxes are grouped into `num_shards` node-id-hash shard
+/// sections (slot order, ascending global ids within a shard), exactly
+/// the partition a `num_shards`-worker dist run owns. Parameters are
+/// written once.
+///
+/// Works for any model — sharding here is a property of the *file*, not
+/// of the model's plane — but a dist run writing with its own worker
+/// count produces sections that correspond one-to-one to worker-owned
+/// state.
 ///
 /// # Errors
 ///
-/// The union of [`load_parameters`] and [`load_state`] errors, plus
-/// [`CheckpointError::BadMagic`] when the file is neither format.
+/// Returns [`CheckpointError::Io`] on filesystem failures.
+///
+/// # Panics
+///
+/// Panics if `num_shards == 0`.
+pub fn save_sharded_state(
+    model: &MemoryTgnn,
+    path: &Path,
+    events_applied: u64,
+    num_shards: usize,
+) -> Result<(), CheckpointError> {
+    let plane = model.plane();
+    let nodes = plane.num_nodes();
+    let dim = plane.memory_dim();
+    let msg_dim = plane.mailbox_msg_dim();
+    let map = ShardMap::new(nodes, num_shards);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        f.write_all(SHARDED_MAGIC)?;
+        f.write_all(&events_applied.to_le_bytes())?;
+        f.write_all(&(num_shards as u32).to_le_bytes())?;
+        f.write_all(&(nodes as u64).to_le_bytes())?;
+        f.write_all(&(dim as u32).to_le_bytes())?;
+        f.write_all(&(msg_dim as u32).to_le_bytes())?;
+        f.write_all(&(plane.mailbox_capacity() as u32).to_le_bytes())?;
+        let params = model.parameters();
+        f.write_all(&(params.len() as u32).to_le_bytes())?;
+        for p in &params {
+            let data = p.to_vec();
+            f.write_all(&(data.len() as u32).to_le_bytes())?;
+            for v in data {
+                f.write_all(&v.to_le_bytes())?;
+            }
+        }
+        for shard in 0..num_shards {
+            let owned = map.owned_nodes(shard);
+            f.write_all(&(owned.len() as u64).to_le_bytes())?;
+            for &n in owned {
+                for v in plane.memory_read(n) {
+                    f.write_all(&v.to_le_bytes())?;
+                }
+                f.write_all(&plane.memory_last_update(n).to_le_bytes())?;
+                let msgs = plane.mailbox_messages(n);
+                f.write_all(&(msgs.len() as u32).to_le_bytes())?;
+                for msg in &msgs {
+                    for v in msg {
+                        f.write_all(&v.to_le_bytes())?;
+                    }
+                }
+            }
+        }
+        f.flush()?;
+        f.get_ref().sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Assembles a full model state from the shard sections of a `CSC3`
+/// snapshot written by [`save_sharded_state`], returning the
+/// events-applied watermark. The receiving model may use any plane and
+/// any shard count — the file's [`ShardMap`](cascade_tgraph::ShardMap)
+/// is rebuilt from its header to scatter each section's rows back to
+/// global node ids.
+///
+/// # Errors
+///
+/// I/O failures, wrong magic, and [`CheckpointError::StateMismatch`]
+/// when the declared shapes do not fit the receiving model or a shard
+/// section disagrees with the rebuilt shard map. The model is modified
+/// only after the whole file has been read and validated.
+pub fn load_sharded_state(model: &mut MemoryTgnn, path: &Path) -> Result<u64, CheckpointError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic)?;
+    if &magic != SHARDED_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    let mut read_u32 =
+        |f: &mut std::io::BufReader<std::fs::File>| -> Result<usize, CheckpointError> {
+            f.read_exact(&mut u32buf)?;
+            Ok(u32::from_le_bytes(u32buf) as usize)
+        };
+    f.read_exact(&mut u64buf)?;
+    let events_applied = u64::from_le_bytes(u64buf);
+    let num_shards = read_u32(&mut f)?;
+    f.read_exact(&mut u64buf)?;
+    let nodes = u64::from_le_bytes(u64buf) as usize;
+    let dim = read_u32(&mut f)?;
+    let msg_dim = read_u32(&mut f)?;
+    let capacity = read_u32(&mut f)?;
+
+    let plane = model.plane();
+    if num_shards == 0 {
+        return Err(CheckpointError::StateMismatch(
+            "sharded snapshot declares zero shards".to_string(),
+        ));
+    }
+    if nodes != plane.num_nodes() || dim != plane.memory_dim() {
+        return Err(CheckpointError::StateMismatch(format!(
+            "snapshot memory is {}x{}, model expects {}x{}",
+            nodes,
+            dim,
+            plane.num_nodes(),
+            plane.memory_dim()
+        )));
+    }
+    if msg_dim != plane.mailbox_msg_dim() || capacity != plane.mailbox_capacity() {
+        return Err(CheckpointError::StateMismatch(
+            "snapshot mailbox shape mismatch".to_string(),
+        ));
+    }
+
+    let params = model.parameters();
+    let count = read_u32(&mut f)?;
+    if count != params.len() {
+        return Err(CheckpointError::CountMismatch {
+            expected: params.len(),
+            found: count,
+        });
+    }
+    let read_f32s = |f: &mut std::io::BufReader<std::fs::File>,
+                     n: usize|
+     -> Result<Vec<f32>, CheckpointError> {
+        let mut buf = vec![0u8; n * 4];
+        f.read_exact(&mut buf)?;
+        Ok(buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+            .collect())
+    };
+    let mut restored_params = Vec::with_capacity(count);
+    for (i, p) in params.iter().enumerate() {
+        let len = read_u32(&mut f)?;
+        if len != p.len() {
+            return Err(CheckpointError::ShapeMismatch {
+                index: i,
+                expected: p.len(),
+                found: len,
+            });
+        }
+        restored_params.push(read_f32s(&mut f, len)?);
+    }
+
+    // Scatter shard sections back to global ids via the rebuilt map.
+    let map = ShardMap::new(nodes, num_shards);
+    let mut memory: Vec<(NodeId, Vec<f32>, f64)> = Vec::with_capacity(nodes);
+    let mut mailboxes: Vec<(NodeId, Vec<Vec<f32>>)> = Vec::with_capacity(nodes);
+    for shard in 0..num_shards {
+        let owned = map.owned_nodes(shard);
+        f.read_exact(&mut u64buf)?;
+        let declared = u64::from_le_bytes(u64buf) as usize;
+        if declared != owned.len() {
+            return Err(CheckpointError::StateMismatch(format!(
+                "shard {} section holds {} nodes, shard map assigns {}",
+                shard,
+                declared,
+                owned.len()
+            )));
+        }
+        for &n in owned {
+            let row = read_f32s(&mut f, dim)?;
+            f.read_exact(&mut u64buf)?;
+            let last_update = f64::from_le_bytes(u64buf);
+            let msg_count = read_u32(&mut f)?;
+            if msg_count > capacity {
+                return Err(CheckpointError::StateMismatch(format!(
+                    "node {} declares {} messages (capacity {})",
+                    n.0, msg_count, capacity
+                )));
+            }
+            let mut msgs = Vec::with_capacity(msg_count);
+            for _ in 0..msg_count {
+                msgs.push(read_f32s(&mut f, msg_dim)?);
+            }
+            memory.push((n, row, last_update));
+            mailboxes.push((n, msgs));
+        }
+    }
+
+    // Everything validated: mutate only now.
+    for (p, data) in params.iter().zip(&restored_params) {
+        p.set_data(data);
+    }
+    for (n, row, t) in &memory {
+        model.write_memory(*n, row, *t);
+    }
+    for n in 0..nodes {
+        model.clear_node_mailbox(NodeId(n as u32));
+    }
+    for (n, msgs) in mailboxes {
+        for msg in msgs {
+            model.push_mailbox(n, msg);
+        }
+    }
+    Ok(events_applied)
+}
+
+/// Loads any checkpoint flavor into `model` by sniffing the magic: a
+/// `CSC2` state snapshot or a `CSC3` sharded snapshot restores
+/// parameters *and* mutable state and returns `Some(events_applied)`; a
+/// `CSC1` parameter file restores weights only and returns `None`
+/// (memories stay as built — a fresh model starts cold).
+///
+/// # Errors
+///
+/// The union of [`load_parameters`], [`load_state`], and
+/// [`load_sharded_state`] errors, plus [`CheckpointError::BadMagic`]
+/// when the file is none of the formats.
 pub fn load_checkpoint(
     model: &mut MemoryTgnn,
     path: &Path,
@@ -294,6 +520,8 @@ pub fn load_checkpoint(
     }
     if &magic == STATE_MAGIC {
         load_state(model, path).map(Some)
+    } else if &magic == SHARDED_MAGIC {
+        load_sharded_state(model, path).map(Some)
     } else if &magic == MAGIC {
         load_parameters(model, path).map(|()| None)
     } else {
@@ -454,6 +682,45 @@ mod tests {
         let mut wrong = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 9, 4, 1);
         assert!(matches!(
             load_state(&mut wrong, &path),
+            Err(CheckpointError::StateMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_snapshot_roundtrips_through_any_plane() {
+        let path = tmp("sharded_roundtrip.ckpt");
+        let (a, _, _) = evolved();
+        save_sharded_state(&a, &path, 4, 3).unwrap();
+
+        // Assemble into a monolithic-plane model…
+        let mut mono = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 77);
+        assert_eq!(load_sharded_state(&mut mono, &path).unwrap(), 4);
+        assert_eq!(a.export_state(), mono.export_state());
+
+        // …and into a sharded-plane model with a different shard count.
+        let mut sharded = MemoryTgnn::new_sharded(ModelConfig::tgn().with_dims(8, 4), 6, 4, 77, 2);
+        assert_eq!(load_sharded_state(&mut sharded, &path).unwrap(), 4);
+        assert_eq!(a.export_state(), sharded.export_state());
+    }
+
+    #[test]
+    fn sniffer_dispatches_sharded_snapshots() {
+        let path = tmp("sniff_sharded.ckpt");
+        let (a, _, _) = evolved();
+        save_sharded_state(&a, &path, 11, 2).unwrap();
+        let mut m = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 4, 1);
+        assert_eq!(load_checkpoint(&mut m, &path).unwrap(), Some(11));
+        assert_eq!(a.export_state(), m.export_state());
+    }
+
+    #[test]
+    fn sharded_snapshot_rejects_wrong_model() {
+        let path = tmp("sharded_wrong.ckpt");
+        let (a, _, _) = evolved();
+        save_sharded_state(&a, &path, 2, 2).unwrap();
+        let mut wrong = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 9, 4, 1);
+        assert!(matches!(
+            load_sharded_state(&mut wrong, &path),
             Err(CheckpointError::StateMismatch(_))
         ));
     }

@@ -22,10 +22,10 @@ use cascade_nn::{
     RnnCell, TimeEncode,
 };
 use cascade_tensor::Tensor;
-use cascade_tgraph::{AdjacencyStore, EdgeFeatures, Event, EventId, NegativeSampler, NodeId};
+use cascade_tgraph::{EdgeFeatures, Event, EventId, NegativeSampler, NeighborRef, NodeId};
 
 use crate::config::{EmbedderKind, ModelConfig, Sampling, UpdaterKind};
-use crate::memory::{Mailbox, NodeMemory};
+use crate::plane::{LocalPlane, MemoryPlane, MemoryView, PlaneGeometry, ShardedPlane};
 
 /// One node-memory transition produced by a batch (consumed by the
 /// SG-Filter to decide stability).
@@ -89,6 +89,43 @@ pub struct BatchPending {
     post: Vec<f32>,
 }
 
+impl BatchPending {
+    /// Reassembles a ticket from its parts (the dist wire codec decodes
+    /// tickets received from peer workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centers` and `has_msg` disagree in length or `post` is
+    /// not a whole number of `centers.len()` rows.
+    pub fn from_parts(centers: Vec<NodeId>, has_msg: Vec<bool>, post: Vec<f32>) -> Self {
+        assert_eq!(centers.len(), has_msg.len(), "pending shape mismatch");
+        assert!(
+            centers.is_empty() || post.len().is_multiple_of(centers.len()),
+            "pending width mismatch"
+        );
+        BatchPending {
+            centers,
+            has_msg,
+            post,
+        }
+    }
+
+    /// Distinct batch endpoints, in first-appearance order.
+    pub fn centers(&self) -> &[NodeId] {
+        &self.centers
+    }
+
+    /// Per-center had-pending-messages flags.
+    pub fn has_msg(&self) -> &[bool] {
+        &self.has_msg
+    }
+
+    /// Row-major `[centers.len(), memory_dim]` updated memories.
+    pub fn post(&self) -> &[f32] {
+        &self.post
+    }
+}
+
 /// Fixed shard count for parallel batch compute: a batch is always split
 /// into `min(MAX_SHARDS, batch_len)` contiguous event ranges regardless
 /// of how many worker threads evaluate them, so the loss graph — and
@@ -145,9 +182,7 @@ enum Embedder {
 pub struct MemoryTgnn {
     config: ModelConfig,
     edge_feat_dim: usize,
-    memory: NodeMemory,
-    mailbox: Mailbox,
-    adjacency: AdjacencyStore,
+    plane: Box<dyn MemoryPlane>,
     time_enc: TimeEncode,
     updater: Updater,
     embedder: Embedder,
@@ -158,8 +193,9 @@ pub struct MemoryTgnn {
 
 /// Cloning shares the *parameter* tensors (a [`Tensor`] clone is a
 /// shallow handle onto the same storage, so both clones see the same
-/// trained weights) while deep-copying the mutable per-node state:
-/// memories, mailboxes, and the temporal adjacency store.
+/// trained weights) while copying the memory plane via
+/// [`MemoryPlane::clone_plane`] — a deep copy for the local and sharded
+/// planes ([`LocalPlane`], [`ShardedPlane`]).
 ///
 /// That split is exactly what online serving needs — a frozen,
 /// internally consistent read snapshot of the evolving state, scored
@@ -174,9 +210,7 @@ impl Clone for MemoryTgnn {
         MemoryTgnn {
             config: self.config.clone(),
             edge_feat_dim: self.edge_feat_dim,
-            memory: self.memory.clone(),
-            mailbox: self.mailbox.clone(),
-            adjacency: self.adjacency.clone(),
+            plane: self.plane.clone_plane(),
             time_enc: self.time_enc.clone(),
             updater: self.updater.clone(),
             embedder: self.embedder.clone(),
@@ -195,7 +229,54 @@ impl MemoryTgnn {
     ///
     /// Panics if `num_nodes == 0`.
     pub fn new(config: ModelConfig, num_nodes: usize, edge_feat_dim: usize, seed: u64) -> Self {
-        assert!(num_nodes > 0, "model needs at least one node");
+        let geom = PlaneGeometry::for_config(&config, num_nodes, edge_feat_dim, seed);
+        Self::with_plane(
+            config,
+            edge_feat_dim,
+            seed,
+            Box::new(LocalPlane::new(&geom)),
+        )
+    }
+
+    /// Builds a model over a node-id-hash [`ShardedPlane`] of
+    /// `num_shards` shards. Bit-identical to [`new`](Self::new) — shard
+    /// placement is invisible to every read, write, and neighbor draw —
+    /// but state is stored exactly the way dist workers partition it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0` or `num_shards == 0`.
+    pub fn new_sharded(
+        config: ModelConfig,
+        num_nodes: usize,
+        edge_feat_dim: usize,
+        seed: u64,
+        num_shards: usize,
+    ) -> Self {
+        let geom = PlaneGeometry::for_config(&config, num_nodes, edge_feat_dim, seed);
+        Self::with_plane(
+            config,
+            edge_feat_dim,
+            seed,
+            Box::new(ShardedPlane::new(&geom, num_shards)),
+        )
+    }
+
+    /// Builds a model over an externally constructed memory plane (the
+    /// dist runtime hands every worker a handle onto one shared sharded
+    /// plane). The plane must match
+    /// [`PlaneGeometry::for_config`]`(&config, …, edge_feat_dim, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane's dimensions disagree with the configuration.
+    pub fn with_plane(
+        config: ModelConfig,
+        edge_feat_dim: usize,
+        seed: u64,
+        plane: Box<dyn MemoryPlane>,
+    ) -> Self {
+        assert!(plane.num_nodes() > 0, "model needs at least one node");
         let d = config.memory_dim;
         let td = config.time_dim;
         let f = edge_feat_dim;
@@ -203,10 +284,12 @@ impl MemoryTgnn {
         let raw_msg_dim = 2 * d + f + 1;
         // Message after time encoding at consumption.
         let msg_in_dim = 2 * d + f + td;
-        let mailbox_cap = match config.updater {
-            UpdaterKind::MailboxAttention => 10,
-            _ => 1,
-        };
+        assert_eq!(plane.memory_dim(), d, "plane memory width mismatch");
+        assert_eq!(
+            plane.mailbox_msg_dim(),
+            raw_msg_dim,
+            "plane mailbox width mismatch"
+        );
 
         let updater = match config.updater {
             UpdaterKind::Rnn => Updater::Rnn(RnnCell::new(msg_in_dim, d, seed ^ 0x01)),
@@ -233,11 +316,10 @@ impl MemoryTgnn {
             ),
         };
 
+        let num_nodes = plane.num_nodes();
         MemoryTgnn {
             edge_feat_dim,
-            memory: NodeMemory::new(num_nodes, d),
-            mailbox: Mailbox::new(num_nodes, mailbox_cap, raw_msg_dim),
-            adjacency: AdjacencyStore::new(num_nodes).with_seed(seed ^ 0x0b),
+            plane,
             time_enc: TimeEncode::new(td),
             updater,
             embedder,
@@ -273,7 +355,7 @@ impl MemoryTgnn {
 
     /// Number of nodes covered.
     pub fn num_nodes(&self) -> usize {
-        self.memory.num_nodes()
+        self.plane.num_nodes()
     }
 
     /// Edge-feature width this model was built for.
@@ -281,19 +363,41 @@ impl MemoryTgnn {
         self.edge_feat_dim
     }
 
-    /// Read access to the node-memory store.
-    pub fn memory(&self) -> &NodeMemory {
-        &self.memory
+    /// Read access to the node-memory rows of the plane.
+    pub fn memory(&self) -> MemoryView<'_> {
+        MemoryView {
+            plane: self.plane.as_ref(),
+        }
+    }
+
+    /// The memory plane backing this model (shard layout queries).
+    pub fn plane(&self) -> &dyn MemoryPlane {
+        self.plane.as_ref()
+    }
+
+    /// Direct memory write for checkpoint restoration.
+    pub(crate) fn write_memory(&mut self, node: NodeId, values: &[f32], time: f64) {
+        self.plane.memory_write(node, values, time);
+    }
+
+    /// Direct mailbox clear for checkpoint restoration.
+    pub(crate) fn clear_node_mailbox(&mut self, node: NodeId) {
+        self.plane.mailbox_clear(node);
+    }
+
+    /// Direct mailbox push for checkpoint restoration.
+    pub(crate) fn push_mailbox(&mut self, node: NodeId, msg: Vec<f32>) {
+        self.plane.mailbox_push(node, msg);
     }
 
     /// Bytes held by the node-memory matrix.
     pub fn memory_size_bytes(&self) -> usize {
-        self.memory.size_bytes()
+        self.plane.memory_size_bytes()
     }
 
     /// Bytes held by pending mailbox messages.
     pub fn mailbox_size_bytes(&self) -> usize {
-        self.mailbox.size_bytes()
+        self.plane.mailbox_size_bytes()
     }
 
     /// Number of past events registered for `node` in the temporal
@@ -301,15 +405,13 @@ impl MemoryTgnn {
     /// are registered only *after* the batch is processed, so embeddings
     /// can never see the future (asserted by the temporal-leakage tests).
     pub fn history_degree(&self, node: NodeId) -> usize {
-        self.adjacency.degree(node)
+        self.plane.adj_degree(node)
     }
 
     /// Clears memory, mailboxes, and the temporal adjacency store
     /// (called at the start of every epoch).
     pub fn reset_state(&mut self) {
-        self.memory.reset();
-        self.mailbox.reset();
-        self.adjacency.clear();
+        self.plane.reset();
     }
 
     /// Serializes everything learned or accumulated so far — parameters,
@@ -330,24 +432,29 @@ impl MemoryTgnn {
                 buf.extend_from_slice(&x.to_le_bytes());
             }
         }
-        let nodes = self.memory.num_nodes();
-        let dim = self.memory.dim();
+        let nodes = self.plane.num_nodes();
+        let dim = self.plane.memory_dim();
         buf.extend_from_slice(&(nodes as u64).to_le_bytes());
         buf.extend_from_slice(&(dim as u32).to_le_bytes());
         for n in 0..nodes {
-            for x in self.memory.read(NodeId(n as u32)) {
+            for x in self.plane.memory_read(NodeId(n as u32)) {
                 buf.extend_from_slice(&x.to_le_bytes());
             }
         }
         for n in 0..nodes {
-            buf.extend_from_slice(&self.memory.last_update(NodeId(n as u32)).to_le_bytes());
+            buf.extend_from_slice(
+                &self
+                    .plane
+                    .memory_last_update(NodeId(n as u32))
+                    .to_le_bytes(),
+            );
         }
-        buf.extend_from_slice(&(self.mailbox.msg_dim() as u32).to_le_bytes());
-        buf.extend_from_slice(&(self.mailbox.capacity() as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.plane.mailbox_msg_dim() as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.plane.mailbox_capacity() as u32).to_le_bytes());
         for n in 0..nodes {
-            let msgs = self.mailbox.messages(NodeId(n as u32));
+            let msgs = self.plane.mailbox_messages(NodeId(n as u32));
             buf.extend_from_slice(&(msgs.len() as u32).to_le_bytes());
-            for msg in msgs {
+            for msg in &msgs {
                 for x in msg {
                     buf.extend_from_slice(&x.to_le_bytes());
                 }
@@ -406,13 +513,13 @@ impl MemoryTgnn {
         let nodes =
             u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("slice is 8 bytes")) as usize;
         let dim = read_u32(&mut off)?;
-        if nodes != self.memory.num_nodes() || dim != self.memory.dim() {
+        if nodes != self.plane.num_nodes() || dim != self.plane.memory_dim() {
             return Err(format!(
                 "model state memory is {}x{}, expected {}x{}",
                 nodes,
                 dim,
-                self.memory.num_nodes(),
-                self.memory.dim()
+                self.plane.num_nodes(),
+                self.plane.memory_dim()
             ));
         }
         let memory_data = read_f32s(&mut off, nodes * dim)?;
@@ -422,10 +529,10 @@ impl MemoryTgnn {
                 take(&mut off, 8)?.try_into().expect("slice is 8 bytes"),
             ));
         }
-        if read_u32(&mut off)? != self.mailbox.msg_dim() {
+        if read_u32(&mut off)? != self.plane.mailbox_msg_dim() {
             return Err("model state mailbox message width mismatch".to_string());
         }
-        if read_u32(&mut off)? != self.mailbox.capacity() {
+        if read_u32(&mut off)? != self.plane.mailbox_capacity() {
             return Err("model state mailbox capacity mismatch".to_string());
         }
         let mut mailbox_msgs: Vec<Vec<Vec<f32>>> = Vec::with_capacity(nodes);
@@ -433,7 +540,7 @@ impl MemoryTgnn {
             let count = read_u32(&mut off)?;
             let mut msgs = Vec::with_capacity(count);
             for _ in 0..count {
-                msgs.push(read_f32s(&mut off, self.mailbox.msg_dim())?);
+                msgs.push(read_f32s(&mut off, self.plane.mailbox_msg_dim())?);
             }
             mailbox_msgs.push(msgs);
         }
@@ -444,12 +551,15 @@ impl MemoryTgnn {
         }
         for n in 0..nodes {
             let row = &memory_data[n * dim..(n + 1) * dim];
-            self.memory.write(NodeId(n as u32), row, last_updates[n]);
+            self.plane
+                .memory_write(NodeId(n as u32), row, last_updates[n]);
         }
-        self.mailbox.reset();
+        for n in 0..nodes {
+            self.plane.mailbox_clear(NodeId(n as u32));
+        }
         for (n, msgs) in mailbox_msgs.into_iter().enumerate() {
             for msg in msgs {
-                self.mailbox.push(NodeId(n as u32), msg);
+                self.plane.mailbox_push(NodeId(n as u32), msg);
             }
         }
         Ok(())
@@ -462,7 +572,7 @@ impl MemoryTgnn {
     /// exactly.
     pub fn replay_adjacency(&mut self, events: &[Event], first_id: EventId) {
         for (i, e) in events.iter().enumerate() {
-            self.adjacency.insert_event(e, first_id + i);
+            self.plane.adj_insert(e, first_id + i);
         }
     }
 
@@ -533,7 +643,7 @@ impl MemoryTgnn {
                 });
             }
         }
-        let stored = self.memory.gather(&centers); // [C, d] leaf
+        let stored = self.plane.memory_gather(&centers); // [C, d] leaf
         let (updated, has_msg) = self.consume_mailboxes(&centers, &stored);
 
         // ---- Step 1b: embed src/dst/neg and compute the loss. ----
@@ -603,7 +713,7 @@ impl MemoryTgnn {
             .iter()
             .map(|n| match center_idx.get(n) {
                 Some(&c) => updated.index_select(&[c]),
-                None => self.memory.gather(std::slice::from_ref(n)),
+                None => self.plane.memory_gather(std::slice::from_ref(n)),
             })
             .collect();
         let row_refs: Vec<&Tensor> = rows.iter().collect();
@@ -726,7 +836,7 @@ impl MemoryTgnn {
         // (gradients flow into the updater), negatives from stored memory.
         let sd_indices: Vec<usize> = all_nodes[..2 * sb].iter().map(|n| center_idx[n]).collect();
         let sd_base = updated.index_select(&sd_indices); // [2S, d]
-        let neg_base = self.memory.gather(&all_nodes[2 * sb..]); // [S, d] leaf
+        let neg_base = self.plane.memory_gather(&all_nodes[2 * sb..]); // [S, d] leaf
         let base = Tensor::concat_rows(&[&sd_base, &neg_base]); // [3S, d]
         let h = self.embed(&all_nodes, &times, &base, feats);
         debug_assert_eq!(h.dims(), &[3 * sb, self.config.memory_dim]);
@@ -794,26 +904,55 @@ impl MemoryTgnn {
         feats: &EdgeFeatures,
         pending: BatchPending,
     ) -> Vec<MemoryDelta> {
+        let deltas = self.apply_writeback(&pending, None);
+        self.apply_messages(events, first_id, feats, None);
+        deltas
+    }
+
+    /// `true` when a write targeting `node` should be applied under
+    /// `shard`: always for `None` (serial path), only for owned nodes
+    /// under `Some(s)` (one dist worker's slice of the apply).
+    fn owns(&self, node: NodeId, shard: Option<usize>) -> bool {
+        match shard {
+            None => true,
+            Some(s) => self.plane.shard_of(node) == s,
+        }
+    }
+
+    /// The write-back half of [`apply_batch`](Self::apply_batch) (Figure 1
+    /// step 3): writes updated center memories into the plane, drops
+    /// their consumed mailbox messages, and returns one [`MemoryDelta`]
+    /// per applied write.
+    ///
+    /// `shard` filters which **writes** are applied: `None` applies all of
+    /// them (the serial path), `Some(s)` applies only those targeting
+    /// nodes owned by shard `s`. Reads are unrestricted either way. The
+    /// dist runtime calls this once per peer payload with each worker's
+    /// own shard, so every write is applied by exactly one worker, in the
+    /// same payload order on every worker.
+    pub fn apply_writeback(
+        &mut self,
+        pending: &BatchPending,
+        shard: Option<usize>,
+    ) -> Vec<MemoryDelta> {
         let d = self.config.memory_dim;
-        let BatchPending {
-            centers,
-            has_msg,
-            post,
-        } = pending;
+        let centers = &pending.centers;
+        let has_msg = &pending.has_msg;
+        let post = &pending.post;
         assert_eq!(centers.len(), has_msg.len(), "pending shape mismatch");
         assert_eq!(post.len(), centers.len() * d, "pending width mismatch");
 
         // ---- Step 3: write back updated memories (detached). ----
         let mut deltas = Vec::new();
         for (c, &node) in centers.iter().enumerate() {
-            if !has_msg[c] {
+            if !has_msg[c] || !self.owns(node, shard) {
                 continue;
             }
-            let pre = self.memory.snapshot(node);
+            let pre = self.plane.memory_read(node);
             let row = post[c * d..(c + 1) * d].to_vec();
             // The node is now fresh as of its newest consumed message.
             let t = self.newest_message_time(node);
-            self.memory.write(node, &row, t);
+            self.plane.memory_write(node, &row, t);
             deltas.push(MemoryDelta {
                 node,
                 pre,
@@ -822,37 +961,85 @@ impl MemoryTgnn {
         }
         // Consumed messages are dropped.
         for (c, &node) in centers.iter().enumerate() {
-            if has_msg[c] {
+            if has_msg[c] && self.owns(node, shard) {
                 self.clear_mailbox(node);
             }
         }
+        deltas
+    }
 
+    /// The message-generation half of [`apply_batch`](Self::apply_batch)
+    /// (Figure 1 step 2 plus adjacency registration): every event reads
+    /// both endpoints' *current* memories, pushes the raw messages, and
+    /// registers the event in the temporal adjacency store.
+    ///
+    /// `shard` filters **writes** exactly as in
+    /// [`apply_writeback`](Self::apply_writeback): a mailbox push or
+    /// adjacency half-insert lands only if its target node is owned.
+    /// Memory *reads* for message content are global, which is why the
+    /// dist runtime runs all write-backs (phase A) to completion across
+    /// workers before any message generation (phase B) starts.
+    pub fn apply_messages(
+        &mut self,
+        events: &[Event],
+        first_id: EventId,
+        feats: &EdgeFeatures,
+        shard: Option<usize>,
+    ) {
+        let d = self.config.memory_dim;
         // ---- Step 2: generate messages from this batch's events. ----
         for (i, e) in events.iter().enumerate() {
+            let own_src = self.owns(e.src, shard);
+            let own_dst = self.owns(e.dst, shard);
+            if !own_src && !own_dst {
+                continue;
+            }
             let feat = feats.row(first_id + i);
-            let s_src = self.memory.snapshot(e.src);
-            let s_dst = self.memory.snapshot(e.dst);
-            let mut msg_src = Vec::with_capacity(2 * d + feat.len() + 1);
-            msg_src.extend_from_slice(&s_src);
-            msg_src.extend_from_slice(&s_dst);
-            msg_src.extend_from_slice(feat);
-            msg_src.push(e.time as f32);
-            let mut msg_dst = Vec::with_capacity(2 * d + feat.len() + 1);
-            msg_dst.extend_from_slice(&s_dst);
-            msg_dst.extend_from_slice(&s_src);
-            msg_dst.extend_from_slice(feat);
-            msg_dst.push(e.time as f32);
-            self.mailbox.push(e.src, msg_src);
-            self.mailbox.push(e.dst, msg_dst);
+            let s_src = self.plane.memory_read(e.src);
+            let s_dst = self.plane.memory_read(e.dst);
+            if own_src {
+                let mut msg_src = Vec::with_capacity(2 * d + feat.len() + 1);
+                msg_src.extend_from_slice(&s_src);
+                msg_src.extend_from_slice(&s_dst);
+                msg_src.extend_from_slice(feat);
+                msg_src.push(e.time as f32);
+                self.plane.mailbox_push(e.src, msg_src);
+            }
+            if own_dst {
+                let mut msg_dst = Vec::with_capacity(2 * d + feat.len() + 1);
+                msg_dst.extend_from_slice(&s_dst);
+                msg_dst.extend_from_slice(&s_src);
+                msg_dst.extend_from_slice(feat);
+                msg_dst.push(e.time as f32);
+                self.plane.mailbox_push(e.dst, msg_dst);
+            }
         }
 
         // Register the batch in the temporal adjacency store so later
-        // batches can sample these events as neighbors.
+        // batches can sample these events as neighbors. Each endpoint's
+        // half lands in that endpoint's shard.
         for (i, e) in events.iter().enumerate() {
-            self.adjacency.insert_event(e, first_id + i);
+            if self.owns(e.src, shard) {
+                self.plane.adj_insert_half(
+                    e.src,
+                    NeighborRef {
+                        node: e.dst,
+                        event: first_id + i,
+                        time: e.time,
+                    },
+                );
+            }
+            if self.owns(e.dst, shard) {
+                self.plane.adj_insert_half(
+                    e.dst,
+                    NeighborRef {
+                        node: e.src,
+                        event: first_id + i,
+                        time: e.time,
+                    },
+                );
+            }
         }
-
-        deltas
     }
 
     /// Scores candidate edges `(src, dst)` for each `dst` in `dsts` at
@@ -877,7 +1064,7 @@ impl MemoryTgnn {
         nodes.push(src);
         nodes.extend_from_slice(dsts);
         let times = vec![time; nodes.len()];
-        let base = self.memory.gather(&nodes);
+        let base = self.plane.memory_gather(&nodes);
         let h = self.embed(&nodes, &times, &base, feats);
         let h_src = h.slice_rows(0, 1);
         let h_dst = h.slice_rows(1, nodes.len());
@@ -896,22 +1083,22 @@ impl MemoryTgnn {
     pub fn embed_nodes(&self, nodes: &[NodeId], time: f64, feats: &EdgeFeatures) -> Tensor {
         assert!(!nodes.is_empty(), "embed_nodes on empty node list");
         let times = vec![time; nodes.len()];
-        let base = self.memory.gather(nodes);
+        let base = self.plane.memory_gather(nodes);
         self.embed(nodes, &times, &base, feats)
     }
 
     /// Absolute time of the newest pending message of `node` (its update
     /// freshness after consumption).
     fn newest_message_time(&self, node: NodeId) -> f64 {
-        self.mailbox
-            .messages(node)
+        self.plane
+            .mailbox_messages(node)
             .iter()
             .map(|m| *m.last().expect("message has time column") as f64)
-            .fold(self.memory.last_update(node), f64::max)
+            .fold(self.plane.memory_last_update(node), f64::max)
     }
 
     fn clear_mailbox(&mut self, node: NodeId) {
-        self.mailbox.clear_node(node);
+        self.plane.mailbox_clear(node);
     }
 
     /// Aggregates each center's mailbox and applies the memory updater.
@@ -924,7 +1111,7 @@ impl MemoryTgnn {
         let f = self.edge_feat_dim;
         let has_msg: Vec<bool> = centers
             .iter()
-            .map(|&n| self.mailbox.has_messages(n))
+            .map(|&n| self.plane.mailbox_has_messages(n))
             .collect();
         if !has_msg.iter().any(|&m| m) {
             return (stored.clone(), has_msg);
@@ -942,11 +1129,11 @@ impl MemoryTgnn {
                 let mut agg = vec![0.0f32; c * (2 * d + f)];
                 let mut dts = vec![0.0f32; c];
                 for (i, &n) in centers.iter().enumerate() {
-                    let msgs = self.mailbox.messages(n);
+                    let msgs = self.plane.mailbox_messages(n);
                     if msgs.is_empty() {
                         continue;
                     }
-                    for m in msgs {
+                    for m in &msgs {
                         for (j, &v) in m[..2 * d + f].iter().enumerate() {
                             agg[i * (2 * d + f) + j] += v / msgs.len() as f32;
                         }
@@ -954,7 +1141,7 @@ impl MemoryTgnn {
                             .last()
                             .expect("mailbox rows end with the event time column")
                             as f64;
-                        dts[i] += ((t_msg - self.memory.last_update(n)).max(0.0)
+                        dts[i] += ((t_msg - self.plane.memory_last_update(n)).max(0.0)
                             / msgs.len() as f64) as f32;
                     }
                 }
@@ -994,21 +1181,21 @@ impl MemoryTgnn {
         let c = centers.len();
         let d = self.config.memory_dim;
         let f = self.edge_feat_dim;
-        let cap = self.mailbox.capacity();
+        let cap = self.plane.mailbox_capacity();
         let raw_w = 2 * d + f;
 
         let mut raw = vec![0.0f32; c * cap * raw_w];
         let mut dts = vec![0.0f32; c * cap];
         let mut mask = vec![0.0f32; c * cap];
         for (i, &n) in centers.iter().enumerate() {
-            for (j, m) in self.mailbox.messages(n).iter().enumerate().take(cap) {
+            for (j, m) in self.plane.mailbox_messages(n).iter().enumerate().take(cap) {
                 let row = i * cap + j;
                 raw[row * raw_w..(row + 1) * raw_w].copy_from_slice(&m[..raw_w]);
                 let t_msg = *m
                     .last()
                     .expect("mailbox rows end with the event time column")
                     as f64;
-                dts[row] = (t_msg - self.memory.last_update(n)).max(0.0) as f32;
+                dts[row] = (t_msg - self.plane.memory_last_update(n)).max(0.0) as f32;
                 mask[row] = 1.0;
             }
         }
@@ -1055,7 +1242,9 @@ impl MemoryTgnn {
                 let dts: Vec<f32> = nodes
                     .iter()
                     .zip(times)
-                    .map(|(&n, &t)| ((t - self.memory.last_update(n)).max(0.0) as f32).ln_1p())
+                    .map(|(&n, &t)| {
+                        ((t - self.plane.memory_last_update(n)).max(0.0) as f32).ln_1p()
+                    })
                     .collect();
                 let dts = Tensor::from_vec(dts, [nodes.len(), 1]);
                 // h = s ⊙ (1 + w · log(1 + Δt))
@@ -1075,7 +1264,7 @@ impl MemoryTgnn {
                 // Hop 2: neighbors of the hop-1 nodes.
                 let (n2_in, mask2) = self.neighbor_inputs(&hop1_nodes, &hop1_times, k, feats);
                 // Layer 1 on hop-1 nodes (their own memories as base).
-                let hop1_base = self.memory.gather(&hop1_nodes);
+                let hop1_base = self.plane.memory_gather(&hop1_nodes);
                 let hop1_center_in = self.center_inputs(&hop1_base);
                 let emb1 = l1.forward(&hop1_center_in, &n2_in, &mask2, k);
                 // Layer 1 on the centers themselves.
@@ -1106,8 +1295,8 @@ impl MemoryTgnn {
         let mut mask = Vec::with_capacity(nodes.len() * k);
         for &n in nodes {
             let nbrs = match self.config.sampling {
-                Sampling::MostRecent(_) => self.adjacency.most_recent(n, k),
-                Sampling::Uniform(_) => self.adjacency.uniform(n, k),
+                Sampling::MostRecent(_) => self.plane.adj_most_recent(n, k),
+                Sampling::Uniform(_) => self.plane.adj_uniform(n, k),
             };
             for j in 0..k {
                 if let Some(nb) = nbrs.get(j) {
@@ -1135,7 +1324,7 @@ impl MemoryTgnn {
         feats: &EdgeFeatures,
     ) -> (Tensor, Vec<f32>) {
         let (nb_nodes, nb_times, nb_events, mask) = self.sample_hop(nodes, k);
-        let mem = self.memory.gather(&nb_nodes);
+        let mem = self.plane.memory_gather(&nb_nodes);
         let t = self.assemble_rows(&mem, &nb_times, &nb_events, times, k, feats);
         (t, mask)
     }
@@ -1408,6 +1597,76 @@ mod tests {
             assert_eq!(
                 combined.memory().read(NodeId(n)),
                 split.memory().read(NodeId(n))
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_plane_training_is_bit_identical() {
+        // The tentpole property: a node-id-hash sharded plane is
+        // invisible to training — losses, logits, deltas, and the full
+        // exported state match the monolithic plane bit for bit.
+        for cfg in ModelConfig::all() {
+            let cfg = cfg.with_dims(8, 4);
+            let mut mono = MemoryTgnn::new(cfg.clone(), 6, 4, 1);
+            let mut shard = MemoryTgnn::new_sharded(cfg.clone(), 6, 4, 1, 3);
+            let feats = synth_features(9, 4, 2);
+            for first_id in [0usize, 3, 6] {
+                let a = mono.process_batch(&toy_events(), first_id, &feats);
+                let b = shard.process_batch(&toy_events(), first_id, &feats);
+                assert_eq!(
+                    a.loss.item().to_bits(),
+                    b.loss.item().to_bits(),
+                    "{} loss diverged",
+                    cfg.name
+                );
+                assert_eq!(a.pos_logits, b.pos_logits);
+                assert_eq!(a.neg_logits, b.neg_logits);
+            }
+            assert_eq!(mono.export_state(), shard.export_state(), "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn per_shard_filtered_apply_equals_unfiltered() {
+        // Applying a ticket shard-by-shard (write-backs for every shard,
+        // then messages for every shard) reproduces the monolithic apply:
+        // this is the dist runtime's two-phase protocol in miniature.
+        let shards = 3;
+        let feats = synth_features(9, 4, 2);
+        let mut whole =
+            MemoryTgnn::new_sharded(ModelConfig::tgn().with_dims(8, 4), 6, 4, 1, shards);
+        let mut split =
+            MemoryTgnn::new_sharded(ModelConfig::tgn().with_dims(8, 4), 6, 4, 1, shards);
+        for first_id in [0usize, 3, 6] {
+            let events = toy_events();
+            let a = whole.forward_batch(&events, first_id, &feats);
+            let b = split.forward_batch(&events, first_id, &feats);
+            let mut whole_deltas = whole.apply_batch(&events, first_id, &feats, a.pending);
+            let mut split_deltas = Vec::new();
+            for s in 0..shards {
+                split_deltas.extend(split.apply_writeback(&b.pending, Some(s)));
+            }
+            for s in 0..shards {
+                split.apply_messages(&events, first_id, &feats, Some(s));
+            }
+            // Per-shard application reorders deltas across shards; the
+            // set of transitions must still be identical.
+            let key = |d: &MemoryDelta| d.node.0;
+            whole_deltas.sort_by_key(key);
+            split_deltas.sort_by_key(key);
+            assert_eq!(whole_deltas.len(), split_deltas.len());
+            for (x, y) in whole_deltas.iter().zip(&split_deltas) {
+                assert_eq!(x.node, y.node);
+                assert_eq!(x.pre, y.pre);
+                assert_eq!(x.post, y.post);
+            }
+        }
+        assert_eq!(whole.export_state(), split.export_state());
+        for n in 0..6u32 {
+            assert_eq!(
+                whole.history_degree(NodeId(n)),
+                split.history_degree(NodeId(n))
             );
         }
     }

@@ -103,8 +103,9 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 fn print_usage() {
     eprintln!(
         "cascade-serve: online link prediction with live event ingest\n\n\
-         --load P             checkpoint from cascade_train --save (required);\n\
-         \u{20}                    accepts parameter (CSC1) or full-state (CSC2) files\n\
+         --load P             checkpoint from cascade_train / cascade_dist --save\n\
+         \u{20}                    (required); accepts parameter (CSC1), full-state\n\
+         \u{20}                    (CSC2), or sharded full-state (CSC3) files\n\
          --arch M             jodie|tgn|apan|dysat|tgat       (default tgn)\n\
          --nodes N            node count the model was trained with (required)\n\
          --dim N              memory width used in training     (default 16)\n\

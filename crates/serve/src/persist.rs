@@ -17,7 +17,7 @@
 
 use std::path::Path;
 
-use cascade_models::{load_state, save_state, MemoryTgnn};
+use cascade_models::{load_checkpoint, save_state, CheckpointError, MemoryTgnn};
 use cascade_store::{recover_log, ChunkWriter, StoreError, StoredChunk};
 
 use crate::error::ServeError;
@@ -95,15 +95,28 @@ pub fn open_wal(
 /// Loads the snapshot at `path` into `model`, returning its
 /// events-applied watermark — or `None` when no snapshot exists yet.
 ///
+/// Accepts any full-state checkpoint format, monolithic (CSC2) or
+/// sharded (CSC3) — a server can boot directly from the state a
+/// `cascade-dist` run saved with
+/// [`cascade_models::save_sharded_state`], whatever shard count it was
+/// trained with. Parameter-only files (CSC1) are rejected: a snapshot
+/// must carry memories and a watermark, or replay would silently start
+/// from event zero.
+///
 /// # Errors
 ///
 /// [`ServeError::Snapshot`] on checkpoint-level failures (including a
-/// detected partial snapshot).
+/// detected partial snapshot) and for a parameter-only file.
 pub fn load_snapshot(model: &mut MemoryTgnn, path: &Path) -> Result<Option<u64>, ServeError> {
     if !path.exists() {
         return Ok(None);
     }
-    Ok(Some(load_state(model, path)?))
+    match load_checkpoint(model, path)? {
+        Some(events_applied) => Ok(Some(events_applied)),
+        None => Err(ServeError::Snapshot(CheckpointError::StateMismatch(
+            "snapshot is a parameter-only checkpoint with no events-applied watermark".into(),
+        ))),
+    }
 }
 
 /// Durably snapshots `model` (tagged with `events_applied`) to `path`,
@@ -203,5 +216,50 @@ mod tests {
         let mut m = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 2, 1);
         let got = load_snapshot(&mut m, &tmp("never_written.ckpt")).unwrap();
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn sharded_snapshot_boots_the_server() {
+        use cascade_models::{save_sharded_state, MemoryTgnn, ModelConfig};
+        use cascade_tgraph::EdgeFeatures;
+        let cfg = ModelConfig::tgn().with_dims(8, 4);
+        let mut trained = MemoryTgnn::new(cfg.clone(), 6, 2, 1);
+        let events = [Event::new(0u32, 1u32, 1.0), Event::new(2u32, 3u32, 2.0)];
+        let mut feats = EdgeFeatures::zeros(2, 2);
+        feats.set_row(0, &[0.5, -0.5]);
+        feats.set_row(1, &[1.0, 0.25]);
+        let fwd = trained.forward_batch(&events, 0, &feats);
+        trained.apply_batch(&events, 0, &feats, fwd.pending);
+
+        // A dist run saves with the shard layout it trained under; the
+        // server boots from it with a plain monolithic model.
+        let path = tmp("sharded_boot.ckpt");
+        save_sharded_state(&trained, &path, 2, 3).unwrap();
+        let mut served = MemoryTgnn::new(cfg, 6, 2, 1);
+        let applied = load_snapshot(&mut served, &path).unwrap();
+        assert_eq!(applied, Some(2), "watermark survives the shard layout");
+        assert_eq!(
+            served.export_state(),
+            trained.export_state(),
+            "memories and mailboxes reassemble bit-identically from shards"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parameter_only_snapshot_is_rejected() {
+        use cascade_models::{save_parameters, MemoryTgnn, ModelConfig};
+        let m = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 2, 1);
+        let path = tmp("params_only.ckpt");
+        save_parameters(&m, &path).unwrap();
+        let mut fresh = MemoryTgnn::new(ModelConfig::tgn().with_dims(8, 4), 6, 2, 1);
+        assert!(
+            matches!(
+                load_snapshot(&mut fresh, &path),
+                Err(ServeError::Snapshot(_))
+            ),
+            "a watermark-less checkpoint must not silently boot a server"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

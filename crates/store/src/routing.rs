@@ -1,0 +1,256 @@
+//! Header-only chunk scan and worker routing for distributed training.
+//!
+//! A dist launcher needs the chunk layout of a `CEVT` file — how many
+//! chunks, their event counts, time ranges, and touched-node summaries —
+//! *before* any worker starts streaming, so it can assign chunk
+//! partitions and report expected load per worker. Decoding payloads
+//! for that would read the whole file; [`scan_chunks`] instead walks
+//! only the 48-byte frame headers, seeking over each payload, so the
+//! scan cost is proportional to the chunk *count*, not the event count.
+//!
+//! The walker is deliberately separate from
+//! [`ChunkReader`](crate::ChunkReader): the reader enforces base
+//! continuity against events it has decoded, while the scan never
+//! decodes events at all (and skips CRC verification — corruption in a
+//! payload is still caught by the worker that streams the chunk).
+//! Header-level inconsistencies (bad base chaining, implausible counts)
+//! are reported as the same typed [`StoreError`]s the reader uses.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::error::StoreError;
+use crate::format::{FrameHeader, StoreMeta, FRAME_HEADER_LEN, HEADER_LEN};
+
+/// One chunk's frame header plus its position in the stream — everything
+/// a scheduler needs without touching the payload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChunkSummary {
+    /// Chunk index in the file (0-based).
+    pub index: usize,
+    /// Global stream id of the chunk's first event.
+    pub base: usize,
+    /// Events in the chunk.
+    pub event_count: usize,
+    /// Smallest event timestamp in the chunk.
+    pub t_min: f64,
+    /// Largest event timestamp in the chunk.
+    pub t_max: f64,
+    /// Distinct nodes the chunk's events touch.
+    pub touched_nodes: usize,
+}
+
+/// Walks a `CEVT` file's frame headers without decoding payloads,
+/// returning the validated file header and one [`ChunkSummary`] per
+/// chunk in stream order.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] when the file cannot be opened or seeked, the
+/// header validation errors of [`StoreMeta::decode`],
+/// [`StoreError::TruncatedFrame`] when the file ends mid-header or
+/// before the declared event count, and [`StoreError::Corrupt`] on
+/// header-level inconsistencies (base discontinuity, implausible event
+/// count or payload length).
+pub fn scan_chunks(path: &Path) -> Result<(StoreMeta, Vec<ChunkSummary>), StoreError> {
+    let mut file = BufReader::new(File::open(path)?);
+    let mut header_buf = [0u8; HEADER_LEN];
+    read_fully(&mut file, &mut header_buf, 0)?;
+    let meta = StoreMeta::decode(&header_buf)?;
+
+    let mut summaries = Vec::with_capacity(meta.num_chunks());
+    let mut events_seen = 0usize;
+    loop {
+        let chunk = summaries.len();
+        let mut frame_buf = [0u8; FRAME_HEADER_LEN];
+        let first = file.read(&mut frame_buf)?;
+        if first == 0 {
+            if events_seen != meta.num_events {
+                return Err(StoreError::TruncatedFrame { chunk });
+            }
+            // Seeking over a payload succeeds even past end of file, so a
+            // torn final frame only shows up here: the walked position
+            // must not exceed the real file length.
+            let pos = file.stream_position()?;
+            let len = file.get_ref().metadata()?.len();
+            if pos > len {
+                return Err(StoreError::TruncatedFrame {
+                    chunk: chunk.saturating_sub(1),
+                });
+            }
+            return Ok((meta, summaries));
+        }
+        let mut got = first;
+        while got < FRAME_HEADER_LEN {
+            let n = file.read(&mut frame_buf[got..])?;
+            if n == 0 {
+                return Err(StoreError::TruncatedFrame { chunk });
+            }
+            got += n;
+        }
+        let header = FrameHeader::decode(&frame_buf);
+        if header.event_count == 0 || header.event_count > meta.chunk_size {
+            return Err(StoreError::Corrupt {
+                chunk,
+                message: format!(
+                    "frame declares {} events (chunk size {})",
+                    header.event_count, meta.chunk_size
+                ),
+            });
+        }
+        if header.payload_len != meta.expected_payload_len(header.event_count) {
+            return Err(StoreError::Corrupt {
+                chunk,
+                message: format!(
+                    "payload length {} inconsistent with {} events of dim {}",
+                    header.payload_len, header.event_count, meta.feature_dim
+                ),
+            });
+        }
+        if header.base != events_seen {
+            return Err(StoreError::Corrupt {
+                chunk,
+                message: format!(
+                    "frame base {} but {} events seen so far",
+                    header.base, events_seen
+                ),
+            });
+        }
+        // Skip payload + trailing CRC without reading them.
+        file.seek(SeekFrom::Current(header.payload_len as i64 + 4))?;
+        events_seen += header.event_count;
+        summaries.push(ChunkSummary {
+            index: chunk,
+            base: header.base,
+            event_count: header.event_count,
+            t_min: header.t_min,
+            t_max: header.t_max,
+            touched_nodes: header.touched_nodes,
+        });
+    }
+}
+
+/// Per-worker routing plan over a scanned chunk list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutePlan {
+    /// `plan[w]` lists the chunk indices worker `w` streams, ascending.
+    pub chunks: Vec<Vec<usize>>,
+    /// `events[w]` totals the events worker `w` will process.
+    pub events: Vec<usize>,
+    /// `touched[w]` sums the per-chunk touched-node summaries of worker
+    /// `w`'s chunks — a load-balance indicator (an upper bound on
+    /// distinct nodes, since chunks overlap).
+    pub touched: Vec<usize>,
+}
+
+/// Routes chunks to `workers` by the same round-robin rule
+/// [`PartitionedSource`](cascade_tgraph::PartitionedSource) applies while
+/// streaming (`chunk.index % workers`), so the plan predicts exactly
+/// what each worker will see.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+pub fn route_chunks(summaries: &[ChunkSummary], workers: usize) -> RoutePlan {
+    assert!(workers > 0, "route_chunks needs at least one worker");
+    let mut plan = RoutePlan {
+        chunks: vec![Vec::new(); workers],
+        events: vec![0; workers],
+        touched: vec![0; workers],
+    };
+    for s in summaries {
+        let w = s.index % workers;
+        plan.chunks[w].push(s.index);
+        plan.events[w] += s.event_count;
+        plan.touched[w] += s.touched_nodes;
+    }
+    plan
+}
+
+fn read_fully(file: &mut BufReader<File>, buf: &mut [u8], chunk: usize) -> Result<(), StoreError> {
+    let mut got = 0;
+    while got < buf.len() {
+        let n = file.read(&mut buf[got..])?;
+        if n == 0 {
+            return Err(StoreError::TruncatedFrame { chunk });
+        }
+        got += n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::ChunkReader;
+    use crate::writer::export_dataset;
+    use cascade_tgraph::SynthConfig;
+    use std::path::PathBuf;
+
+    fn store_file(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("routing_{}_{}.evt", tag, std::process::id()))
+    }
+
+    #[test]
+    fn scan_matches_full_decode() {
+        let data = SynthConfig::wiki().with_scale(0.004).generate(3);
+        let path = store_file("scan");
+        export_dataset(&data, &path, 128).expect("export succeeds");
+
+        let (meta, summaries) = scan_chunks(&path).expect("scan succeeds");
+        assert_eq!(meta.num_events, data.num_events());
+        assert_eq!(summaries.len(), meta.num_chunks());
+
+        let mut reader = ChunkReader::open(&path).expect("open succeeds");
+        let mut decoded = 0usize;
+        while let Some(chunk) = reader.next_frame().expect("frames are valid") {
+            let s = summaries[chunk.index];
+            assert_eq!(s.base, chunk.base);
+            assert_eq!(s.event_count, chunk.events.len());
+            assert_eq!(s.t_min.to_bits(), chunk.header.t_min.to_bits());
+            assert_eq!(s.t_max.to_bits(), chunk.header.t_max.to_bits());
+            assert_eq!(s.touched_nodes, chunk.header.touched_nodes);
+            decoded += 1;
+        }
+        assert_eq!(decoded, summaries.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_detects_truncation() {
+        let data = SynthConfig::wiki().with_scale(0.004).generate(5);
+        let path = store_file("trunc");
+        export_dataset(&data, &path, 128).expect("export succeeds");
+        let bytes = std::fs::read(&path).expect("file exists");
+        std::fs::write(&path, &bytes[..bytes.len() - 20]).expect("rewrite succeeds");
+        assert!(matches!(
+            scan_chunks(&path),
+            Err(StoreError::TruncatedFrame { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn routing_covers_every_chunk_exactly_once() {
+        let data = SynthConfig::wiki().with_scale(0.004).generate(7);
+        let path = store_file("route");
+        export_dataset(&data, &path, 64).expect("export succeeds");
+        let (meta, summaries) = scan_chunks(&path).expect("scan succeeds");
+
+        for workers in [1usize, 2, 3, 5] {
+            let plan = route_chunks(&summaries, workers);
+            let mut seen = vec![false; summaries.len()];
+            for (w, chunks) in plan.chunks.iter().enumerate() {
+                for &c in chunks {
+                    assert_eq!(c % workers, w);
+                    assert!(!seen[c], "chunk {} routed twice", c);
+                    seen[c] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "a chunk was never routed");
+            assert_eq!(plan.events.iter().sum::<usize>(), meta.num_events);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

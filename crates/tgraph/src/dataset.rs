@@ -70,6 +70,35 @@ impl EdgeFeatures {
         self.data.len() * std::mem::size_of::<f32>()
     }
 
+    /// A zero-filled matrix of `rows` rows (sparse fill via
+    /// [`EdgeFeatures::set_row`]).
+    ///
+    /// Dist TCP peers receive only their partition's feature rows but
+    /// index them by **global** event id; a zeroed full-size table
+    /// filled row-by-row keeps `row(id)` addressing unchanged.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        EdgeFeatures {
+            data: vec![0.0; rows * dim],
+            dim,
+        }
+    }
+
+    /// Overwrites the feature row for event `idx`. No-op for `dim = 0`
+    /// matrices (which accept only empty rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim` (for `dim > 0`) or `idx` is out of
+    /// range.
+    pub fn set_row(&mut self, idx: usize, row: &[f32]) {
+        if self.dim == 0 {
+            assert!(row.is_empty(), "dim 0 features accept no rows");
+            return;
+        }
+        assert_eq!(row.len(), self.dim, "row width must match dim");
+        self.data[idx * self.dim..(idx + 1) * self.dim].copy_from_slice(row);
+    }
+
     /// Appends whole feature rows (streaming ingest). For `dim = 0`
     /// matrices only an empty slice is accepted.
     ///

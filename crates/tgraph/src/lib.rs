@@ -24,6 +24,7 @@
 mod dataset;
 mod event;
 mod sampler;
+mod shard;
 mod source;
 mod stats;
 mod synth;
@@ -35,6 +36,7 @@ pub use event::{Event, EventId, EventStream, NodeId, OrderError, StreamDecodeErr
 // users.
 pub use cascade_util::DetRng;
 pub use sampler::{AdjacencyStore, NegativeSampler, NeighborRef};
-pub use source::{EventChunk, EventSource, InMemorySource, SourceError};
+pub use shard::{shard_of_node, ShardMap};
+pub use source::{EventChunk, EventSource, InMemorySource, PartitionedSource, SourceError};
 pub use stats::{batch_degree_histogram, max_batch_degree, DatasetStats, TemporalStats};
 pub use synth::SynthConfig;

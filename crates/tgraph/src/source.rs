@@ -12,6 +12,91 @@
 use std::fmt;
 
 use crate::dataset::Dataset;
+
+/// Round-robin chunk partition over any [`EventSource`]: worker `w` of
+/// `n` sees exactly the chunks with `index % n == w`, in their original
+/// order, and skips the rest.
+///
+/// The assignment is a pure function of the chunk index, so every
+/// worker — thread or TCP peer — agrees on ownership without
+/// coordination, and the union over workers streams every event exactly
+/// once (asserted by `partition_props` tests in `cascade-dist`). With
+/// `n == 1` the adapter is a transparent pass-through, which is what
+/// keeps dist training at N=1 bit-identical to serial streaming.
+pub struct PartitionedSource<S> {
+    inner: S,
+    worker: usize,
+    workers: usize,
+}
+
+impl<S: EventSource> PartitionedSource<S> {
+    /// Wraps `inner` as worker `worker` of `workers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `worker >= workers`.
+    pub fn new(inner: S, worker: usize, workers: usize) -> Self {
+        assert!(workers > 0, "PartitionedSource needs at least one worker");
+        assert!(
+            worker < workers,
+            "worker index {} out of range for {} workers",
+            worker,
+            workers
+        );
+        PartitionedSource {
+            inner,
+            worker,
+            workers,
+        }
+    }
+
+    /// The wrapped source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: EventSource> EventSource for PartitionedSource<S> {
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    /// Total events in the underlying stream (not this partition's
+    /// share): partition sizes depend on chunk contents, and global
+    /// quantities like feature-table sizing key off the full stream.
+    fn num_events(&self) -> usize {
+        self.inner.num_events()
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.inner.feature_dim()
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.inner.chunk_size()
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<EventChunk>, SourceError> {
+        loop {
+            match self.inner.next_chunk()? {
+                Some(chunk) => {
+                    if chunk.index % self.workers == self.worker {
+                        return Ok(Some(chunk));
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn reset(&mut self) -> Result<(), SourceError> {
+        self.inner.reset()
+    }
+
+    fn name(&self) -> String {
+        format!("{}#{}of{}", self.inner.name(), self.worker, self.workers)
+    }
+}
 use crate::event::Event;
 
 /// One contiguous slice of the event stream, with its edge-feature rows.

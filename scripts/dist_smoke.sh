@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Dist smoke: gate on the N=1 bit-identity test, run a 2-worker
+# in-process epoch through the cascade_dist CLI, then the same run as
+# two real processes over TCP loopback (leader backgrounded), and
+# assert all three transports report identical per-epoch losses.
+# Used by CI; runnable locally:
+#
+#   cargo build --release -p cascade-dist --bin cascade_dist
+#   bash scripts/dist_smoke.sh target/release/cascade_dist
+set -euo pipefail
+
+BIN="${1:?usage: dist_smoke.sh <path-to-cascade_dist>}"
+WORK="$(mktemp -d)"
+LEADER_PID=""
+trap '[ -n "$LEADER_PID" ] && kill "$LEADER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+echo "dist_smoke: gating on the N=1 bit-identity test"
+cargo test -q --release --offline -p cascade-dist --test identity \
+  n1_dist_is_bit_identical_to_serial >/dev/null
+
+# All transports must agree on every flag except --mode/--worker.
+RUN_ARGS=(--dataset wiki --model tgn --workers 2 --epochs 2 \
+  --batch 64 --chunk 128 --dim 8 --scale 0.003 --seed 33 --data-seed 29)
+
+echo "dist_smoke: 2-worker in-process epoch"
+"$BIN" --mode inproc "${RUN_ARGS[@]}" | tee "$WORK/inproc.log"
+grep -q '^epoch ' "$WORK/inproc.log"
+grep -q 'batches logged' "$WORK/inproc.log"
+
+# TCP loopback: two real processes sharing nothing but the socket.
+PORT=$(( (RANDOM % 20000) + 20000 ))
+ADDR="127.0.0.1:$PORT"
+echo "dist_smoke: TCP loopback on $ADDR"
+"$BIN" --mode leader --addr "$ADDR" "${RUN_ARGS[@]}" \
+  >"$WORK/leader.log" 2>&1 &
+LEADER_PID=$!
+
+# The follower retries until the leader's listener is up.
+FOLLOWER_OK=""
+for _ in $(seq 1 50); do
+  if "$BIN" --mode follower --worker 1 --addr "$ADDR" "${RUN_ARGS[@]}" \
+    >"$WORK/follower.log" 2>&1; then
+    FOLLOWER_OK=1
+    break
+  fi
+  kill -0 "$LEADER_PID" 2>/dev/null || { cat "$WORK/leader.log"; exit 1; }
+  sleep 0.2
+done
+[ -n "$FOLLOWER_OK" ] || { echo "follower never connected"; cat "$WORK/follower.log"; exit 1; }
+wait "$LEADER_PID"
+LEADER_PID=""
+cat "$WORK/leader.log"
+
+# Every transport and every replica trained the same model: the
+# per-epoch loss lines must match bit-rendered across all three logs.
+for log in leader follower; do
+  grep '^epoch ' "$WORK/$log.log" >"$WORK/$log.losses"
+done
+grep '^epoch ' "$WORK/inproc.log" >"$WORK/inproc.losses"
+cmp -s "$WORK/leader.losses" "$WORK/follower.losses" || {
+  echo "dist_smoke: leader and follower replicas diverged"
+  diff "$WORK/leader.losses" "$WORK/follower.losses" || true
+  exit 1
+}
+cmp -s "$WORK/inproc.losses" "$WORK/leader.losses" || {
+  echo "dist_smoke: TCP and in-process transports diverged"
+  diff "$WORK/inproc.losses" "$WORK/leader.losses" || true
+  exit 1
+}
+
+echo "dist_smoke: OK"
