@@ -42,7 +42,7 @@ fn main() {
     let data = bench_data();
     let model_cfg = ModelConfig::tgn().with_dims(16, 8).with_neighbors(4);
 
-    let mut suite = BenchSuite::new("dist_scaling");
+    let mut suite = BenchSuite::new("dist_scaling").with_seed(7);
     let mut medians: Vec<(usize, f64)> = Vec::new();
     for workers in WORKERS {
         let id = format!("train_epoch/workers{}", workers);
@@ -78,8 +78,9 @@ fn main() {
         let raw = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot re-read {}: {}", path.display(), e));
         let mut report = Json::parse(&raw).expect("suite report is valid JSON");
+        // `host_parallelism` arrives with the suite header; only the
+        // scaling curve is appended here.
         if let Json::Obj(fields) = &mut report {
-            fields.push(("host_parallelism".into(), Json::from(cores)));
             fields.push(("scaling".into(), Json::Arr(curve)));
         }
         std::fs::write(&path, report.to_string())

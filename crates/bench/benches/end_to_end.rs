@@ -97,7 +97,7 @@ fn bench_chunked_preprocessing(suite: &mut BenchSuite) {
 }
 
 fn main() {
-    let mut suite = BenchSuite::new("end_to_end");
+    let mut suite = BenchSuite::new("end_to_end").with_seed(42);
     let data = bench_data();
     bench_batch_size_sweep(&mut suite, &data);
     bench_cascade_vs_tgl(&mut suite, &data);

@@ -165,7 +165,7 @@ fn bench_endurance_profiling(suite: &mut BenchSuite) {
 }
 
 fn main() {
-    let mut suite = BenchSuite::new("kernels");
+    let mut suite = BenchSuite::new("kernels").with_seed(7);
     bench_tensor_matmul(&mut suite);
     bench_fused_layers(&mut suite);
     bench_dependency_table(&mut suite);

@@ -71,7 +71,7 @@ fn main() {
         BATCH
     );
 
-    let mut suite = BenchSuite::new("parallel_compute");
+    let mut suite = BenchSuite::new("parallel_compute").with_seed(7);
     let mut medians: Vec<(usize, f64)> = Vec::new();
     for threads in THREADS {
         let model = bench_model(&data, threads);
@@ -102,9 +102,9 @@ fn main() {
             })
             .collect();
         // The curve is only meaningful relative to the cores the host
-        // actually grants: on a single-core box every multi-thread
-        // entry degenerates to scheduler churn, so record the grant
-        // alongside the measurements.
+        // actually grants (`host_parallelism`, emitted with the suite
+        // header): on a single-core box every multi-thread entry
+        // degenerates to scheduler churn.
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -112,7 +112,6 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot re-read {}: {}", path.display(), e));
         let mut report = Json::parse(&raw).expect("suite report is valid JSON");
         if let Json::Obj(fields) = &mut report {
-            fields.push(("host_parallelism".into(), Json::from(cores)));
             fields.push(("speedup".into(), Json::Arr(curve)));
             fields.push((
                 "serial_baseline".into(),

@@ -121,7 +121,7 @@ fn overlap_json(stages: &StageTimings, depth: usize, staleness: usize) -> Json {
 }
 
 fn main() {
-    let mut suite = BenchSuite::new("pipeline");
+    let mut suite = BenchSuite::new("pipeline").with_seed(42);
     let data = bench_data();
 
     suite.bench("train_tgn_cascade/serial", || {

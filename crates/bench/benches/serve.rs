@@ -245,7 +245,7 @@ fn main() {
     // Micro-benches: single-request round-trip over one keep-alive
     // connection, through the full parse → route → score/WAL → respond
     // path.
-    let mut suite = BenchSuite::new("serve");
+    let mut suite = BenchSuite::new("serve").with_seed(1);
     let mut client = Client::connect(addr);
     let mut q = 0usize;
     suite.bench("http/predict_roundtrip", || {
@@ -311,10 +311,6 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot re-read {}: {}", path.display(), e));
         let mut report = Json::parse(&raw).expect("suite report is valid JSON");
         if let Json::Obj(fields) = &mut report {
-            let cores = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
-            fields.push(("host_parallelism".into(), Json::from(cores)));
             fields.push(("load_gen".into(), load_json));
             fields.push((
                 "server_stats".into(),

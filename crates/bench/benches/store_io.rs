@@ -61,7 +61,7 @@ fn prefetched_pass(path: &std::path::Path, spec: TableSpec) -> usize {
 }
 
 fn main() {
-    let mut suite = BenchSuite::new("store_io");
+    let mut suite = BenchSuite::new("store_io").with_seed(42);
     let data = bench_data();
     let spec = TableSpec {
         num_nodes: data.num_nodes(),

@@ -40,6 +40,12 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
+    // The scenario generator's whole contract is seed-addressable
+    // regeneration (leader and follower re-synthesize the same recipe
+    // bit-identically, DESIGN.md §13); a clock or hash order anywhere in
+    // it breaks replay across hosts. Only its RSS/stopwatch sampler may
+    // read clocks.
+    "crates/scenario/src/",
     "crates/serve/src/",
     "crates/store/src/",
     "crates/tensor/src/",
@@ -77,6 +83,10 @@ const IO_CONFINED_SCOPE: &[&str] = &[
     "crates/exec/src/",
     "crates/models/src/",
     "crates/nn/src/",
+    // Scenario generation streams gigabytes through cascade-store; the
+    // only ad-hoc fs access it is allowed is the report/recipe module
+    // (and, via that module, the /proc/self/status read for peak RSS).
+    "crates/scenario/src/",
     "crates/serve/src/",
     "crates/tensor/src/",
     "crates/tgraph/src/",
@@ -88,6 +98,7 @@ const IO_CONFINED_SCOPE: &[&str] = &[
 /// confinement scope entirely.)
 const IO_MODULES: &[&str] = &[
     "crates/models/src/checkpoint.rs",
+    "crates/scenario/src/report.rs",
     "crates/serve/src/persist.rs",
     "crates/tgraph/src/dataset.rs",
 ];
@@ -98,6 +109,7 @@ const IO_MODULES: &[&str] = &[
 const TELEMETRY: &[&str] = &[
     "crates/core/src/instrument.rs",
     "crates/dist/src/stats.rs",
+    "crates/scenario/src/rss.rs",
     "crates/serve/src/stats.rs",
 ];
 
@@ -401,6 +413,32 @@ mod tests {
 
         let unwrap = rule("panic-unwrap").expect("panic-unwrap is registered");
         assert!(in_scope(unwrap, "crates/dist/src/tcp.rs"));
+    }
+
+    #[test]
+    fn scenario_crate_is_bound_with_its_designated_escapes() {
+        // The generator and runner are determinism-bound: a recipe must
+        // regenerate bit-identically on leader and follower hosts.
+        let wall = rule("det-wallclock").expect("det-wallclock is registered");
+        assert!(in_scope(wall, "crates/scenario/src/gen.rs"));
+        assert!(in_scope(wall, "crates/scenario/src/runner.rs"));
+        // … but the RSS/stopwatch sampler may read clocks: its outputs
+        // land in scenario reports, never in the generated stream.
+        assert!(!in_scope(wall, "crates/scenario/src/rss.rs"));
+
+        let hash = rule("det-hash-iter").expect("det-hash-iter is registered");
+        assert!(in_scope(hash, "crates/scenario/src/gen.rs"));
+
+        let taint = rule("det-taint").expect("det-taint is registered");
+        assert!(in_scope(taint, "crates/scenario/src/runner.rs"));
+        assert!(!in_scope(taint, "crates/scenario/src/rss.rs"));
+
+        // All fs access — recipe loading, report writing, the
+        // /proc/self/status read — is confined to the report module.
+        let fs = rule("io-fs-confined").expect("io-fs-confined is registered");
+        assert!(in_scope(fs, "crates/scenario/src/gen.rs"));
+        assert!(in_scope(fs, "crates/scenario/src/bin/cascade_scenario.rs"));
+        assert!(!in_scope(fs, "crates/scenario/src/report.rs"));
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//@ path: crates/scenario/src/runner.rs
+//@ expect: det-wallclock
+use std::time::Instant;
+
+pub fn phase_budget_events(rate_hint: f64) -> usize {
+    // Deriving the phase length from a clock reading makes the recipe
+    // irreproducible across hosts — exactly what the scope forbids.
+    let jitter = Instant::now().elapsed().as_nanos() as f64;
+    (rate_hint + jitter) as usize
+}

@@ -1,0 +1,10 @@
+//@ path: crates/scenario/src/rss.rs
+// The scenario RSS/stopwatch sampler is allowlisted telemetry: its
+// readings land in scenario reports, never in the generated stream.
+use std::time::Instant;
+
+pub struct Stopwatch(Instant);
+
+pub fn start() -> Stopwatch {
+    Stopwatch(Instant::now())
+}

@@ -1,0 +1,10 @@
+//@ path: crates/scenario/src/gen.rs
+//@ expect: io-fs-confined
+//@ expect: io-fs-confined
+use std::fs;
+
+pub fn dump_phase_debug(bytes: &[u8]) -> std::io::Result<()> {
+    // The generator must stream through cascade-store; ad-hoc fs access
+    // belongs in scenario/src/report.rs.
+    fs::write("/tmp/phase_debug.bin", bytes)
+}

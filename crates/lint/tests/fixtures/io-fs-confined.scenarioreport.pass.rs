@@ -1,0 +1,8 @@
+//@ path: crates/scenario/src/report.rs
+// The report module is the scenario crate's designated I/O escape:
+// recipe loading, report writing, and the /proc/self/status read.
+use std::fs;
+
+pub fn read_proc_status() -> Option<String> {
+    fs::read_to_string("/proc/self/status").ok()
+}

@@ -1,0 +1,74 @@
+//! Generation-memory acceptance: the generator streams straight to
+//! CEVT chunks and must never materialize the dataset in RAM. `VmHWM`
+//! is process-global and monotone, so the bound is on *growth*: after a
+//! small generation has paid all one-time allocations (partner table,
+//! chunk buffer, writer state), a 10x-larger generation must not move
+//! the high-water mark by more than a slack far below the big dataset's
+//! size. Everything runs in one `#[test]` so no other test in the
+//! process can raise the mark between samples.
+
+use cascade_scenario::{generate_to_store, peak_rss_bytes, Recipe};
+
+fn recipe(events_scale: f64) -> Recipe {
+    let text = r#"{
+        "name": "rss_probe",
+        "seed": 5,
+        "nodes": 20000,
+        "feature_dim": 64,
+        "chunk_size": 4096,
+        "phases": [
+            { "name": "warm", "kind": "baseline", "events": 30000 },
+            { "name": "storm", "kind": "reorder", "events": 20000,
+              "window": 256, "duplicate_every": 50 }
+        ]
+    }"#;
+    Recipe::parse(text)
+        .expect("probe recipe parses")
+        .scaled(events_scale)
+}
+
+#[test]
+fn generation_rss_growth_is_independent_of_dataset_size() {
+    let Some(_) = peak_rss_bytes() else {
+        eprintln!("VmHWM unavailable; skipping RSS bound check");
+        return;
+    };
+    let dir = std::env::temp_dir().join("cascade_scenario_rss");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let small_path = dir.join(format!("{}_small.cevt", std::process::id()));
+    let big_path = dir.join(format!("{}_big.cevt", std::process::id()));
+
+    // Small run first: pays the partner table, chunk buffer, and writer
+    // allocations, so the baseline mark includes every fixed cost.
+    let small = recipe(0.1);
+    generate_to_store(&small, &small_path).expect("small generation");
+    let after_small = peak_rss_bytes().expect("VmHWM readable");
+
+    let big = recipe(1.0);
+    generate_to_store(&big, &big_path).expect("big generation");
+    let after_big = peak_rss_bytes().expect("VmHWM readable");
+
+    let big_bytes = std::fs::metadata(&big_path)
+        .expect("big store exists")
+        .len();
+    let small_bytes = std::fs::metadata(&small_path)
+        .expect("small store exists")
+        .len();
+    assert!(
+        big_bytes > small_bytes * 5,
+        "big run must actually be much larger on disk: {} vs {}",
+        big_bytes,
+        small_bytes
+    );
+
+    let growth = after_big.saturating_sub(after_small);
+    assert!(
+        growth < 64 * 1024 * 1024,
+        "peak RSS grew {} bytes across a {}-byte generation; \
+         the generator must stream, not materialize",
+        growth,
+        big_bytes
+    );
+    std::fs::remove_file(&small_path).ok();
+    std::fs::remove_file(&big_path).ok();
+}

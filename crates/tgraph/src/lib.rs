@@ -23,6 +23,7 @@
 
 mod dataset;
 mod event;
+mod ingest;
 mod sampler;
 mod shard;
 mod source;
@@ -31,6 +32,7 @@ mod synth;
 
 pub use dataset::{synth_features, CsvError, Dataset, EdgeFeatures};
 pub use event::{Event, EventId, EventStream, NodeId, OrderError, StreamDecodeError};
+pub use ingest::{ReorderPolicy, ReorderingSource, DEDUP_HORIZON};
 // `DetRng` lives in `cascade-util` (so `cascade-tensor` can seed without
 // depending on this crate) and is re-exported here for its historical
 // users.

@@ -134,6 +134,8 @@ pub struct BenchSuite {
     warmup: usize,
     /// Smoke mode: run each closure once, skip timing and reporting.
     smoke: bool,
+    /// Workload seed recorded in the report (0 = unseeded workload).
+    seed: u64,
     results: Vec<BenchStats>,
 }
 
@@ -169,8 +171,17 @@ impl BenchSuite {
             iters: iters.max(1),
             warmup,
             smoke,
+            seed: 0,
             results: Vec::new(),
         }
+    }
+
+    /// Records the workload seed the suite's closures were built from, so
+    /// every report carries its reproduction key (`seed` stays 0 for
+    /// unseeded workloads).
+    pub fn with_seed(mut self, seed: u64) -> BenchSuite {
+        self.seed = seed;
+        self
     }
 
     /// Runs one benchmark closure and records its statistics.
@@ -211,9 +222,19 @@ impl BenchSuite {
     }
 
     /// The whole suite as a JSON report.
+    ///
+    /// Every report carries its provenance: the workload `seed` (see
+    /// [`BenchSuite::with_seed`]) and `host_parallelism`, the core count
+    /// the host actually granted — numbers from a one-core container and
+    /// a 32-core box are not comparable without it.
     pub fn to_json(&self) -> Json {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Json::Obj(vec![
             ("suite".into(), Json::from(self.name.as_str())),
+            ("seed".into(), Json::from(self.seed as usize)),
+            ("host_parallelism".into(), Json::from(cores)),
             (
                 "results".into(),
                 Json::Arr(self.results.iter().map(BenchStats::to_json).collect()),
@@ -321,6 +342,16 @@ mod tests {
         assert_eq!(parsed.iters, 8);
         assert!(parsed.min_ns <= parsed.median_ns && parsed.median_ns <= parsed.max_ns);
         assert!(parsed.p10_ns <= parsed.median_ns && parsed.median_ns <= parsed.p90_ns);
+    }
+
+    #[test]
+    fn reports_carry_seed_and_host_parallelism() {
+        let suite = BenchSuite::with_config("prov", 1, 0, false).with_seed(9);
+        let json = suite.to_json();
+        assert_eq!(json.get("seed").and_then(Json::as_usize), Some(9));
+        assert!(json.get("host_parallelism").and_then(Json::as_usize) >= Some(1));
+        let unseeded = BenchSuite::with_config("prov0", 1, 0, false).to_json();
+        assert_eq!(unseeded.get("seed").and_then(Json::as_usize), Some(0));
     }
 
     #[test]

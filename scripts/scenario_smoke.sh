@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Scenario smoke: exercise the cascade_scenario CLI end to end on the
+# committed recipes, heavily scaled down for CI wall-clock. Covers the
+# recipe catalog, generate-then-train-from-store (out-of-core), the
+# on-the-fly adversarial runs, and the structured report contract
+# (seed, host_parallelism, peak RSS, per-phase losses).
+# Used by CI; runnable locally:
+#
+#   cargo build --release -p cascade-scenario --bin cascade_scenario
+#   bash scripts/scenario_smoke.sh target/release/cascade_scenario
+set -euo pipefail
+
+BIN="${1:?usage: scenario_smoke.sh <path-to-cascade_scenario>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+export CASCADE_BENCH_DIR="$WORK/reports"
+
+echo "scenario_smoke: recipe catalog lists every committed recipe"
+"$BIN" --list | tee "$WORK/list.log"
+for r in gdelt_full mag_scale adv_flash_crowd adv_churn adv_skew_shift adv_reorder; do
+  grep -q "$r.json" "$WORK/list.log"
+done
+if grep -q INVALID "$WORK/list.log"; then
+  echo "scenario_smoke: catalog contains an invalid recipe"
+  exit 1
+fi
+
+echo "scenario_smoke: generate a scaled GDELT cut, then train out-of-core from it"
+"$BIN" --recipe recipes/gdelt_full.json --scale 0.002 \
+  --generate-only --out "$WORK/gdelt_cut.cevt"
+"$BIN" --recipe recipes/gdelt_full.json --scale 0.002 \
+  --train --store "$WORK/gdelt_cut.cevt" | tee "$WORK/gdelt.log"
+grep -q 'report ->' "$WORK/gdelt.log"
+
+echo "scenario_smoke: every adversarial recipe trains on the fly"
+for r in adv_flash_crowd adv_churn adv_skew_shift adv_reorder; do
+  "$BIN" --recipe "recipes/$r.json" --scale 0.01 --train \
+    | tee "$WORK/$r.log"
+  grep -q '^\[train\]' "$WORK/$r.log"
+done
+
+echo "scenario_smoke: reports carry their provenance and telemetry"
+for f in "$WORK"/reports/scenario_*.json; do
+  grep -q '"seed"' "$f"
+  grep -q '"host_parallelism"' "$f"
+  grep -q '"peak_rss_bytes"' "$f"
+  grep -q '"events_per_sec"' "$f"
+done
+grep -q '"phase_losses"' "$WORK"/reports/scenario_gdelt_full_0.002.json
+grep -q '"reorder_policy":"buffered-reorder(256)"' \
+  "$WORK"/reports/scenario_adv_reorder_0.01.json
+
+echo "scenario_smoke: OK"
